@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Bess Bess_baseline Bess_util Bess_vmem Bytes Option Printf Stdlib

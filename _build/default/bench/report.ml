@@ -1,0 +1,74 @@
+(* Table rendering for the experiment harness.
+
+   Each experiment prints one table in the style of the paper's would-be
+   evaluation section: a caption tying it to the claim it reproduces, a
+   header row, and aligned data rows. Cells are strings; helpers format
+   counts, nanoseconds, bytes and ratios consistently. *)
+
+let ns v =
+  if v >= 1_000_000_000.0 then Printf.sprintf "%.2fs" (v /. 1e9)
+  else if v >= 1_000_000.0 then Printf.sprintf "%.2fms" (v /. 1e6)
+  else if v >= 1_000.0 then Printf.sprintf "%.2fus" (v /. 1e3)
+  else Printf.sprintf "%.0fns" v
+
+let bytes v =
+  let f = float_of_int v in
+  if f >= 1073741824.0 then Printf.sprintf "%.2fGB" (f /. 1073741824.0)
+  else if f >= 1048576.0 then Printf.sprintf "%.2fMB" (f /. 1048576.0)
+  else if f >= 1024.0 then Printf.sprintf "%.1fKB" (f /. 1024.0)
+  else Printf.sprintf "%dB" v
+
+let count v =
+  if v >= 1_000_000 then Printf.sprintf "%.2fM" (float_of_int v /. 1e6)
+  else if v >= 10_000 then Printf.sprintf "%.1fk" (float_of_int v /. 1e3)
+  else string_of_int v
+
+let ratio v = Printf.sprintf "%.2fx" v
+let fixed f = Printf.sprintf "%.3f" f
+let percent f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let table ~id ~caption ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line ch =
+    String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths)
+  in
+  let render row =
+    String.concat "|"
+      (List.map2 (fun cell w -> Printf.sprintf " %-*s " w cell) row widths)
+  in
+  Printf.printf "\n=== %s: %s\n" id caption;
+  Printf.printf "%s\n" (render header);
+  Printf.printf "%s\n" (line '-');
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows;
+  Printf.printf "%!"
+
+let note fmt = Printf.printf ("    " ^^ fmt ^^ "\n%!")
+
+(* Wall-clock timing of a thunk, median of [runs]. *)
+let time_ns ?(runs = 3) f =
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (runs / 2)
+
+(* Per-op timing: run f() [iters] times, return ns/op (median of [runs]
+   timed batches, to shed scheduler noise). *)
+let time_per_op ?(runs = 3) ~iters f =
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let samples = List.init runs (fun _ -> one ()) in
+  List.nth (List.sort compare samples) (runs / 2)

@@ -1,0 +1,1 @@
+examples/banking.ml: Array Bess Bess_cache Bess_storage Bess_util Bess_vmem Bytes List Printf

@@ -1,0 +1,1 @@
+examples/design_graph.ml: Array Bess Bess_util Bess_vmem List Option Printf

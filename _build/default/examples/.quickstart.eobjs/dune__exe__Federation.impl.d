@@ -1,0 +1,1 @@
+examples/federation.ml: Array Bess Bess_util Bess_vmem List Option Printf

@@ -1,0 +1,1 @@
+examples/multimedia.ml: Bess Bess_largeobj Bess_storage Bess_util Bess_vmem Buffer Bytes Char List Option Printf

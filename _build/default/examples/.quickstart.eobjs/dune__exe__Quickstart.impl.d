@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bess Bess_vmem Bytes Fmt Option Printf String

@@ -1,0 +1,1 @@
+examples/relational.ml: Bess Bess_rel List Printf String

@@ -1,0 +1,136 @@
+(* A Prospector-style multimedia store (section 2 of the paper: BeSS is
+   "the storage engine of AT&T's Prospector, a content based multimedia
+   system"; multifiles over multiple devices enable "fast
+   content-analysis and indexing on large databases of multimedia
+   objects").
+
+   - Video clips are very large objects built by successive appends,
+     stored through the Lob class interface with a user-registered
+     compression codec (the hook example of section 2.4).
+   - Thumbnails are transparent large objects (<= 64KB, mapped).
+   - Clip metadata records live in a *multifile* striped over three
+     storage areas, so the content-analysis pass can scan stripes in
+     parallel.
+
+   Run with:  dune exec examples/multimedia.exe *)
+
+module Vmem = Bess_vmem.Vmem
+module Lob = Bess_largeobj.Lob
+module Prng = Bess_util.Prng
+
+(* A toy run-length codec standing in for the user's compressor. *)
+let rle_compress b =
+  let buf = Buffer.create 256 in
+  let n = Bytes.length b in
+  let i = ref 0 in
+  while !i < n do
+    let c = Bytes.get b !i in
+    let run = ref 0 in
+    while !i + !run < n && !run < 255 && Bytes.get b (!i + !run) = c do
+      incr run
+    done;
+    Buffer.add_char buf (Char.chr !run);
+    Buffer.add_char buf c;
+    i := !i + !run
+  done;
+  Buffer.to_bytes buf
+
+let rle_decompress b =
+  let buf = Buffer.create 256 in
+  let i = ref 0 in
+  while !i < Bytes.length b do
+    let run = Char.code (Bytes.get b !i) in
+    for _ = 1 to run do
+      Buffer.add_char buf (Bytes.get b (!i + 1))
+    done;
+    i := !i + 2
+  done;
+  Buffer.to_bytes buf
+
+(* Metadata record: 64 bytes = thumbnail ref (0), video ref (8),
+   duration (16), 40 bytes of title. *)
+let meta_size = 64
+
+let () =
+  let db = Bess.Db.create_memory ~n_areas:3 ~db_id:2 () in
+  let meta_ty =
+    Bess.Type_desc.register
+      (Bess.Catalog.types (Bess.Db.catalog db))
+      ~name:"clip_meta" ~size:meta_size ~ref_offsets:[| 0; 8 |]
+  in
+  let s = Bess.Db.session ~pool_slots:4096 db in
+  let mem = Bess.Session.mem s in
+  let prng = Prng.create 2024 in
+
+  (* The catalogue is a multifile: segments stripe over all three areas. *)
+  Bess.Session.begin_txn s;
+  let catalogue =
+    Bess.Bess_file.create s ~name:"clips" ~multi:true ~slotted_pages:1 ~data_pages:2 ()
+  in
+  let n_clips = 60 in
+  Printf.printf "ingesting %d clips...\n%!" n_clips;
+  for clip = 1 to n_clips do
+    (* Thumbnail: a transparent large object, written through the mapped
+       interface like any small object. *)
+    let thumb = Bess.Bess_file.new_large_object catalogue ~size:20_000 in
+    let tdata = Bess.Session.obj_data s thumb in
+    Vmem.write_i64 mem tdata clip;
+    Vmem.write_i64 mem (tdata + 19_992) clip;
+    (* Video: a Lob built by successive appends with compression. *)
+    let seg, _ = Bess.Session.seg_of_slot s thumb in
+    let video, lob = Bess.Vlarge.create db s seg in
+    Lob.set_codec lob (Some { Lob.compress = rle_compress; decompress = rle_decompress });
+    for _frame = 1 to 10 do
+      (* Highly compressible "frames". *)
+      let frame = Bytes.make 8_192 (Char.chr (65 + (clip mod 26))) in
+      Lob.append lob frame
+    done;
+    Bess.Vlarge.save db s video lob;
+    (* Metadata record pointing at both. *)
+    let meta = Bess.Bess_file.new_object catalogue meta_ty ~size:meta_size in
+    let mdata = Bess.Session.obj_data s meta in
+    Bess.Session.write_ref s ~data_addr:mdata (Some thumb);
+    Bess.Session.write_ref s ~data_addr:(mdata + 8) (Some video);
+    Vmem.write_i64 mem (mdata + 16) (30 + Prng.int prng 90)
+  done;
+  Bess.Session.commit s;
+  Printf.printf "committed; catalogue has %d segments over %d areas\n"
+    (List.length (Bess.Bess_file.seg_ids catalogue))
+    (List.length (Bess.Db.area_ids db));
+
+  (* Content-analysis pass: striped scan, one stream per device. *)
+  Bess.Session.begin_txn s;
+  let total_duration = ref 0 in
+  let clips = ref 0 in
+  let visited, streams =
+    Bess.Bess_file.striped_scan catalogue (fun obj ->
+        if Bess.Session.obj_type s obj == meta_ty then begin
+          incr clips;
+          total_duration := !total_duration + Vmem.read_i64 mem (Bess.Session.obj_data s obj + 16)
+        end)
+  in
+  Printf.printf "striped scan: %d objects over %d parallel streams\n" visited streams;
+  Printf.printf "catalogue: %d clips, %d seconds of (simulated) footage\n" !clips !total_duration;
+
+  (* Verify a clip end-to-end: follow metadata -> video Lob, check the
+     compressed bytes decompress to the expected frames. *)
+  let check = ref None in
+  Bess.Bess_file.iter catalogue (fun obj ->
+      if !check = None && Bess.Session.obj_type s obj == meta_ty then check := Some obj);
+  let meta = Option.get !check in
+  let video =
+    Option.get (Bess.Session.read_ref s ~data_addr:(Bess.Session.obj_data s meta + 8))
+  in
+  let lob = Bess.Vlarge.open_ db s video in
+  Lob.set_codec lob (Some { Lob.compress = rle_compress; decompress = rle_decompress });
+  Printf.printf "first clip: %d bytes of video, frame byte = %c\n" (Lob.size lob)
+    (Bytes.get (Lob.read lob ~pos:40_000 ~len:1) 0);
+  Bess.Session.commit s;
+
+  (* Per-area distribution of the stripes. *)
+  List.iter
+    (fun area_id ->
+      let area = Bess_storage.Area_set.find (Bess.Db.areas db) area_id in
+      Printf.printf "area %d: %d pages allocated\n" area_id
+        (Bess_storage.Area.capacity_pages area - Bess_storage.Area.free_pages area))
+    (Bess.Db.area_ids db)

@@ -1,0 +1,99 @@
+(* Quickstart: the BeSS public API in five minutes.
+
+   Creates an in-memory database, registers a type, builds a small linked
+   structure, commits, and reads it back from a second client session --
+   exercising the memory-mapped access path (every read/write below goes
+   through the simulated VM, faulting segments in on demand), named
+   roots, hooks, and the corruption guard.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Vmem = Bess_vmem.Vmem
+
+let () =
+  (* A database owns storage areas and a server (WAL, locks, cache). *)
+  let db = Bess.Db.create_memory ~db_id:1 () in
+
+  (* Types describe where references live inside objects, so the system
+     can swizzle them (section 2.1 of the paper). A "person" is 32 bytes:
+     a reference to a spouse at offset 0, an age at offset 8, and a
+     16-byte name at offset 16. *)
+  let person =
+    Bess.Type_desc.register
+      (Bess.Catalog.types (Bess.Db.catalog db))
+      ~name:"person" ~size:32 ~ref_offsets:[| 0 |]
+  in
+
+  (* Hooks: count commits without touching any application code
+     (the motivating example of section 2.4). *)
+  let session = Bess.Db.session db in
+  let commits = ref 0 in
+  Bess.Event.register (Bess.Session.hooks session) ~event:"txn_commit" (fun _ ->
+      incr commits);
+
+  let mem = Bess.Session.mem session in
+  let set_name addr name =
+    let b = Bytes.make 16 '\000' in
+    Bytes.blit_string name 0 b 0 (String.length name);
+    Vmem.write_bytes mem (addr + 16) b
+  in
+  let get_name addr =
+    let b = Vmem.read_bytes mem (addr + 16) 16 in
+    String.of_bytes (Bytes.sub b 0 (Bytes.index b '\000'))
+  in
+
+  (* Create two people who are married to each other. *)
+  Bess.Session.begin_txn session;
+  let seg = Bess.Session.create_segment session ~slotted_pages:1 ~data_pages:2 () in
+  let alice = Bess.Session.create_object session seg person ~size:32 in
+  let bob = Bess.Session.create_object session seg person ~size:32 in
+  let alice_data = Bess.Session.obj_data session alice in
+  let bob_data = Bess.Session.obj_data session bob in
+  Vmem.write_i64 mem (alice_data + 8) 34;
+  Vmem.write_i64 mem (bob_data + 8) 37;
+  set_name alice_data "Alice";
+  set_name bob_data "Bob";
+  (* p->spouse: plain reference stores; swizzled automatically. *)
+  Bess.Session.write_ref session ~data_addr:alice_data (Some bob);
+  Bess.Session.write_ref session ~data_addr:bob_data (Some alice);
+  (* A named root makes the structure findable later (section 2.5). *)
+  Bess.Session.set_root session ~name:"alice" alice;
+  Bess.Session.commit session;
+  Printf.printf "created and committed (commits counted by hook: %d)\n" !commits;
+
+  (* A second client session: everything faults in on demand -- slotted
+     segment, then data segment, with references swizzled in wave 3. *)
+  let reader = Bess.Db.session db in
+  Bess.Session.begin_txn reader;
+  let alice' = Option.get (Bess.Session.root reader "alice") in
+  let a_data = Bess.Session.obj_data reader alice' in
+  let spouse = Option.get (Bess.Session.read_ref reader ~data_addr:a_data) in
+  let s_data = Bess.Session.obj_data reader spouse in
+  let rmem = Bess.Session.mem reader in
+  let rname addr =
+    let b = Vmem.read_bytes rmem (addr + 16) 16 in
+    String.of_bytes (Bytes.sub b 0 (Bytes.index b '\000'))
+  in
+  Printf.printf "%s (age %d) is married to %s (age %d)\n" (rname a_data)
+    (Vmem.read_i64 rmem (a_data + 8))
+    (rname s_data)
+    (Vmem.read_i64 rmem (s_data + 8));
+  Bess.Session.commit reader;
+
+  (* The corruption guard: a stray store into an object *header* (a
+     control structure) is trapped by the protection hardware before it
+     lands (section 2.2). *)
+  Bess.Session.begin_txn session;
+  (try
+     Vmem.write_i64 mem alice 0xBAD;
+     print_endline "UNREACHABLE"
+   with Bess.Session.Corruption { addr } ->
+     Printf.printf "stray pointer store at 0x%x trapped before corrupting anything\n" addr);
+  (* The object is intact. *)
+  Printf.printf "alice still reads fine: %s\n" (get_name (Bess.Session.obj_data session alice));
+  Bess.Session.commit session;
+
+  (* OIDs survive sessions and validate staleness. *)
+  let oid = Bess.Session.oid_of session alice in
+  Fmt.pr "alice's 96-bit OID: %a@." Bess.Oid.pp oid;
+  Printf.printf "total commits observed by hook: %d\n" !commits

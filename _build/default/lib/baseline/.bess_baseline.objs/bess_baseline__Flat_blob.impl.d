@@ -1,0 +1,1 @@
+lib/baseline/flat_blob.ml: Bess_storage Bess_util Bytes Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/greedy_reserve.ml: Bess_util Bess_vmem Hashtbl List

@@ -1,0 +1,1 @@
+lib/baseline/oid_store.ml: Array Bess_util Bytes Hashtbl

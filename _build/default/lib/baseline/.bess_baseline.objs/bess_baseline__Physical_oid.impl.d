@@ -1,0 +1,1 @@
+lib/baseline/physical_oid.ml: Array Bess_util Bytes Hashtbl List

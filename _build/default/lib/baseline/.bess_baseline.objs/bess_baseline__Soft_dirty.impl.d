@@ -1,0 +1,1 @@
+lib/baseline/soft_dirty.ml: Array Bess_util Bytes

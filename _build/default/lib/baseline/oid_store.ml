@@ -1,0 +1,66 @@
+(* Baseline: an EOS-like object store where inter-object references are
+   OIDs resolved through a table lookup on every dereference (section 5:
+   "pointer dereference in EOS is somewhat slow because inter-object
+   references are OIDs").
+
+   Objects live in memory as byte records; references inside object data
+   are stored as 8-byte object numbers. [deref] performs the hash lookup
+   that a swizzled pointer avoids. A [swizzle_on_deref] variant caches the
+   record on first use, modelling software swizzling (White & DeWitt's
+   comparison space). *)
+
+type obj = {
+  onum : int;
+  data : Bytes.t;
+  mutable resolved : obj option array; (* software-swizzle cache, one per ref slot *)
+}
+
+type t = {
+  table : (int, obj) Hashtbl.t;
+  ref_offsets : int array;
+  mutable next : int;
+  stats : Bess_util.Stats.t;
+}
+
+let create ~ref_offsets () =
+  { table = Hashtbl.create 1024; ref_offsets; next = 1; stats = Bess_util.Stats.create () }
+
+let stats t = t.stats
+
+let create_object t ~size =
+  let onum = t.next in
+  t.next <- onum + 1;
+  let o = { onum; data = Bytes.make size '\000';
+            resolved = Array.make (Array.length t.ref_offsets) None } in
+  Hashtbl.replace t.table onum o;
+  o
+
+let set_ref t o ~slot target =
+  Bess_util.Codec.set_i64 o.data t.ref_offsets.(slot) target.onum;
+  o.resolved.(slot) <- None
+
+(* Pure OID dereference: table lookup every time. *)
+let deref t o ~slot =
+  let onum = Bess_util.Codec.get_i64 o.data t.ref_offsets.(slot) in
+  if onum = 0 then None
+  else begin
+    Bess_util.Stats.incr t.stats "oid_store.lookups";
+    Hashtbl.find_opt t.table onum
+  end
+
+(* Software swizzling: first dereference pays the lookup, later ones hit
+   the per-slot cache. *)
+let deref_cached t o ~slot =
+  match o.resolved.(slot) with
+  | Some _ as r ->
+      Bess_util.Stats.incr t.stats "oid_store.cached_hits";
+      r
+  | None -> (
+      match deref t o ~slot with
+      | Some target as r ->
+          o.resolved.(slot) <- Some target;
+          r
+      | None -> None)
+
+let read_i64 o ~off = Bess_util.Codec.get_i64 o.data off
+let write_i64 o ~off v = Bess_util.Codec.set_i64 o.data off v

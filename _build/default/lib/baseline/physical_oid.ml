@@ -1,0 +1,76 @@
+(* Baseline: physical OIDs (section 5: "object relocation in EOS is a
+   tedious task because OIDs are physical addresses").
+
+   References carry the object's *physical* location (segment, byte
+   offset). Dereference is fast -- no indirection -- but moving a data
+   segment invalidates every reference into it, so relocation must scan
+   the whole database and rewrite them. Experiment E6 measures that scan
+   against BeSS's zero-fixup relocation. *)
+
+type phys = { seg : int; off : int }
+
+type obj = {
+  mutable loc : phys;
+  data : Bytes.t;
+  refs : phys option array; (* outgoing references, physical *)
+}
+
+type t = {
+  mutable objects : obj list;
+  by_loc : (phys, obj) Hashtbl.t;
+  stats : Bess_util.Stats.t;
+}
+
+let create () = { objects = []; by_loc = Hashtbl.create 1024; stats = Bess_util.Stats.create () }
+
+let stats t = t.stats
+
+let create_object t ~seg ~off ~size ~n_refs =
+  let o = { loc = { seg; off }; data = Bytes.make size '\000'; refs = Array.make n_refs None } in
+  t.objects <- o :: t.objects;
+  Hashtbl.replace t.by_loc o.loc o;
+  o
+
+let set_ref _t o ~slot target = o.refs.(slot) <- Some target.loc
+
+(* Fast dereference: direct physical addressing. *)
+let deref t o ~slot =
+  match o.refs.(slot) with
+  | None -> None
+  | Some loc ->
+      Bess_util.Stats.incr t.stats "phys.derefs";
+      Hashtbl.find_opt t.by_loc loc
+
+(* Relocate segment [seg] to [new_seg]: every object in it moves, and
+   every reference in the *entire database* pointing into it must be
+   found and rewritten -- the cost BeSS's slot indirection removes. *)
+let relocate_segment t ~seg ~new_seg =
+  let moved = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      if o.loc.seg = seg then begin
+        let old_loc = o.loc in
+        let new_loc = { seg = new_seg; off = o.loc.off } in
+        Hashtbl.remove t.by_loc old_loc;
+        o.loc <- new_loc;
+        Hashtbl.replace t.by_loc new_loc o;
+        Hashtbl.replace moved old_loc new_loc;
+        Bess_util.Stats.incr t.stats "phys.objects_moved"
+      end)
+    t.objects;
+  (* Full scan: rewrite dangling references. *)
+  let fixed = ref 0 in
+  List.iter
+    (fun o ->
+      Array.iteri
+        (fun i r ->
+          Bess_util.Stats.incr t.stats "phys.refs_scanned";
+          match r with
+          | Some loc when Hashtbl.mem moved loc ->
+              o.refs.(i) <- Some (Hashtbl.find moved loc);
+              incr fixed;
+              Bess_util.Stats.incr t.stats "phys.refs_fixed"
+          | _ -> ())
+        o.refs)
+    t.objects;
+  !fixed

@@ -1,0 +1,58 @@
+(* Baseline: software update detection (section 2.3).
+
+   Exodus and early EOS require the programmer to announce updates with
+   an explicit call before writing. The costs BeSS avoids: a function
+   call (and lock request) on *every announced update*, conservative
+   over-locking when the compiler cannot tell whether a callee writes,
+   and silent corruption when the call is forgotten.
+
+   This model exposes exactly those knobs. Objects live on pages; writes
+   require a prior [mark_dirty]; an unannounced write is recorded as a
+   consistency violation (the bug class hardware detection eliminates);
+   [conservative] mode marks on every access, modelling the
+   compiler-generated pessimism the paper describes. *)
+
+type t = {
+  pages : Bytes.t array;
+  page_size : int;
+  dirty : bool array;
+  mutable conservative : bool;
+  stats : Bess_util.Stats.t;
+}
+
+let create ?(page_size = 4096) ~n_pages () =
+  {
+    pages = Array.init n_pages (fun _ -> Bytes.create page_size);
+    page_size;
+    dirty = Array.make n_pages false;
+    conservative = false;
+    stats = Bess_util.Stats.create ();
+  }
+
+let stats t = t.stats
+let set_conservative t b = t.conservative <- b
+
+(* The explicit announcement: a function call plus an X-lock request. *)
+let mark_dirty t page =
+  Bess_util.Stats.incr t.stats "soft.mark_calls";
+  if not t.dirty.(page) then begin
+    Bess_util.Stats.incr t.stats "soft.lock_requests";
+    t.dirty.(page) <- true
+  end
+
+let read t ~page ~off =
+  if t.conservative then mark_dirty t page;
+  Bess_util.Codec.get_i64 t.pages.(page) off
+
+(* [announced] models programmer discipline: a faithful caller passes
+   true; a forgetful one (the error class of section 2.3) passes false
+   and the store still goes through -- undetected until much later. *)
+let write t ~page ~off ~announced v =
+  if announced || t.conservative then mark_dirty t page
+  else if not t.dirty.(page) then Bess_util.Stats.incr t.stats "soft.missed_updates";
+  Bess_util.Codec.set_i64 t.pages.(page) off v
+
+let dirty_pages t = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dirty
+
+let clean t =
+  Array.fill t.dirty 0 (Array.length t.dirty) false

@@ -1,0 +1,1 @@
+lib/buddy/buddy.ml: Array Bess_util Hashtbl List Printf Stdlib

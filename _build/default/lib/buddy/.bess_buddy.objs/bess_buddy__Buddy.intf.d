@@ -1,0 +1,1 @@
+lib/buddy/buddy.mli: Bess_util

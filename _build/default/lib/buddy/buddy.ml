@@ -1,0 +1,150 @@
+(* Binary buddy allocator for disk segments within an extent.
+
+   Section 2 of the paper: "allocation of disk segments from one of these
+   extents is based on the binary buddy system, as described in [3]"
+   (Biliris, ICDE'92). Blocks are powers of two in allocation units; a
+   block's buddy is found by XORing its offset with its size, and freed
+   blocks coalesce with free buddies recursively.
+
+   Free lists are kept per order. Allocated block orders are remembered so
+   [free] can take just the offset, and so double-frees are detected rather
+   than silently corrupting the free lists. *)
+
+type t = {
+  order : int; (* capacity = 2^order units *)
+  free_lists : int list array; (* free_lists.(k) = offsets of free blocks of size 2^k *)
+  allocated : (int, int) Hashtbl.t; (* offset -> order *)
+  mutable free_units : int;
+  stats : Bess_util.Stats.t;
+}
+
+let create ~order =
+  if order < 0 || order > 40 then invalid_arg "Buddy.create: order out of range";
+  let free_lists = Array.make (order + 1) [] in
+  free_lists.(order) <- [ 0 ];
+  {
+    order;
+    free_lists;
+    allocated = Hashtbl.create 64;
+    free_units = 1 lsl order;
+    stats = Bess_util.Stats.create ();
+  }
+
+let capacity t = 1 lsl t.order
+let free_units t = t.free_units
+let allocated_units t = capacity t - t.free_units
+let stats t = t.stats
+
+let order_for_size size =
+  if size <= 0 then invalid_arg "Buddy: size must be positive";
+  let rec go k = if 1 lsl k >= size then k else go (k + 1) in
+  go 0
+
+(* Smallest order >= want with a free block, if any. *)
+let rec find_order t k = if k > t.order then None else if t.free_lists.(k) <> [] then Some k else find_order t (k + 1)
+
+let pop_free t k =
+  match t.free_lists.(k) with
+  | [] -> assert false
+  | off :: rest ->
+      t.free_lists.(k) <- rest;
+      off
+
+let push_free t k off = t.free_lists.(k) <- off :: t.free_lists.(k)
+
+let alloc t size =
+  let want = order_for_size size in
+  if want > t.order then None
+  else
+    match find_order t want with
+    | None ->
+        Bess_util.Stats.incr t.stats "buddy.alloc_failures";
+        None
+    | Some k ->
+        let off = pop_free t k in
+        (* Split down to the requested order, freeing the upper halves. *)
+        let rec split k =
+          if k > want then begin
+            let k' = k - 1 in
+            push_free t k' (off + (1 lsl k'));
+            split k'
+          end
+        in
+        split k;
+        Hashtbl.replace t.allocated off want;
+        t.free_units <- t.free_units - (1 lsl want);
+        Bess_util.Stats.incr t.stats "buddy.allocs";
+        Some off
+
+let block_size t off =
+  match Hashtbl.find_opt t.allocated off with
+  | Some k -> Some (1 lsl k)
+  | None -> None
+
+let remove_from_free_list t k off =
+  t.free_lists.(k) <- List.filter (fun o -> o <> off) t.free_lists.(k)
+
+let free t off =
+  match Hashtbl.find_opt t.allocated off with
+  | None -> invalid_arg "Buddy.free: offset not allocated (double free?)"
+  | Some k ->
+      Hashtbl.remove t.allocated off;
+      t.free_units <- t.free_units + (1 lsl k);
+      Bess_util.Stats.incr t.stats "buddy.frees";
+      (* Coalesce with the buddy while it is free and we are below the top. *)
+      let rec coalesce off k =
+        if k >= t.order then push_free t k off
+        else
+          let buddy = off lxor (1 lsl k) in
+          if List.mem buddy t.free_lists.(k) then begin
+            remove_from_free_list t k buddy;
+            Bess_util.Stats.incr t.stats "buddy.coalesces";
+            coalesce (Stdlib.min off buddy) (k + 1)
+          end
+          else push_free t k off
+      in
+      coalesce off k
+
+(* Largest allocation currently satisfiable, in units. *)
+let largest_free t =
+  let rec go k = if k < 0 then 0 else if t.free_lists.(k) <> [] then 1 lsl k else go (k - 1) in
+  go t.order
+
+(* External fragmentation in [0,1]: fraction of free space unusable for a
+   single allocation of the largest free block's complement. 0 when empty
+   or when all free space is one block. *)
+let fragmentation t =
+  if t.free_units = 0 then 0.0
+  else 1.0 -. (float_of_int (largest_free t) /. float_of_int t.free_units)
+
+(* Invariant check for property tests: free lists and allocation table
+   partition the arena exactly, with no overlapping or misaligned block. *)
+let check_invariants t =
+  let cover = Array.make (capacity t) false in
+  let claim off len what =
+    if off < 0 || off + len > capacity t then failwith (what ^ ": out of bounds");
+    for i = off to off + len - 1 do
+      if cover.(i) then failwith (what ^ ": overlap");
+      cover.(i) <- true
+    done
+  in
+  Array.iteri
+    (fun k offs ->
+      List.iter
+        (fun off ->
+          if off land ((1 lsl k) - 1) <> 0 then failwith "free block misaligned";
+          claim off (1 lsl k) "free block")
+        offs)
+    t.free_lists;
+  Hashtbl.iter
+    (fun off k ->
+      if off land ((1 lsl k) - 1) <> 0 then failwith "allocated block misaligned";
+      claim off (1 lsl k) "allocated block")
+    t.allocated;
+  Array.iteri (fun i c -> if not c then failwith (Printf.sprintf "unit %d uncovered" i)) cover;
+  let free_sum =
+    Array.to_list t.free_lists
+    |> List.mapi (fun k offs -> List.length offs * (1 lsl k))
+    |> List.fold_left ( + ) 0
+  in
+  if free_sum <> t.free_units then failwith "free_units out of sync"

@@ -1,0 +1,36 @@
+(** Binary buddy allocator for disk segments within an extent (section 2,
+    following Biliris ICDE'92). Sizes round up to powers of two of the
+    allocation unit; freed blocks coalesce with free buddies. *)
+
+type t
+
+(** [create ~order] makes an arena of [2^order] allocation units. *)
+val create : order:int -> t
+
+(** Capacity in units. *)
+val capacity : t -> int
+
+val free_units : t -> int
+val allocated_units : t -> int
+val stats : t -> Bess_util.Stats.t
+
+(** [alloc t size] allocates a block of at least [size] units, returning
+    its unit offset, or [None] if no block fits. *)
+val alloc : t -> int -> int option
+
+(** [free t off] frees the block at [off]. Raises [Invalid_argument] on
+    double free or unknown offset. *)
+val free : t -> int -> unit
+
+(** [block_size t off] is the allocated size at [off], if allocated. *)
+val block_size : t -> int -> int option
+
+(** Largest single allocation currently satisfiable, in units. *)
+val largest_free : t -> int
+
+(** External fragmentation in [0,1]; 0 when free space is one block. *)
+val fragmentation : t -> float
+
+(** Raise [Failure] if free lists and the allocation table do not exactly
+    partition the arena with aligned blocks. For tests. *)
+val check_invariants : t -> unit

@@ -1,0 +1,1 @@
+lib/cache/cache.ml: Array Bess_util Bytes Option Page_id

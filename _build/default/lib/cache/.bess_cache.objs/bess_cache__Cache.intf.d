@@ -1,0 +1,1 @@
+lib/cache/cache.mli: Bess_util Bytes Page_id

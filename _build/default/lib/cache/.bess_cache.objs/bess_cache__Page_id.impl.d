@@ -1,0 +1,1 @@
+lib/cache/page_id.ml: Fmt Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/cache/page_id.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/cache/smt.ml: Array Bess_util Page_id

@@ -1,0 +1,1 @@
+lib/cache/smt.mli: Bess_util Page_id

@@ -1,0 +1,1 @@
+lib/cache/state_clock.ml: Array Bess_util Fmt

@@ -1,0 +1,1 @@
+lib/cache/state_clock.mli: Bess_util Format

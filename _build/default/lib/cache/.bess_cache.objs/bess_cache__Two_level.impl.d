@@ -1,0 +1,1 @@
+lib/cache/two_level.ml: Array Bess_util Printf State_clock

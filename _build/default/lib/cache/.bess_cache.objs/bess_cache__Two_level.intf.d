@@ -1,0 +1,1 @@
+lib/cache/two_level.mli: Bess_util State_clock

@@ -1,0 +1,182 @@
+(* The page cache: a fixed pool of page-sized slots (Figure 3: "the cache
+   is viewed as a contiguous sequence of equal length frames, and the size
+   of each frame is equal to the page size").
+
+   Replacement policy is pluggable: the cache asks a victim chooser for a
+   slot index when full; the chooser must return an unpinned slot. The
+   classic clock ({!Clock}), the BeSS frame-state clock ({!State_clock})
+   and the two-level clock ({!Two_level}) all drive this interface.
+
+   A per-slot [refcount] supports the shared-memory mode, where it counts
+   the processes that currently have the slot mapped accessible/protected
+   (section 4.2: "BeSS associates a counter with each cache slot"). *)
+
+type slot = {
+  index : int;
+  bytes : Bytes.t;
+  mutable page : Page_id.t option;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable refcount : int; (* shared-memory mode: processes mapping this slot *)
+}
+
+type t = {
+  slots : slot array;
+  page_size : int;
+  map : int Page_id.Tbl.t; (* page -> slot index *)
+  mutable writeback : Page_id.t -> Bytes.t -> unit;
+  mutable choose_victim : unit -> int option;
+  stats : Bess_util.Stats.t;
+}
+
+let create ~nslots ~page_size =
+  if nslots <= 0 then invalid_arg "Cache.create: nslots must be positive";
+  let slots =
+    Array.init nslots (fun index ->
+        { index; bytes = Bytes.create page_size; page = None; dirty = false; pins = 0;
+          refcount = 0 })
+  in
+  let t =
+    {
+      slots;
+      page_size;
+      map = Page_id.Tbl.create (2 * nslots);
+      writeback = (fun _ _ -> ());
+      choose_victim = (fun () -> None);
+      stats = Bess_util.Stats.create ();
+    }
+  in
+  (* Default policy: first unpinned, unmapped-elsewhere slot (FIFO-ish);
+     real policies are installed with [set_victim_chooser]. *)
+  t.choose_victim <-
+    (fun () ->
+      let found = ref None in
+      (try
+         Array.iter
+           (fun s -> if s.pins = 0 && s.refcount = 0 then begin found := Some s.index; raise Exit end)
+           t.slots
+       with Exit -> ());
+      !found);
+  t
+
+let nslots t = Array.length t.slots
+let page_size t = t.page_size
+let stats t = t.stats
+let slot t i = t.slots.(i)
+let set_writeback t f = t.writeback <- f
+let set_victim_chooser t f = t.choose_victim <- f
+
+let lookup t page =
+  match Page_id.Tbl.find_opt t.map page with
+  | Some i ->
+      Bess_util.Stats.incr t.stats "cache.hits";
+      Some t.slots.(i)
+  | None ->
+      Bess_util.Stats.incr t.stats "cache.misses";
+      None
+
+(* Peek without touching hit/miss counters (for assertions and tools). *)
+let find_slot t page = Option.map (fun i -> t.slots.(i)) (Page_id.Tbl.find_opt t.map page)
+
+let n_resident t = Page_id.Tbl.length t.map
+
+exception Cache_full
+
+(* Evict the slot chosen by the policy, writing it back if dirty.
+   Returns the freed slot. *)
+let evict_one t =
+  match t.choose_victim () with
+  | None -> raise Cache_full
+  | Some i ->
+      let s = t.slots.(i) in
+      if s.pins > 0 then invalid_arg "Cache: policy chose a pinned slot";
+      (match s.page with
+      | Some page ->
+          if s.dirty then begin
+            t.writeback page s.bytes;
+            Bess_util.Stats.incr t.stats "cache.dirty_writebacks"
+          end;
+          Page_id.Tbl.remove t.map page;
+          Bess_util.Stats.incr t.stats "cache.evictions"
+      | None -> ());
+      s.page <- None;
+      s.dirty <- false;
+      s.refcount <- 0;
+      s
+
+(* Find a free slot, evicting if necessary. *)
+let free_slot t =
+  let found = ref None in
+  (try
+     Array.iter
+       (fun s -> if s.page = None && s.pins = 0 then begin found := Some s; raise Exit end)
+       t.slots
+   with Exit -> ());
+  match !found with Some s -> s | None -> evict_one t
+
+(* [load t page ~fill] returns the slot holding [page], reading it with
+   [fill] on a miss. The returned slot is pinned; callers unpin. *)
+let load t page ~fill =
+  match lookup t page with
+  | Some s ->
+      s.pins <- s.pins + 1;
+      s
+  | None ->
+      let s = free_slot t in
+      fill s.bytes;
+      Bess_util.Stats.incr t.stats "cache.loads";
+      s.page <- Some page;
+      s.pins <- s.pins + 1;
+      Page_id.Tbl.replace t.map page s.index;
+      s
+
+let unpin _t s =
+  if s.pins <= 0 then invalid_arg "Cache.unpin: slot not pinned";
+  s.pins <- s.pins - 1
+
+let mark_dirty _t s = s.dirty <- true
+
+(* Drop a clean or dirty page without writing it back (callback locking:
+   the client discards its cached copy; aborts may also purge). *)
+let discard t page =
+  match Page_id.Tbl.find_opt t.map page with
+  | None -> ()
+  | Some i ->
+      let s = t.slots.(i) in
+      if s.pins > 0 then invalid_arg "Cache.discard: page is pinned";
+      Page_id.Tbl.remove t.map page;
+      s.page <- None;
+      s.dirty <- false;
+      s.refcount <- 0;
+      Bess_util.Stats.incr t.stats "cache.discards"
+
+(* Re-key a resident page to a new identity without touching its bytes
+   (segment relocation: same frame, new disk address). *)
+let rekey t ~old_page ~new_page =
+  match Page_id.Tbl.find_opt t.map old_page with
+  | None -> invalid_arg "Cache.rekey: page not resident"
+  | Some i ->
+      if Page_id.Tbl.mem t.map new_page then invalid_arg "Cache.rekey: target already resident";
+      Page_id.Tbl.remove t.map old_page;
+      Page_id.Tbl.replace t.map new_page i;
+      t.slots.(i).page <- Some new_page
+
+(* Write back every dirty page (checkpoint / shutdown). *)
+let flush_all t =
+  Array.iter
+    (fun s ->
+      match s.page with
+      | Some page when s.dirty ->
+          t.writeback page s.bytes;
+          s.dirty <- false;
+          Bess_util.Stats.incr t.stats "cache.flush_writebacks"
+      | _ -> ())
+    t.slots
+
+let iter_resident t f =
+  Array.iter (fun s -> match s.page with Some page -> f page s | None -> ()) t.slots
+
+let hit_ratio t =
+  let h = Bess_util.Stats.get t.stats "cache.hits" in
+  let m = Bess_util.Stats.get t.stats "cache.misses" in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)

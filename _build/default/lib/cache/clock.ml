@@ -1,0 +1,42 @@
+(* Classic second-chance clock over cache slots.
+
+   This is the baseline the paper contrasts with in section 4.2: it needs
+   a reference bit maintained on *every access*, which a memory-mapped
+   architecture does not get to see -- hence BeSS's frame-state variant
+   ({!State_clock}). We keep it for experiment E4's comparison and for the
+   copy-on-access private pools where the client library mediates access
+   anyway. *)
+
+type t = {
+  ref_bits : bool array;
+  mutable hand : int;
+  cache : Cache.t;
+}
+
+(* Called by the owner on every logical page access. *)
+let note_access t slot_index = t.ref_bits.(slot_index) <- true
+
+let choose t =
+  let n = Array.length t.ref_bits in
+  (* Two full sweeps suffice: the first clears reference bits, the second
+     must find a victim unless everything is pinned. *)
+  let rec go steps =
+    if steps > 2 * n then None
+    else begin
+      let i = t.hand in
+      t.hand <- (t.hand + 1) mod n;
+      let s = Cache.slot t.cache i in
+      if s.Cache.pins > 0 then go (steps + 1)
+      else if t.ref_bits.(i) then begin
+        t.ref_bits.(i) <- false;
+        go (steps + 1)
+      end
+      else Some i
+    end
+  in
+  go 0
+
+let create cache =
+  let t = { ref_bits = Array.make (Cache.nslots cache) false; hand = 0; cache } in
+  Cache.set_victim_chooser cache (fun () -> choose t);
+  t

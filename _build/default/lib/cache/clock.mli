@@ -1,0 +1,16 @@
+(** Classic second-chance clock over cache slots — the baseline the
+    paper's frame-state clock replaces (section 4.2), kept for comparison
+    (experiment E4) and for pools whose accesses are library-mediated.
+    Requires {!note_access} on every logical access. *)
+
+type t
+
+(** Installs itself as [cache]'s victim chooser. *)
+val create : Cache.t -> t
+
+(** Set the reference bit of a slot (call on every access). *)
+val note_access : t -> int -> unit
+
+(** Choose a victim: sweeps clearing reference bits, skipping pinned
+    slots; [None] when everything is pinned. *)
+val choose : t -> int option

@@ -1,0 +1,16 @@
+(* Identity of a database page: storage area plus page number within it. *)
+
+type t = { area : int; page : int }
+
+let make ~area ~page = { area; page }
+let equal a b = a.area = b.area && a.page = b.page
+let compare = Stdlib.compare
+let hash t = (t.area * 1000003) lxor t.page
+let pp ppf t = Fmt.pf ppf "%d:%d" t.area t.page
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,11 @@
+(** Identity of a database page: storage area plus page number. *)
+
+type t = { area : int; page : int }
+
+val make : area:int -> page:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t

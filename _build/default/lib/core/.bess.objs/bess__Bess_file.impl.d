@@ -1,0 +1,1 @@
+lib/core/bess_file.ml: Catalog Hashtbl Layout List Option Printf Session

@@ -1,0 +1,1 @@
+lib/core/bess_file.mli: Catalog Session Type_desc

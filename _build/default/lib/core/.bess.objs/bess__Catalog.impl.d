@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Bess_storage Bess_util Buffer Bytes Hashtbl List Oid Option Printf Type_desc

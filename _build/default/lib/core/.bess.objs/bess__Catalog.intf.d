@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Bess_storage Bytes Oid Type_desc

@@ -1,0 +1,1 @@
+lib/core/db.ml: Bess_storage Bess_wal Bytes Catalog Fetcher Filename Printf Server Session Sys

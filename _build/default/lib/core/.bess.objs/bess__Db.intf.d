@@ -1,0 +1,1 @@
+lib/core/db.mli: Bess_storage Catalog Server Session

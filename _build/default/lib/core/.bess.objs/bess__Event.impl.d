@@ -1,0 +1,1 @@
+lib/core/event.ml: Bess_util Fmt Hashtbl List

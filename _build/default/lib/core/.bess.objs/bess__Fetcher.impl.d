@@ -1,0 +1,1 @@
+lib/core/fetcher.ml: Bess_cache Bess_lock Bess_storage Bytes Server Store

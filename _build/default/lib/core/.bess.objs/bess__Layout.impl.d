@@ -1,0 +1,1 @@
+lib/core/layout.ml: Bess_storage Bess_util Fmt

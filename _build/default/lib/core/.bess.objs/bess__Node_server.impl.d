@@ -1,0 +1,1 @@
+lib/core/node_server.ml: Array Bess_cache Bess_lock Bess_util Bess_vmem Bess_wal Bytes Fetcher Hashtbl List Option Server

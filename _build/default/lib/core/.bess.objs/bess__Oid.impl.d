@@ -1,0 +1,1 @@
+lib/core/oid.ml: Bess_util Fmt Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/core/remote.ml: Bess_cache Bess_lock Bess_net Bess_storage Bytes Db Fetcher List Server Session Store String

@@ -1,0 +1,1 @@
+lib/core/reorg.ml: Bess_cache Bess_file Bess_storage Bess_util Bess_vmem Bytes Catalog Layout List Session Stdlib

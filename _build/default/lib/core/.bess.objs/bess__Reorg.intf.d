@@ -1,0 +1,1 @@
+lib/core/reorg.mli: Bess_file Session

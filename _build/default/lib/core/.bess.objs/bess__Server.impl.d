@@ -1,0 +1,1 @@
+lib/core/server.ml: Bess_cache Bess_lock Bess_storage Bess_util Bess_wal Bytes Event Fmt Hashtbl List Option Printf Store

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Bess_cache Bess_lock Bess_storage Bess_util Bess_vmem Bytes Catalog Diff Event Fetcher Hashtbl Layout List Oid Option Printf Server Stdlib Type_desc

@@ -1,0 +1,1 @@
+lib/core/store.ml: Bess_cache Bess_storage Bess_util Bess_wal Bytes Fun List Option

@@ -1,0 +1,1 @@
+lib/core/store.mli: Bess_cache Bess_storage Bess_util Bess_wal Bytes

@@ -1,0 +1,1 @@
+lib/core/type_desc.ml: Array Bess_util Fmt Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/type_desc.mli: Bytes Format

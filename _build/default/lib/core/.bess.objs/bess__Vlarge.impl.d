@@ -1,0 +1,1 @@
+lib/core/vlarge.ml: Bess_largeobj Bess_storage Bess_util Bess_vmem Bytes Catalog Db Layout Session Stdlib Type_desc

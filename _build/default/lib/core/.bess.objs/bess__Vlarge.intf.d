@@ -1,0 +1,1 @@
+lib/core/vlarge.mli: Bess_largeobj Db Session

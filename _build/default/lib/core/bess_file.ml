@@ -1,0 +1,186 @@
+(* BeSS files and multifiles (section 2).
+
+   A BeSS file groups objects so they can be retrieved later by a cursor;
+   all object segments of an ordinary file are allocated from one storage
+   area, so the file's size is bounded by the addressability of that area.
+   A multifile behaves like a file but stripes its segments round-robin
+   over every area of the database -- unbounded size, and segments land on
+   different (simulated) devices, which is what makes the parallel scan of
+   Prospector/MoonBase possible.
+
+   Segment growth: objects are created in the file's most recent segment
+   until it fills, then a new segment is allocated. The segment shape
+   (slot pages / data pages) is a per-file policy. *)
+
+type t = {
+  session : Session.t;
+  db_id : int;
+  info : Catalog.file_info;
+  slotted_pages : int;
+  data_pages : int;
+}
+
+let catalog t = (Session.binding t.session t.db_id).b_catalog
+
+let name t = t.info.file_name
+let file_id t = t.info.file_id
+let seg_ids t = t.info.seg_ids
+let is_multifile t = t.info.area_id = None
+
+(* Create an ordinary file bound to [area] (default: the database's
+   default area), or a multifile when [multi] is set. *)
+let create ?db_id ?area ?(multi = false) ?(slotted_pages = 1) ?(data_pages = 8) session
+    ~name () =
+  let db_id = Option.value ~default:(Session.main_db_id session) db_id in
+  let b = Session.binding session db_id in
+  let area_id =
+    if multi then None else Some (Option.value ~default:b.b_default_area area)
+  in
+  let info = Catalog.create_file b.b_catalog ~name ~area_id in
+  { session; db_id; info; slotted_pages; data_pages }
+
+let open_existing ?db_id ?(slotted_pages = 1) ?(data_pages = 8) session ~name () =
+  let db_id = Option.value ~default:(Session.main_db_id session) db_id in
+  let b = Session.binding session db_id in
+  match Catalog.find_file_by_name b.b_catalog name with
+  | Some info -> { session; db_id; info; slotted_pages; data_pages }
+  | None -> invalid_arg (Printf.sprintf "Bess_file: no file named %S" name)
+
+(* Pick the area for the next segment: the file's own area, or the next
+   stripe of the multifile. *)
+let next_area t =
+  match t.info.area_id with
+  | Some a -> a
+  | None ->
+      let ids = Session.db_area_ids t.session t.db_id in
+      List.nth ids (List.length t.info.seg_ids mod List.length ids)
+
+let add_segment t =
+  let seg =
+    Session.create_segment t.session ~db_id:t.db_id ~area:(next_area t)
+      ~slotted_pages:t.slotted_pages ~data_pages:t.data_pages ()
+  in
+  Catalog.file_add_segment (catalog t) t.info seg.Session.seg_id;
+  seg
+
+(* Create an object in the file, growing it by a segment when the current
+   one is full. *)
+let new_object t ty ~size =
+  let try_seg seg =
+    match Session.create_object t.session seg ty ~size with
+    | addr -> Some addr
+    | exception Session.Segment_full _ -> None
+  in
+  let last_seg () =
+    match List.rev t.info.seg_ids with
+    | [] -> None
+    | seg_id :: _ -> Some (Session.get_seg t.session ~db_id:t.db_id ~seg_id)
+  in
+  match Option.bind (last_seg ()) try_seg with
+  | Some addr -> addr
+  | None -> (
+      let seg = add_segment t in
+      match try_seg seg with
+      | Some addr -> addr
+      | None -> invalid_arg "Bess_file.new_object: object larger than a fresh segment")
+
+let new_large_object t ~size =
+  let try_seg seg =
+    match Session.create_large_object t.session seg ~size with
+    | addr -> Some addr
+    | exception Session.Segment_full _ -> None
+  in
+  let last_seg () =
+    match List.rev t.info.seg_ids with
+    | [] -> None
+    | seg_id :: _ -> Some (Session.get_seg t.session ~db_id:t.db_id ~seg_id)
+  in
+  match Option.bind (last_seg ()) try_seg with
+  | Some addr -> addr
+  | None -> (
+      let seg = add_segment t in
+      match try_seg seg with
+      | Some addr -> addr
+      | None -> invalid_arg "Bess_file.new_large_object: no room")
+
+(* ---- Cursors ---- *)
+
+(* Iterate every live object of one segment, in slot order. *)
+let iter_segment session ~db_id ~seg_id f =
+  let seg = Session.get_seg session ~db_id ~seg_id in
+  Session.ensure_slotted session seg;
+  let n = Session.read_header_u32 session seg ~field:Layout.hdr_n_slots in
+  for idx = 0 to n - 1 do
+    let flags = Session.read_slot_u32 session seg idx ~field:Layout.slot_flags in
+    if flags land Layout.flag_used <> 0 && flags land Layout.flag_forward = 0 then
+      f (Session.slot_addr seg idx)
+  done
+
+(* Sequential scan in segment order. *)
+let iter t f = List.iter (fun seg_id -> iter_segment t.session ~db_id:t.db_id ~seg_id f) t.info.seg_ids
+
+let fold t f init =
+  let acc = ref init in
+  iter t (fun addr -> acc := f !acc addr);
+  !acc
+
+let count t = fold t (fun n _ -> n + 1) 0
+
+(* Explicit cursor with position, for consumer-driven iteration. *)
+type cursor = {
+  file : t;
+  mutable segs_left : int list;
+  mutable current : int list; (* object addresses of the current segment, pending *)
+}
+
+let cursor t = { file = t; segs_left = t.info.seg_ids; current = [] }
+
+let rec next c =
+  match c.current with
+  | addr :: rest ->
+      c.current <- rest;
+      Some addr
+  | [] -> (
+      match c.segs_left with
+      | [] -> None
+      | seg_id :: rest ->
+          c.segs_left <- rest;
+          let acc = ref [] in
+          iter_segment c.file.session ~db_id:c.file.db_id ~seg_id (fun a -> acc := a :: !acc);
+          c.current <- List.rev !acc;
+          next c)
+
+(* Striped scan of a multifile: consume segments in round-robin area
+   order, the access pattern a parallel scan would issue one stripe per
+   device. Returns per-area segment counts along with the visit count. *)
+let striped_scan t f =
+  let by_area = Hashtbl.create 8 in
+  List.iter
+    (fun seg_id ->
+      let seg = Session.get_seg t.session ~db_id:t.db_id ~seg_id in
+      let area = seg.Session.slotted_disk.area in
+      let l = try Hashtbl.find by_area area with Not_found -> [] in
+      Hashtbl.replace by_area area (l @ [ seg_id ]))
+    t.info.seg_ids;
+  let queues = Hashtbl.fold (fun area segs acc -> (area, ref segs) :: acc) by_area [] in
+  let queues = List.sort compare queues in
+  let visited = ref 0 in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iter
+      (fun (_area, q) ->
+        match !q with
+        | [] -> ()
+        | seg_id :: rest ->
+            q := rest;
+            progressed := true;
+            iter_segment t.session ~db_id:t.db_id ~seg_id (fun a ->
+                incr visited;
+                f a))
+      queues
+  done;
+  (!visited, List.length queues)
+
+let db_id t = t.db_id
+let info t = t.info

@@ -1,0 +1,49 @@
+(* Byte-range diffing of page images.
+
+   Client-cached transactions ship physical update records at commit: for
+   every dirty page the client diffs the page's before image (captured at
+   the first write fault) against its current content, producing compact
+   (offset, before, after) ranges. Nearby changed runs are coalesced so a
+   scattered record-field update does not explode into dozens of tiny log
+   records. *)
+
+type range = { offset : int; before : Bytes.t; after : Bytes.t }
+
+(* Merge runs separated by fewer than [gap] unchanged bytes. *)
+let ranges ?(gap = 32) ~before ~after () =
+  if Bytes.length before <> Bytes.length after then
+    invalid_arg "Diff.ranges: image length mismatch";
+  let n = Bytes.length before in
+  let out = ref [] in
+  let emit lo hi =
+    if hi > lo then
+      out :=
+        { offset = lo; before = Bytes.sub before lo (hi - lo); after = Bytes.sub after lo (hi - lo) }
+        :: !out
+  in
+  let i = ref 0 in
+  let run_start = ref (-1) in
+  let last_diff = ref (-1) in
+  while !i < n do
+    if Bytes.get before !i <> Bytes.get after !i then begin
+      if !run_start < 0 then run_start := !i
+      else if !i - !last_diff > gap then begin
+        emit !run_start (!last_diff + 1);
+        run_start := !i
+      end;
+      last_diff := !i
+    end;
+    incr i
+  done;
+  if !run_start >= 0 then emit !run_start (!last_diff + 1);
+  List.rev !out
+
+let is_identical ~before ~after = Bytes.equal before after
+
+(* Apply a diff to a copy of [base]; used by tests to validate round trips. *)
+let apply base rs =
+  let out = Bytes.copy base in
+  List.iter (fun r -> Bytes.blit r.after 0 out r.offset (Bytes.length r.after)) rs;
+  out
+
+let total_bytes rs = List.fold_left (fun acc r -> acc + Bytes.length r.after) 0 rs

@@ -1,0 +1,75 @@
+(* Primitive events and hook functions (section 2.4).
+
+   "Programmers have controlled access to a number of entry points in the
+   system via the notion of primitive events and hook functions. BeSS
+   traps primitive events as they occur and causes the associated hooks to
+   be executed." Hooks must be registered before persistent data is
+   touched; several hooks may be attached to one event and run in
+   registration order.
+
+   The payload carries enough context for the documented uses: counting
+   commits, fixing hidden pointers after a segment fault (Ode), reacting
+   to replacements and deadlocks, observing protection violations. The
+   compression hooks for large objects are separate, data-transforming
+   hooks (see {!Bess_largeobj.Lob.set_codec}); these here are observers
+   that may also mutate freshly faulted data. *)
+
+type t =
+  | Db_open of { db : int }
+  | Db_close of { db : int }
+  | Slotted_fault of { seg : int }
+  | Data_fault of { seg : int }
+  | Write_fault of { seg : int; addr : int }
+  | Segment_replacement of { area : int; page : int }
+  | Lock_acquired of { txn : int; resource : string }
+  | Txn_begin of { txn : int }
+  | Txn_commit of { txn : int }
+  | Txn_abort of { txn : int }
+  | Deadlock of { txn : int }
+  | Protection_violation of { addr : int; write : bool }
+
+let kind = function
+  | Db_open _ -> "db_open"
+  | Db_close _ -> "db_close"
+  | Slotted_fault _ -> "slotted_fault"
+  | Data_fault _ -> "data_fault"
+  | Write_fault _ -> "write_fault"
+  | Segment_replacement _ -> "segment_replacement"
+  | Lock_acquired _ -> "lock_acquired"
+  | Txn_begin _ -> "txn_begin"
+  | Txn_commit _ -> "txn_commit"
+  | Txn_abort _ -> "txn_abort"
+  | Deadlock _ -> "deadlock"
+  | Protection_violation _ -> "protection_violation"
+
+let pp ppf e = Fmt.string ppf (kind e)
+
+type hooks = {
+  table : (string, (t -> unit) list ref) Hashtbl.t;
+  stats : Bess_util.Stats.t;
+}
+
+let hooks_create () = { table = Hashtbl.create 16; stats = Bess_util.Stats.create () }
+
+(* Register [f] for events whose {!kind} equals [event]. *)
+let register h ~event f =
+  let l =
+    match Hashtbl.find_opt h.table event with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add h.table event l;
+        l
+  in
+  l := !l @ [ f ]
+
+let clear h ~event = Hashtbl.remove h.table event
+
+(* Fire an event: run every hook registered for its kind, in order. *)
+let fire h e =
+  Bess_util.Stats.incr h.stats ("event." ^ kind e);
+  match Hashtbl.find_opt h.table (kind e) with
+  | None -> ()
+  | Some l -> List.iter (fun f -> f e) !l
+
+let stats h = h.stats

@@ -1,0 +1,93 @@
+(* The session's view of "the rest of the system".
+
+   A session (client application context) obtains segments, locks, commits
+   and allocations through this record. The paper's point that "the
+   interface provided by the node server is the same in both modes, it is
+   just the process boundaries that differ" is realised here: the same
+   session engine runs over
+
+   - {!direct}: plain function calls into a co-located {!Server} (an
+     application running on the same machine as a BeSS server, node 2 of
+     Figure 2), and
+   - a transport-backed implementation ({!Remote.fetcher}) where every
+     operation crosses the simulated network (node 1/3 of Figure 2).
+
+   Operations that cannot be granted raise {!Would_block} or {!Deadlock};
+   the caller (benchmark harness or application) aborts/retries. *)
+
+module Page_id = Bess_cache.Page_id
+module Lock_mgr = Bess_lock.Lock_mgr
+module Lock_mode = Bess_lock.Lock_mode
+
+exception Would_block
+exception Deadlock_abort
+
+type t = {
+  client_id : int;
+  f_begin : unit -> int;
+  f_lock : txn:int -> Lock_mgr.resource -> Lock_mode.t -> unit; (* raises *)
+  f_fetch_segment : txn:int -> Bess_storage.Seg_addr.t -> mode:Lock_mode.t -> Bytes.t list;
+  f_fetch_page : txn:int -> Page_id.t -> mode:Lock_mode.t -> Bytes.t;
+  f_commit : txn:int -> Server.update list -> unit; (* raises on rejection *)
+  f_abort : txn:int -> unit;
+  f_prepare : txn:int -> coordinator:int -> Server.update list -> [ `Vote_yes | `Vote_no ];
+  f_decide : txn:int -> [ `Commit | `Abort ] -> unit;
+  f_alloc_segment : area:int -> npages:int -> Bess_storage.Seg_addr.t;
+  f_free_segment : Bess_storage.Seg_addr.t -> unit;
+  f_register_sink : (Lock_mgr.resource -> Lock_mode.t -> Server.callback_reply) -> unit;
+}
+
+let verdict_or_raise = function
+  | `Granted -> ()
+  | `Blocked -> raise Would_block
+  | `Deadlock -> raise Deadlock_abort
+
+(* Direct, same-machine embedding. *)
+let direct ~client_id (server : Server.t) : t =
+  {
+    client_id;
+    f_begin = (fun () -> Server.begin_txn server ~client:client_id);
+    f_lock = (fun ~txn r mode -> verdict_or_raise (Server.lock server ~txn r mode));
+    f_fetch_segment =
+      (fun ~txn seg ~mode ->
+        match Server.fetch_segment server ~txn seg ~mode with
+        | `Pages pages -> pages
+        | `Blocked -> raise Would_block
+        | `Deadlock -> raise Deadlock_abort);
+    f_fetch_page =
+      (fun ~txn page ~mode ->
+        verdict_or_raise
+          (Server.lock server ~txn (Lock_mgr.page_resource ~area:page.area ~page:page.page) mode);
+        Server.read_page server page);
+    f_commit =
+      (fun ~txn updates ->
+        match Server.commit_client server ~txn ~updates with
+        | `Committed -> ()
+        | `Lock_violation -> failwith "commit rejected: lock violation");
+    f_abort = (fun ~txn -> Server.abort_client server ~txn);
+    f_prepare = (fun ~txn ~coordinator updates -> Server.prepare server ~txn ~coordinator ~updates);
+    f_decide =
+      (fun ~txn decision ->
+        match decision with
+        | `Commit -> Server.commit_prepared server ~txn
+        | `Abort -> Server.abort_prepared server ~txn);
+    f_alloc_segment =
+      (fun ~area ~npages ->
+        let areas = Store.areas (Server.store server) in
+        match Bess_storage.Area_set.alloc_in areas ~area_id:area ~npages with
+        | Some addr ->
+            (* Zero the pages: clients fabricate fresh segments locally
+               assuming all-zero authoritative content, so recycled pages
+               must not leak a previous tenant's bytes. *)
+            let a = Bess_storage.Area_set.find areas area in
+            let zeros = Bytes.make (Bess_storage.Area.page_size a) '\000' in
+            for i = 0 to npages - 1 do
+              Bess_storage.Area.write_page a (addr.first_page + i) zeros
+            done;
+            addr
+        | None -> failwith "Fetcher: storage area out of space");
+    f_free_segment =
+      (fun addr -> Bess_storage.Area_set.free (Store.areas (Server.store server)) addr);
+    f_register_sink =
+      (fun sink -> Server.connect_client server ~client:client_id ~sink:(fun r m -> sink r m));
+  }

@@ -1,0 +1,56 @@
+(* Object identifiers (section 2.1).
+
+   "The object identifier (OID) is a 96-bit number that uniquely
+   identifies an object in a BeSS system. It contains the host machine
+   number, the database number, the offset of the object's header within
+   the database, and a number to approximate unique oids."
+
+   The header offset is the *slot address*: slotted segments (and their
+   slots) are never relocated, so (segment id, slot index) is a stable
+   persistent name. The uniquifier is bumped every time a slot is reused,
+   so a stale OID to a deleted object is detected rather than resolving to
+   the slot's new tenant. *)
+
+type t = {
+  host : int; (* 16 bits *)
+  db : int; (* 16 bits *)
+  seg : int; (* 24 bits: slotted segment id within the database *)
+  slot : int; (* 16 bits: slot index within the segment *)
+  uniq : int; (* 24 bits: slot reuse uniquifier *)
+}
+
+let make ~host ~db ~seg ~slot ~uniq = { host; db; seg; slot; uniq }
+
+let equal a b =
+  a.host = b.host && a.db = b.db && a.seg = b.seg && a.slot = b.slot && a.uniq = b.uniq
+
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let pp ppf t = Fmt.pf ppf "%d.%d.%d.%d#%d" t.host t.db t.seg t.slot t.uniq
+
+let encoded_size = 12 (* exactly the paper's 96 bits *)
+
+let encode b off t =
+  Bess_util.Codec.set_u16 b off t.host;
+  Bess_util.Codec.set_u16 b (off + 2) t.db;
+  Bess_util.Codec.set_u32 b (off + 4) ((t.seg lsl 8) lor (t.uniq lsr 16));
+  Bess_util.Codec.set_u16 b (off + 8) (t.uniq land 0xffff);
+  Bess_util.Codec.set_u16 b (off + 10) t.slot
+
+let decode b off =
+  let host = Bess_util.Codec.get_u16 b off in
+  let db = Bess_util.Codec.get_u16 b (off + 2) in
+  let packed = Bess_util.Codec.get_u32 b (off + 4) in
+  let seg = packed lsr 8 in
+  let uniq_hi = packed land 0xff in
+  let uniq_lo = Bess_util.Codec.get_u16 b (off + 8) in
+  let slot = Bess_util.Codec.get_u16 b (off + 10) in
+  { host; db; seg; slot; uniq = (uniq_hi lsl 16) lor uniq_lo }
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,29 @@
+(** Object identifiers (section 2.1).
+
+    A 96-bit number uniquely identifying an object in a BeSS system: host
+    machine, database, the object's header location (segment id and slot
+    index — slotted segments never move, so this is stable), and a
+    uniquifier bumped on every slot reuse so stale OIDs are detected
+    rather than resolving to a slot's new tenant. *)
+
+type t = {
+  host : int;  (** host machine number (16 bits) *)
+  db : int;  (** database number (16 bits) *)
+  seg : int;  (** slotted segment id within the database (24 bits) *)
+  slot : int;  (** slot index within the segment (16 bits) *)
+  uniq : int;  (** slot-reuse uniquifier (24 bits) *)
+}
+
+val make : host:int -> db:int -> seg:int -> slot:int -> uniq:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** 12 bytes — exactly the paper's 96 bits. *)
+val encoded_size : int
+
+val encode : Bytes.t -> int -> t -> unit
+val decode : Bytes.t -> int -> t
+
+module Tbl : Hashtbl.S with type key = t

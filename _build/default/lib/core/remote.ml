@@ -1,0 +1,204 @@
+(* Remote clients: applications on a node with neither a BeSS server nor a
+   node server (node 1 of Figure 2). Every operation crosses the
+   simulated network; per section 3, such clients cache data and locks
+   only for the duration of a transaction -- at commit/abort the session
+   should be discarded or its caches dropped.
+
+   The wire protocol mirrors {!Fetcher.t} one message kind per operation.
+   Payload costs are estimated from the page/update bytes carried so the
+   transport accounting reflects real traffic. *)
+
+module Page_id = Bess_cache.Page_id
+module Lock_mgr = Bess_lock.Lock_mgr
+module Lock_mode = Bess_lock.Lock_mode
+module Net = Bess_net.Net
+
+type req =
+  | Begin
+  | Lock of { txn : int; r : Lock_mgr.resource; mode : Lock_mode.t }
+  | Fetch_segment of { txn : int; seg : Bess_storage.Seg_addr.t; mode : Lock_mode.t }
+  | Fetch_page of { txn : int; page : Page_id.t; mode : Lock_mode.t }
+  | Commit of { txn : int; updates : Server.update list }
+  | Abort of { txn : int }
+  | Prepare of { txn : int; coordinator : int; updates : Server.update list }
+  | Decide of { txn : int; commit : bool }
+  | Alloc of { area : int; npages : int }
+  | Free of { seg : Bess_storage.Seg_addr.t }
+  | Callback of { r : Lock_mgr.resource; mode : Lock_mode.t } (* server -> client *)
+
+type resp =
+  | R_txn of int
+  | R_verdict of [ `Granted | `Blocked | `Deadlock ]
+  | R_pages of Bytes.t list
+  | R_page of Bytes.t
+  | R_ok
+  | R_vote of bool
+  | R_seg of Bess_storage.Seg_addr.t
+  | R_callback of Server.callback_reply
+  | R_error of string
+
+let update_bytes (us : Server.update list) =
+  List.fold_left (fun acc (u : Server.update) -> acc + (2 * Bytes.length u.after) + 16) 0 us
+
+let req_cost = function
+  | Begin -> 16
+  | Lock _ -> 32
+  | Fetch_segment _ -> 32
+  | Fetch_page _ -> 24
+  | Commit { updates; _ } -> 16 + update_bytes updates
+  | Abort _ -> 16
+  | Prepare { updates; _ } -> 24 + update_bytes updates
+  | Decide _ -> 16
+  | Alloc _ -> 16
+  | Free _ -> 24
+  | Callback _ -> 32
+
+let resp_cost = function
+  | R_txn _ | R_verdict _ | R_ok | R_vote _ | R_callback _ -> 16
+  | R_pages pages -> List.fold_left (fun acc p -> acc + Bytes.length p) 16 pages
+  | R_page p -> 16 + Bytes.length p
+  | R_seg _ -> 24
+  | R_error s -> 16 + String.length s
+
+type network = (req, resp) Net.t
+
+let network ?per_message_ns ?per_byte_ns () =
+  Net.create ?per_message_ns ?per_byte_ns ~req_cost ~resp_cost ()
+
+(* Expose a server on the network. Callback sinks reach clients by their
+   endpoint id through the same transport. *)
+let serve (net : network) (server : Server.t) =
+  Net.register net ~id:(Server.id server) (fun ~src req ->
+      match req with
+      | Begin -> R_txn (Server.begin_txn server ~client:src)
+      | Lock { txn; r; mode } -> R_verdict (Server.lock server ~txn r mode)
+      | Fetch_segment { txn; seg; mode } -> (
+          match Server.fetch_segment server ~txn seg ~mode with
+          | `Pages pages -> R_pages pages
+          | `Blocked -> R_verdict `Blocked
+          | `Deadlock -> R_verdict `Deadlock)
+      | Fetch_page { txn; page; mode } -> (
+          match
+            Server.lock server ~txn (Lock_mgr.page_resource ~area:page.area ~page:page.page) mode
+          with
+          | `Granted -> R_page (Server.read_page server page)
+          | `Blocked -> R_verdict `Blocked
+          | `Deadlock -> R_verdict `Deadlock)
+      | Commit { txn; updates } -> (
+          match Server.commit_client server ~txn ~updates with
+          | `Committed -> R_ok
+          | `Lock_violation -> R_error "lock violation")
+      | Abort { txn } ->
+          Server.abort_client server ~txn;
+          R_ok
+      | Prepare { txn; coordinator; updates } -> (
+          match Server.prepare server ~txn ~coordinator ~updates with
+          | `Vote_yes -> R_vote true
+          | `Vote_no -> R_vote false)
+      | Decide { txn; commit } ->
+          if commit then Server.commit_prepared server ~txn
+          else Server.abort_prepared server ~txn;
+          R_ok
+      | Alloc { area; npages } -> (
+          let areas = Store.areas (Server.store server) in
+          match Bess_storage.Area_set.alloc_in areas ~area_id:area ~npages with
+          | Some addr ->
+              let a = Bess_storage.Area_set.find areas area in
+              let zeros = Bytes.make (Bess_storage.Area.page_size a) '\000' in
+              for i = 0 to npages - 1 do
+                Bess_storage.Area.write_page a (addr.first_page + i) zeros
+              done;
+              R_seg addr
+          | None -> R_error "out of space")
+      | Free { seg } ->
+          Bess_storage.Area_set.free (Store.areas (Server.store server)) seg;
+          R_ok
+      | Callback _ -> R_error "servers do not accept callbacks")
+
+exception Remote_error of string
+
+let fetcher (net : network) ~client_id ~server_id : Fetcher.t =
+  let call req = Net.call net ~src:client_id ~dst:server_id req in
+  let verdict = function
+    | R_verdict `Granted -> ()
+    | R_verdict `Blocked -> raise Fetcher.Would_block
+    | R_verdict `Deadlock -> raise Fetcher.Deadlock_abort
+    | R_error e -> raise (Remote_error e)
+    | _ -> raise (Remote_error "protocol mismatch")
+  in
+  {
+    client_id;
+    f_begin =
+      (fun () ->
+        match call Begin with
+        | R_txn t -> t
+        | _ -> raise (Remote_error "protocol mismatch"));
+    f_lock = (fun ~txn r mode -> verdict (call (Lock { txn; r; mode })));
+    f_fetch_segment =
+      (fun ~txn seg ~mode ->
+        match call (Fetch_segment { txn; seg; mode }) with
+        | R_pages pages -> pages
+        | R_verdict `Blocked -> raise Fetcher.Would_block
+        | R_verdict `Deadlock -> raise Fetcher.Deadlock_abort
+        | _ -> raise (Remote_error "protocol mismatch"));
+    f_fetch_page =
+      (fun ~txn page ~mode ->
+        match call (Fetch_page { txn; page; mode }) with
+        | R_page p -> p
+        | R_verdict `Blocked -> raise Fetcher.Would_block
+        | R_verdict `Deadlock -> raise Fetcher.Deadlock_abort
+        | _ -> raise (Remote_error "protocol mismatch"));
+    f_commit =
+      (fun ~txn updates ->
+        match call (Commit { txn; updates }) with
+        | R_ok -> ()
+        | R_error e -> raise (Remote_error e)
+        | _ -> raise (Remote_error "protocol mismatch"));
+    f_abort = (fun ~txn -> ignore (call (Abort { txn })));
+    f_prepare =
+      (fun ~txn ~coordinator updates ->
+        match call (Prepare { txn; coordinator; updates }) with
+        | R_vote true -> `Vote_yes
+        | R_vote false -> `Vote_no
+        | _ -> raise (Remote_error "protocol mismatch"));
+    f_decide =
+      (fun ~txn decision -> ignore (call (Decide { txn; commit = decision = `Commit })));
+    f_alloc_segment =
+      (fun ~area ~npages ->
+        match call (Alloc { area; npages }) with
+        | R_seg s -> s
+        | R_error e -> raise (Remote_error e)
+        | _ -> raise (Remote_error "protocol mismatch"));
+    f_free_segment = (fun seg -> ignore (call (Free { seg })));
+    f_register_sink =
+      (fun sink ->
+        (* The client listens for server-initiated callbacks on its own
+           endpoint. *)
+        Net.register net ~id:client_id (fun ~src:_ req ->
+            match req with
+            | Callback { r; mode } -> R_callback (sink r mode)
+            | _ -> R_error "clients only accept callbacks"));
+  }
+
+(* Attach a further database to an existing remote session: operations on
+   it cross the wire to its own server (distributed transactions commit
+   with 2PC, coordinated by the session's first server). *)
+let attach (net : network) ~client_id session (db : Db.t) =
+  let fetcher = fetcher net ~client_id ~server_id:(Db.db_id db) in
+  Server.connect_client (Db.server db) ~client:client_id ~sink:(fun r mode ->
+      match Net.call net ~src:(Db.db_id db) ~dst:client_id (Callback { r; mode }) with
+      | R_callback reply -> reply
+      | _ -> `Refused);
+  Session.attach_db session ~area_ids:(Db.area_ids db) ~db_id:(Db.db_id db)
+    ~catalog:(Db.catalog db) ~fetcher ~default_area:(Db.default_area db) ()
+
+(* A session over the network: an application on a bare node. *)
+let session ?pool_slots ?(page_size = 4096) (net : network) ~client_id (db : Db.t) =
+  let fetcher = fetcher net ~client_id ~server_id:(Db.db_id db) in
+  (* The server-side callback sink routes through the network too. *)
+  Server.connect_client (Db.server db) ~client:client_id ~sink:(fun r mode ->
+      match Net.call net ~src:(Db.db_id db) ~dst:client_id (Callback { r; mode }) with
+      | R_callback reply -> reply
+      | _ -> `Refused);
+  Session.create ?pool_slots ~page_size ~area_ids:(Db.area_ids db) ~db_id:(Db.db_id db)
+    ~catalog:(Db.catalog db) ~fetcher ~default_area:(Db.default_area db) ()

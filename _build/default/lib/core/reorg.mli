@@ -1,0 +1,27 @@
+(** On-the-fly database reorganisation (section 2.1).
+
+    "Databases can be re-organized on the fly without affecting object
+    references": references point at slots, slots point at data through
+    DP, and the data segment's disk address lives only in the slotted
+    header — so moving, compacting or resizing the data never touches a
+    reference. Every operation runs as its own WAL-protected transaction;
+    the number of references fixed is zero by construction (experiment
+    E6 measures this against a physical-OID baseline). *)
+
+(** Move the data segment of [seg] to another storage area, same size.
+    References, DPs and VM mappings are untouched; the old disk segment
+    is freed after commit. *)
+val relocate_data_segment : Session.t -> Session.seg_rt -> to_area:int -> unit
+
+(** Slide live objects together over deletion holes. Only DPs change.
+    Returns the bytes reclaimed. *)
+val compact_data_segment : Session.t -> Session.seg_rt -> int
+
+(** Move the data to a disk segment of [new_pages] pages (grow, or shrink
+    when contents fit); DPs are rebased by the same two arithmetic
+    operations a slotted fault uses. *)
+val resize_data_segment : Session.t -> Session.seg_rt -> new_pages:int -> unit
+
+(** Relocate every segment of a file to [to_area] and rebind the file
+    there for future growth. *)
+val move_file : Session.t -> Bess_file.t -> to_area:int -> unit

@@ -1,0 +1,370 @@
+(* The BeSS server (section 3).
+
+   "Each BeSS server manages a number of storage areas and it provides
+   distributed transaction management, concurrency control and recovery
+   for the databases stored in these areas." Strict 2PL, ARIES-like WAL
+   (via {!Store}), callback locking for client cache consistency, and a
+   prepared state for two-phase commit.
+
+   Two update paths exist, mirroring the two kinds of BeSS applications:
+
+   - Client-cached transactions ({!commit_client}): clients run against
+     their own cached segment copies; at commit they ship physical
+     before/after images, which the server logs and applies atomically.
+     Locks are acquired during the transaction via {!lock}; data and locks
+     stay cached at the client between transactions, kept consistent by
+     callbacks.
+
+   - In-place transactions ({!update_inplace}): trusted code linked into
+     the server (the open-server model of section 2.4/5) updates server
+     cache pages directly with immediate logging; rollback uses the ARIES
+     undo machinery with CLRs.
+
+   Callback sinks: when a lock request conflicts with another client's
+   *cached* (inter-transaction) copy, the server calls that client back.
+   The sink is how the transport layer delivers the callback -- a direct
+   closure for same-machine clients, an RPC for remote ones. *)
+
+module Page_id = Bess_cache.Page_id
+module Lock_mgr = Bess_lock.Lock_mgr
+module Lock_mode = Bess_lock.Lock_mode
+module Callback = Bess_lock.Callback
+
+type update = { page : Page_id.t; offset : int; before : Bytes.t; after : Bytes.t }
+
+type txn_status = Active | Prepared | Ended
+
+type txn_state = {
+  txn_id : int;
+  client : int;
+  mutable last_lsn : int;
+  mutable status : txn_status;
+}
+
+type callback_reply = [ `Dropped | `Refused ]
+
+type t = {
+  id : int;
+  store : Store.t;
+  mutable locks : Lock_mgr.t;
+  mutable cb : Callback.t;
+  txns : (int, txn_state) Hashtbl.t;
+  sinks : (int, Lock_mgr.resource -> Lock_mode.t -> callback_reply) Hashtbl.t;
+  hooks : Event.hooks;
+  mutable next_txn : int;
+  mutable detect : [ `Graph | `Timeout ];
+  stats : Bess_util.Stats.t;
+}
+
+let create ?log_path ?log ?(cache_slots = 1024) ?(detect = `Graph) ~id areas =
+  {
+    id;
+    store = Store.create ?log_path ?log ~cache_slots areas;
+    locks = Lock_mgr.create ();
+    cb = Callback.create ();
+    txns = Hashtbl.create 64;
+    sinks = Hashtbl.create 8;
+    hooks = Event.hooks_create ();
+    next_txn = 1;
+    detect;
+    stats = Bess_util.Stats.create ();
+  }
+
+let store t = t.store
+let locks t = t.locks
+let hooks t = t.hooks
+let stats t = t.stats
+let callback_registry t = t.cb
+let id t = t.id
+let set_detection t d = t.detect <- d
+
+(* ---- Clients ---- *)
+
+let connect_client t ~client ~sink = Hashtbl.replace t.sinks client sink
+
+let disconnect_client t ~client =
+  Hashtbl.remove t.sinks client;
+  Callback.forget_client t.cb ~client
+
+(* ---- Transactions ---- *)
+
+let begin_txn t ~client =
+  let txn_id = t.next_txn in
+  t.next_txn <- txn_id + 1;
+  Hashtbl.replace t.txns txn_id { txn_id; client; last_lsn = 0; status = Active };
+  Event.fire t.hooks (Txn_begin { txn = txn_id });
+  txn_id
+
+let txn t txn_id =
+  match Hashtbl.find_opt t.txns txn_id with
+  | Some ts -> ts
+  | None -> invalid_arg (Printf.sprintf "Server: unknown transaction %d" txn_id)
+
+(* ---- Locking with callbacks ---- *)
+
+(* Ask the other clients caching [r] in a conflicting mode to give it up.
+   A client refuses while one of its active transactions holds the lock;
+   the requester then blocks and retries. *)
+let run_callbacks t ~requester r mode =
+  match Callback.request t.cb ~client:requester r mode with
+  | `Granted -> `Ok
+  | `Callback_needed others ->
+      let all_dropped =
+        List.for_all
+          (fun other ->
+            match Hashtbl.find_opt t.sinks other with
+            | None ->
+                (* Disconnected client: its cache is gone. *)
+                Callback.dropped t.cb ~client:other r;
+                true
+            | Some sink -> (
+                Bess_util.Stats.incr t.stats "server.callbacks_sent";
+                match sink r mode with
+                | `Dropped ->
+                    Callback.dropped t.cb ~client:other r;
+                    true
+                | `Refused ->
+                    Bess_util.Stats.incr t.stats "server.callbacks_refused";
+                    false))
+          others
+      in
+      if all_dropped then (
+        match Callback.request t.cb ~client:requester r mode with
+        | `Granted -> `Ok
+        | `Callback_needed _ -> `Blocked)
+      else `Blocked
+
+let lock t ~txn:txn_id r mode =
+  let ts = txn t txn_id in
+  if ts.status <> Active then invalid_arg "Server.lock: transaction not active";
+  match run_callbacks t ~requester:ts.client r mode with
+  | `Blocked -> `Blocked
+  | `Ok -> (
+      match Lock_mgr.acquire ~detect:t.detect t.locks ~txn:txn_id r mode with
+      | `Granted ->
+          Event.fire t.hooks
+            (Lock_acquired { txn = txn_id; resource = Fmt.str "%a" Lock_mgr.pp_resource r });
+          `Granted
+      | `Blocked -> `Blocked
+      | `Deadlock ->
+          Event.fire t.hooks (Deadlock { txn = txn_id });
+          `Deadlock)
+
+(* ---- Page service ---- *)
+
+let read_page t page = Store.read_page t.store page
+
+(* Fetch a whole disk segment, S-locking each page for the transaction.
+   Fails with [`Blocked]/[`Deadlock] if any page lock cannot be granted. *)
+let fetch_segment t ~txn:txn_id (seg : Bess_storage.Seg_addr.t) ~mode =
+  let rec lock_pages i =
+    if i >= seg.npages then `Ok
+    else
+      let r = Lock_mgr.page_resource ~area:seg.area ~page:(seg.first_page + i) in
+      match lock t ~txn:txn_id r mode with
+      | `Granted -> lock_pages (i + 1)
+      | (`Blocked | `Deadlock) as v -> v
+  in
+  match lock_pages 0 with
+  | `Ok ->
+      Bess_util.Stats.incr t.stats "server.segment_fetches";
+      `Pages (Store.read_segment t.store seg)
+  | (`Blocked | `Deadlock) as v -> v
+
+(* ---- Client-cached commit path ---- *)
+
+let release_locks_keep_cached t ts =
+  (* Strict 2PL release; the client keeps its cached copies, so the
+     callback registry retains them (X downgrades to S: the client's copy
+     stays valid for reading until called back). *)
+  List.iter
+    (fun r ->
+      match Callback.cached_mode t.cb ~client:ts.client r with
+      | Some m when not (Lock_mode.compatible m Lock_mode.S) ->
+          Callback.downgraded t.cb ~client:ts.client r Lock_mode.S
+      | _ -> ())
+    (Lock_mgr.held_resources t.locks ~txn:ts.txn_id);
+  ignore (Lock_mgr.release_all t.locks ~txn:ts.txn_id)
+
+let commit_client t ~txn:txn_id ~(updates : update list) =
+  let ts = txn t txn_id in
+  if ts.status <> Active then invalid_arg "Server.commit_client: transaction not active";
+  (* Verify the client actually holds X locks covering its updates --
+     the server is the trust boundary. *)
+  let covered =
+    List.for_all
+      (fun u ->
+        Lock_mgr.holds t.locks ~txn:txn_id
+          (Lock_mgr.page_resource ~area:u.page.area ~page:u.page.page)
+          Lock_mode.X)
+      updates
+  in
+  if not covered then `Lock_violation
+  else begin
+    List.iter
+      (fun u ->
+        ts.last_lsn <-
+          Store.apply_update t.store ~txn:txn_id ~prev_lsn:ts.last_lsn u.page ~offset:u.offset
+            ~before:u.before ~after:u.after)
+      updates;
+    ignore (Store.log_commit t.store ~txn:txn_id ~prev_lsn:ts.last_lsn);
+    ts.status <- Ended;
+    release_locks_keep_cached t ts;
+    Hashtbl.remove t.txns txn_id;
+    Event.fire t.hooks (Txn_commit { txn = txn_id });
+    Bess_util.Stats.incr t.stats "server.commits";
+    `Committed
+  end
+
+let abort_client t ~txn:txn_id =
+  let ts = txn t txn_id in
+  (* Nothing was applied server-side before commit, so abort only
+     releases locks. The client discards its dirty copies. *)
+  ts.status <- Ended;
+  release_locks_keep_cached t ts;
+  Hashtbl.remove t.txns txn_id;
+  Event.fire t.hooks (Txn_abort { txn = txn_id });
+  Bess_util.Stats.incr t.stats "server.aborts"
+
+(* ---- In-place (open server) path ---- *)
+
+let update_inplace t ~txn:txn_id page ~offset after =
+  let ts = txn t txn_id in
+  if ts.status <> Active then invalid_arg "Server.update_inplace: transaction not active";
+  let r = Lock_mgr.page_resource ~area:page.Page_id.area ~page:page.Page_id.page in
+  (match lock t ~txn:txn_id r Lock_mode.X with
+  | `Granted -> ()
+  | `Blocked -> failwith "Server.update_inplace: lock not available"
+  | `Deadlock -> failwith "Server.update_inplace: deadlock");
+  let current = Store.read_page t.store page in
+  let before = Bytes.sub current offset (Bytes.length after) in
+  ts.last_lsn <-
+    Store.apply_update t.store ~txn:txn_id ~prev_lsn:ts.last_lsn page ~offset ~before ~after
+
+let read_inplace t ~txn:txn_id page ~offset ~len =
+  let ts = txn t txn_id in
+  if ts.status <> Active then invalid_arg "Server.read_inplace: transaction not active";
+  let r = Lock_mgr.page_resource ~area:page.Page_id.area ~page:page.Page_id.page in
+  (match lock t ~txn:txn_id r Lock_mode.S with
+  | `Granted -> ()
+  | `Blocked | `Deadlock -> failwith "Server.read_inplace: lock not available");
+  let current = Store.read_page t.store page in
+  Bytes.sub current offset len
+
+let commit_inplace t ~txn:txn_id =
+  let ts = txn t txn_id in
+  ignore (Store.log_commit t.store ~txn:txn_id ~prev_lsn:ts.last_lsn);
+  ts.status <- Ended;
+  release_locks_keep_cached t ts;
+  Hashtbl.remove t.txns txn_id;
+  Event.fire t.hooks (Txn_commit { txn = txn_id });
+  Bess_util.Stats.incr t.stats "server.commits"
+
+let abort_inplace t ~txn:txn_id =
+  let ts = txn t txn_id in
+  ignore (Store.rollback t.store ~txn:txn_id ~last_lsn:ts.last_lsn);
+  ts.status <- Ended;
+  release_locks_keep_cached t ts;
+  Hashtbl.remove t.txns txn_id;
+  Event.fire t.hooks (Txn_abort { txn = txn_id });
+  Bess_util.Stats.incr t.stats "server.aborts"
+
+(* ---- Two-phase commit (participant side) ---- *)
+
+(* Phase 1: make the transaction durable-but-undecided. For client-cached
+   transactions the updates arrive with the prepare. *)
+let prepare t ~txn:txn_id ~coordinator ~(updates : update list) =
+  let ts = txn t txn_id in
+  if ts.status <> Active then invalid_arg "Server.prepare: transaction not active";
+  let covered =
+    List.for_all
+      (fun u ->
+        Lock_mgr.holds t.locks ~txn:txn_id
+          (Lock_mgr.page_resource ~area:u.page.area ~page:u.page.page)
+          Lock_mode.X)
+      updates
+  in
+  if not covered then `Vote_no
+  else begin
+    List.iter
+      (fun u ->
+        ts.last_lsn <-
+          Store.apply_update t.store ~txn:txn_id ~prev_lsn:ts.last_lsn u.page ~offset:u.offset
+            ~before:u.before ~after:u.after)
+      updates;
+    ts.last_lsn <- Store.log_prepare t.store ~txn:txn_id ~prev_lsn:ts.last_lsn ~coordinator;
+    ts.status <- Prepared;
+    Bess_util.Stats.incr t.stats "server.prepares";
+    `Vote_yes
+  end
+
+(* Phase 2 decisions. *)
+let commit_prepared t ~txn:txn_id =
+  let ts = txn t txn_id in
+  if ts.status <> Prepared then invalid_arg "Server.commit_prepared: not prepared";
+  ignore (Store.log_commit t.store ~txn:txn_id ~prev_lsn:ts.last_lsn);
+  ts.status <- Ended;
+  release_locks_keep_cached t ts;
+  Hashtbl.remove t.txns txn_id;
+  Bess_util.Stats.incr t.stats "server.commits"
+
+let abort_prepared t ~txn:txn_id =
+  let ts = txn t txn_id in
+  if ts.status <> Prepared then invalid_arg "Server.abort_prepared: not prepared";
+  ignore (Store.rollback t.store ~txn:txn_id ~last_lsn:ts.last_lsn);
+  ts.status <- Ended;
+  release_locks_keep_cached t ts;
+  Hashtbl.remove t.txns txn_id;
+  Bess_util.Stats.incr t.stats "server.aborts"
+
+(* Transactions re-created as in-doubt by recovery. *)
+let adopt_in_doubt t ~txn:txn_id ~last_lsn =
+  Hashtbl.replace t.txns txn_id { txn_id; client = -1; last_lsn; status = Prepared }
+
+(* Abort every active transaction of a client (used when a node server
+   reconnects after a crash and its old transactions are orphans). *)
+let abort_client_txns t ~client =
+  let orphans =
+    Hashtbl.fold
+      (fun id ts acc -> if ts.client = client && ts.status = Active then id :: acc else acc)
+      t.txns []
+  in
+  List.iter (fun id -> abort_client t ~txn:id) orphans;
+  List.length orphans
+
+(* ---- Maintenance ---- *)
+
+let checkpoint t =
+  let active =
+    Hashtbl.fold
+      (fun _ ts acc -> if ts.status = Active then (ts.txn_id, ts.last_lsn) :: acc else acc)
+      t.txns []
+  in
+  Store.checkpoint t.store ~active
+
+let crash t =
+  Store.crash t.store;
+  (* All client connections, cached-copy registrations and lock state are
+     volatile server state: gone. *)
+  Hashtbl.reset t.txns;
+  Hashtbl.reset t.sinks;
+  t.cb <- Callback.create ();
+  t.locks <- Lock_mgr.create ()
+
+let recover t =
+  let outcome = Store.recover t.store in
+  (* In-doubt transactions come back as prepared, positioned at their last
+     log record so a later coordinator abort can still roll them back. *)
+  let last = Hashtbl.create 8 in
+  Bess_wal.Log.iter (Store.log t.store) (fun lsn r ->
+      match Bess_wal.Log_record.txn_of r with
+      | Some tx -> Hashtbl.replace last tx lsn
+      | None -> ());
+  List.iter
+    (fun txn_id ->
+      let last_lsn = Option.value ~default:0 (Hashtbl.find_opt last txn_id) in
+      adopt_in_doubt t ~txn:txn_id ~last_lsn)
+    outcome.in_doubt;
+  outcome
+
+let shutdown t = Store.flush_all t.store

@@ -1,0 +1,1375 @@
+(* A session: one client application context over the simulated VM.
+
+   This is the heart of BeSS (sections 2.1-2.3): the three-wave fault
+   scheme, pointer swizzling, hardware write detection, and the corruption
+   guard, all driven by the {!Bess_vmem} fault handler.
+
+   Wave 1: resolving a reference reserves an access-protected address
+   range for the target's *slotted* segment -- no data, no backing.
+
+   Wave 2 (slotted-segment fault): touching that range fetches the slotted
+   segment, fixes every slot's DP with two arithmetic operations
+   (dp <- dp - last_base + new_base), write-protects the slot pages
+   (corruption guard), and reserves an address range for the *data*
+   segment.
+
+   Wave 3 (data-segment fault): touching the data range fetches data
+   pages and swizzles the references they contain (located through type
+   descriptors) into VM addresses of the target slots, reserving further
+   slotted ranges as needed -- which is wave 1 for the next generation.
+
+   Write detection: data pages map read-only; the first store faults, the
+   handler X-locks the page, captures an unswizzled before-image, and
+   grants write access. At commit the before/after images are diffed into
+   physical log records shipped to the server.
+
+   Corruption guard: slot pages stay write-protected; a user store into
+   them raises {!Corruption} at the faulting instruction. The runtime
+   itself updates slots through {!Bess_vmem.Vmem.with_unprotected}.
+
+   Replacement (section 4.2): the private pool is swept by the
+   frame-state clock; "protected" pages keep their frame but lose access,
+   and a subsequent touch re-grants it -- the memory-mapped analogue of
+   the reference bit. *)
+
+module Page_id = Bess_cache.Page_id
+module Vmem = Bess_vmem.Vmem
+module Cache = Bess_cache.Cache
+module State_clock = Bess_cache.State_clock
+module Lock_mgr = Bess_lock.Lock_mgr
+module Lock_mode = Bess_lock.Lock_mode
+module Seg_addr = Bess_storage.Seg_addr
+
+exception Corruption of { addr : int }
+exception Stale_oid of Oid.t
+exception Segment_full of { seg : int }
+
+type seg_rt = {
+  db_id : int;
+  seg_id : int;
+  slotted_disk : Seg_addr.t;
+  mutable slotted_base : int; (* VM base of the slotted range; set at creation *)
+  mutable slotted_present : bool;
+  mutable data_disk : Seg_addr.t; (* meaningful once the header has been read *)
+  mutable data_base : int; (* 0 until the data range is reserved *)
+  mutable capacity : int; (* max slots the slotted pages can hold *)
+  large_bases : (int, int) Hashtbl.t; (* slot -> VM base of its large-object range *)
+  large_disks : (int, Seg_addr.t) Hashtbl.t; (* slot -> large-object disk segment *)
+}
+
+type region = Slotted of seg_rt | Data of seg_rt | Large of seg_rt * int
+
+type write_entry = {
+  we_page : Page_id.t;
+  we_vm : int; (* VM address of the page start *)
+  we_region : region;
+  we_before : Bytes.t; (* unswizzled (canonical) image at first write *)
+}
+
+type swizzle_policy = Eager | On_deref
+
+type db_binding = {
+  b_catalog : Catalog.t;
+  b_fetcher : Fetcher.t;
+  b_default_area : int;
+  b_area_ids : int list; (* every storage area of this database *)
+  mutable b_txn : int option; (* transaction open at this db's server *)
+  mutable b_forward_seg : int option; (* segment holding forward objects *)
+}
+
+type t = {
+  vmem : Vmem.t;
+  pool : Cache.t;
+  mutable clock : State_clock.t;
+  slot_vm : int array; (* pool slot index -> VM page address currently backed *)
+  dbs : (int, db_binding) Hashtbl.t;
+  main_db : int;
+  segs : (int * int, seg_rt) Hashtbl.t;
+  regions : (int, region) Hashtbl.t; (* vmem page index -> region *)
+  mapped : int Page_id.Tbl.t; (* disk page -> VM page address *)
+  write_set : write_entry Page_id.Tbl.t;
+  forwards : (int * int, int) Hashtbl.t; (* (src db, Oid.hash-free key) -> forward slot addr *)
+  hooks : Event.hooks;
+  mutable policy : swizzle_policy;
+  mutable fetch_whole_segments : bool;
+  mutable in_txn : bool;
+  stats : Bess_util.Stats.t;
+}
+
+let page_size t = Vmem.page_size t.vmem
+let mem t = t.vmem
+let hooks t = t.hooks
+let stats t = t.stats
+let set_swizzle_policy t p = t.policy <- p
+let set_fetch_whole_segments t b = t.fetch_whole_segments <- b
+
+let binding t db_id =
+  match Hashtbl.find_opt t.dbs db_id with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Session: database %d not attached" db_id)
+
+let main_binding t = binding t t.main_db
+let main_db_id t = t.main_db
+let write_set_table t = t.write_set
+let pool t = t.pool
+let db_area_ids t db_id = (binding t db_id).b_area_ids
+
+(* ---- Region bookkeeping ---- *)
+
+let region_at t addr = Hashtbl.find_opt t.regions (addr / page_size t)
+
+let add_region t ~base ~npages region =
+  let first = base / page_size t in
+  for i = first to first + npages - 1 do
+    Hashtbl.replace t.regions i region
+  done
+
+(* Disk page behind a VM address, given its region. *)
+let page_id_of t region vm_page_addr =
+  let idx_from base = (vm_page_addr - base) / page_size t in
+  match region with
+  | Slotted seg ->
+      { Page_id.area = seg.slotted_disk.area;
+        page = seg.slotted_disk.first_page + idx_from seg.slotted_base }
+  | Data seg ->
+      { Page_id.area = seg.data_disk.area;
+        page = seg.data_disk.first_page + idx_from seg.data_base }
+  | Large (seg, slot) ->
+      let disk = Hashtbl.find seg.large_disks slot in
+      let base = Hashtbl.find seg.large_bases slot in
+      { Page_id.area = disk.area; page = disk.first_page + idx_from base }
+
+(* ---- Transactions (lazy per-database) ---- *)
+
+let txn_for t (b : db_binding) =
+  match b.b_txn with
+  | Some txn -> txn
+  | None ->
+      if not t.in_txn then invalid_arg "Session: no transaction in progress";
+      let txn = b.b_fetcher.f_begin () in
+      b.b_txn <- Some txn;
+      txn
+
+(* ---- Pool frame management ---- *)
+
+(* Install [bytes] as the backing of [vm_page_addr]. The pool slot is the
+   virtual frame of the replacement clock. [pin] keeps it unevictable
+   (slot pages; write-set pages pin at fault time). *)
+let map_frame t region page_id vm_page_addr bytes ~pin ~prot =
+  let slot =
+    Cache.load t.pool page_id ~fill:(fun buf -> Bytes.blit bytes 0 buf 0 (Bytes.length bytes))
+  in
+  Vmem.map t.vmem vm_page_addr slot.Cache.bytes;
+  Vmem.set_prot t.vmem vm_page_addr 1 prot;
+  t.slot_vm.(slot.Cache.index) <- vm_page_addr;
+  State_clock.map t.clock ~vframe:slot.Cache.index ~slot:slot.Cache.index;
+  Page_id.Tbl.replace t.mapped page_id vm_page_addr;
+  ignore region;
+  if not pin then Cache.unpin t.pool slot;
+  slot
+
+(* Drop the frame behind a VM page (replacement victim or callback). *)
+let unmap_vm_page t vm_page_addr =
+  match Vmem.frame_at t.vmem vm_page_addr with
+  | None -> ()
+  | Some _ ->
+      (match region_at t vm_page_addr with
+      | Some region ->
+          let page_id = page_id_of t region vm_page_addr in
+          Page_id.Tbl.remove t.mapped page_id;
+          Cache.discard t.pool page_id;
+          Event.fire t.hooks
+            (Segment_replacement { area = page_id.area; page = page_id.page })
+      | None -> ());
+      Vmem.unmap t.vmem vm_page_addr
+
+(* The replacement clock needs pool slots free when the pool fills. The
+   clock's [invalidate] callback unmaps the VM page; its [protect]
+   callback revokes access so a later touch signals recency. *)
+let install_clock t =
+  let protect vframe =
+    let vm = t.slot_vm.(vframe) in
+    if vm <> 0 && Vmem.is_reserved t.vmem vm then Vmem.set_prot t.vmem vm 1 Prot_none
+  in
+  let invalidate vframe =
+    let vm = t.slot_vm.(vframe) in
+    if vm <> 0 then begin
+      (* Clock-driven invalidation: detach the vmem mapping but keep pool
+         bookkeeping to the cache discard below. *)
+      (match Vmem.frame_at t.vmem vm with
+      | Some _ ->
+          (match region_at t vm with
+          | Some region ->
+              let page_id = page_id_of t region vm in
+              Page_id.Tbl.remove t.mapped page_id;
+              Event.fire t.hooks (Segment_replacement { area = page_id.area; page = page_id.page })
+          | None -> ());
+          Vmem.unmap t.vmem vm
+      | None -> ());
+      t.slot_vm.(vframe) <- 0
+    end
+  in
+  t.clock <-
+    State_clock.create ~n_vframes:(Cache.nslots t.pool) ~protect ~invalidate;
+  Cache.set_victim_chooser t.pool (fun () ->
+      match
+        State_clock.sweep_victim t.clock ~can_evict:(fun slot ->
+            (Cache.slot t.pool slot).Cache.pins = 0)
+      with
+      | Some (_vframe, slot) -> Some slot
+      | None -> None)
+
+(* Honour a server callback: give up the cached copy of [page_id].
+   Dropping a slot page invalidates the whole slotted-segment view (the
+   pins on slot pages are runtime pins, released here); the segment
+   refetches on next touch, DPs re-fixed against the retained data
+   range. *)
+let drop_cached_page t page_id =
+  match Page_id.Tbl.find_opt t.mapped page_id with
+  | None -> ()
+  | Some vm -> (
+      match region_at t vm with
+      | Some (Slotted seg) ->
+          for i = 0 to seg.slotted_disk.npages - 1 do
+            let pid =
+              { Page_id.area = seg.slotted_disk.area; page = seg.slotted_disk.first_page + i }
+            in
+            match Page_id.Tbl.find_opt t.mapped pid with
+            | Some vmi ->
+                (match Cache.find_slot t.pool pid with
+                | Some slot -> if slot.Cache.pins > 0 then slot.Cache.pins <- slot.Cache.pins - 1
+                | None -> ());
+                Page_id.Tbl.remove t.mapped pid;
+                Cache.discard t.pool pid;
+                Vmem.unmap t.vmem vmi
+            | None -> ()
+          done;
+          seg.slotted_present <- false
+      | Some (Data _ | Large _) | None -> unmap_vm_page t vm)
+
+(* ---- Segment runtime lookup ---- *)
+
+(* Wave 1: know a segment and reserve its slotted address range. *)
+let get_seg t ~db_id ~seg_id =
+  match Hashtbl.find_opt t.segs (db_id, seg_id) with
+  | Some seg -> seg
+  | None ->
+      let b = binding t db_id in
+      let slotted_disk = Catalog.find_segment b.b_catalog seg_id in
+      let slotted_base = Vmem.reserve t.vmem slotted_disk.npages in
+      let seg =
+        {
+          db_id;
+          seg_id;
+          slotted_disk;
+          slotted_base;
+          slotted_present = false;
+          data_disk = { area = 0; first_page = 0; npages = 0 };
+          data_base = 0;
+          capacity = Layout.slots_capacity ~pages:slotted_disk.npages ~page_size:(page_size t);
+          large_bases = Hashtbl.create 4;
+          large_disks = Hashtbl.create 4;
+        }
+      in
+      add_region t ~base:slotted_base ~npages:slotted_disk.npages (Slotted seg);
+      Hashtbl.replace t.segs (db_id, seg_id) seg;
+      Bess_util.Stats.incr t.stats "session.wave1_reservations";
+      seg
+
+let slot_addr seg idx = seg.slotted_base + Layout.slot_offset idx
+
+(* Reverse of swizzling: which (db, seg, slot) does a swizzled slot
+   address name? *)
+let unswizzle_addr t addr =
+  match region_at t addr with
+  | Some (Slotted seg) ->
+      let idx = (addr - seg.slotted_base - Layout.header_size) / Layout.slot_size in
+      (seg, idx)
+  | _ -> invalid_arg (Printf.sprintf "Session: 0x%x is not a slot address" addr)
+
+(* ---- Raw slot access on fetched-but-unmapped frames ----
+
+   During segment fetch we manipulate raw page images before mapping. *)
+
+let raw_read_u32 pages ~page_size ~off =
+  Bess_util.Codec.get_u32 (List.nth pages (off / page_size)) (off mod page_size)
+
+let raw_read_i64 pages ~page_size ~off =
+  (* i64 fields never straddle pages: slot size is 40 and the header is
+     64, so 8-byte fields are 4-aligned... they can straddle. Handle it. *)
+  let p = off / page_size and o = off mod page_size in
+  if o + 8 <= page_size then Bess_util.Codec.get_i64 (List.nth pages p) o
+  else begin
+    let b = Bytes.create 8 in
+    for i = 0 to 7 do
+      let off = off + i in
+      Bytes.set b i (Bytes.get (List.nth pages (off / page_size)) (off mod page_size))
+    done;
+    Bess_util.Codec.get_i64 b 0
+  end
+
+let raw_write_i64 pages ~page_size ~off v =
+  let p = off / page_size and o = off mod page_size in
+  if o + 8 <= page_size then Bess_util.Codec.set_i64 (List.nth pages p) o v
+  else begin
+    let b = Bytes.create 8 in
+    Bess_util.Codec.set_i64 b 0 v;
+    for i = 0 to 7 do
+      let off = off + i in
+      Bytes.set (List.nth pages (off / page_size)) (off mod page_size) (Bytes.get b i)
+    done
+  end
+
+(* ---- Wave 2: slotted-segment fault ---- *)
+
+let ensure_data_range t seg =
+  if seg.data_base = 0 && seg.data_disk.npages > 0 then begin
+    seg.data_base <- Vmem.reserve t.vmem seg.data_disk.npages;
+    add_region t ~base:seg.data_base ~npages:seg.data_disk.npages (Data seg);
+    Bess_util.Stats.incr t.stats "session.data_reservations"
+  end
+
+let slotted_fault t seg =
+  let b = binding t seg.db_id in
+  let txn = txn_for t b in
+  let pages = b.b_fetcher.f_fetch_segment ~txn seg.slotted_disk ~mode:Lock_mode.S in
+  let ps = page_size t in
+  (* Header fields we need. *)
+  let n_slots = raw_read_u32 pages ~page_size:ps ~off:Layout.hdr_n_slots in
+  let data_disk =
+    let hdr = List.hd pages in
+    Seg_addr.decode hdr Layout.hdr_data_disk
+  in
+  seg.data_disk <- data_disk;
+  ensure_data_range t seg;
+  (* DP fix-up: two arithmetic operations per slot, exactly as in the
+     paper. last_base is 0 in the canonical on-disk form. *)
+  let last_base = raw_read_i64 pages ~page_size:ps ~off:Layout.hdr_last_data_base in
+  let delta = seg.data_base - last_base in
+  for idx = 0 to n_slots - 1 do
+    let off = Layout.slot_offset idx in
+    let flags = raw_read_u32 pages ~page_size:ps ~off:(off + Layout.slot_flags) in
+    let transparent = flags land (Layout.flag_large lor Layout.flag_vlarge) <> 0 in
+    if flags land Layout.flag_used <> 0 && not transparent then begin
+      let dp = raw_read_i64 pages ~page_size:ps ~off:(off + Layout.slot_dp) in
+      raw_write_i64 pages ~page_size:ps ~off:(off + Layout.slot_dp) (dp + delta)
+    end
+  done;
+  raw_write_i64 pages ~page_size:ps ~off:Layout.hdr_last_data_base seg.data_base;
+  (* Map the slot pages write-protected and pinned: control structures
+     stay resident and unwritable by user code. *)
+  List.iteri
+    (fun i bytes ->
+      let page_id =
+        { Page_id.area = seg.slotted_disk.area; page = seg.slotted_disk.first_page + i }
+      in
+      ignore
+        (map_frame t (Slotted seg) page_id (seg.slotted_base + (i * ps)) bytes ~pin:true
+           ~prot:Prot_read))
+    pages;
+  seg.slotted_present <- true;
+  Bess_util.Stats.incr t.stats "session.slotted_faults";
+  Event.fire t.hooks (Slotted_fault { seg = seg.seg_id })
+
+let ensure_slotted t seg = if not seg.slotted_present then slotted_fault t seg
+
+(* ---- Wave 3: data-segment fault, with swizzling ---- *)
+
+(* Iterate the used small objects of [seg] whose bytes overlap data-page
+   [page_idx]; [f obj_off size ty] gets data-segment-relative extents. *)
+let iter_objects_on_page t seg page_idx f =
+  ensure_slotted t seg;
+  let ps = page_size t in
+  let lo = page_idx * ps and hi = (page_idx + 1) * ps in
+  let n_slots = Vmem.read_u32 t.vmem (seg.slotted_base + Layout.hdr_n_slots) in
+  for idx = 0 to n_slots - 1 do
+    let s = slot_addr seg idx in
+    let flags = Vmem.read_u32 t.vmem (s + Layout.slot_flags) in
+    let transparent = flags land (Layout.flag_large lor Layout.flag_vlarge) <> 0 in
+    if flags land Layout.flag_used <> 0 && not transparent then begin
+      let dp = Vmem.read_i64 t.vmem (s + Layout.slot_dp) in
+      let size = Vmem.read_u32 t.vmem (s + Layout.slot_objsize) in
+      let obj_off = dp - seg.data_base in
+      if obj_off < hi && obj_off + size > lo then
+        let ty_id = Vmem.read_u32 t.vmem (s + Layout.slot_type) in
+        f ~obj_off ~size ~ty_id
+    end
+  done
+
+(* Swizzle the references contained in one raw data page image (wave 3
+   proper): unswizzled values become VM slot addresses, reserving target
+   slotted ranges as needed (wave 1 for the referenced segments). *)
+let swizzle_page_raw t seg page_idx (bytes : Bytes.t) =
+  let ps = page_size t in
+  let lo = page_idx * ps in
+  let b = binding t seg.db_id in
+  let types = Catalog.types b.b_catalog in
+  iter_objects_on_page t seg page_idx (fun ~obj_off ~size:_ ~ty_id ->
+      let ty = Type_desc.find types ty_id in
+      Array.iter
+        (fun roff ->
+          let abs = obj_off + roff in
+          if abs >= lo && abs + 8 <= lo + ps then begin
+            let v = Bess_util.Codec.get_i64 bytes (abs - lo) in
+            match Layout.ref_decode v with
+            | Layout.Unswizzled { seg = tseg; slot } ->
+                let target = get_seg t ~db_id:seg.db_id ~seg_id:tseg in
+                let addr = slot_addr target slot in
+                Bess_util.Codec.set_i64 bytes (abs - lo) (Layout.ref_encode (Swizzled addr));
+                Bess_util.Stats.incr t.stats "session.swizzles"
+            | Layout.Null | Layout.Swizzled _ -> ()
+          end)
+        ty.ref_offsets)
+
+(* The inverse, for commit and before-images: produce the canonical
+   (unswizzled) image of a mapped page. *)
+let unswizzle_page_image t region vm_page_addr =
+  let ps = page_size t in
+  let frame =
+    match Vmem.frame_at t.vmem vm_page_addr with
+    | Some f -> f
+    | None -> invalid_arg "Session: page not mapped"
+  in
+  let img = Bytes.copy frame in
+  (match region with
+  | Large _ -> () (* raw bytes: nothing to canonicalise *)
+  | Data seg ->
+      let page_idx = (vm_page_addr - seg.data_base) / ps in
+      let lo = page_idx * ps in
+      let b = binding t seg.db_id in
+      let types = Catalog.types b.b_catalog in
+      iter_objects_on_page t seg page_idx (fun ~obj_off ~size:_ ~ty_id ->
+          let ty = Type_desc.find types ty_id in
+          Array.iter
+            (fun roff ->
+              let abs = obj_off + roff in
+              if abs >= lo && abs + 8 <= lo + ps then begin
+                let v = Bess_util.Codec.get_i64 img (abs - lo) in
+                match Layout.ref_decode v with
+                | Layout.Swizzled addr ->
+                    let tseg, slot = unswizzle_addr t addr in
+                    if tseg.db_id <> seg.db_id then
+                      failwith "Session: direct cross-database reference (must be forward)";
+                    Bess_util.Codec.set_i64 img (abs - lo)
+                      (Layout.ref_encode (Unswizzled { seg = tseg.seg_id; slot }))
+                | Layout.Null | Layout.Unswizzled _ -> ()
+              end)
+            ty.ref_offsets)
+  | Slotted seg ->
+      let page_idx = (vm_page_addr - seg.slotted_base) / ps in
+      let lo = page_idx * ps in
+      (* Canonicalise header (page 0): last_data_base = 0. *)
+      if page_idx = 0 then Bess_util.Codec.set_i64 img Layout.hdr_last_data_base 0;
+      (* Canonicalise slots overlapping this page: DP relative to the data
+         base, lock pointer zero. *)
+      let n_slots = Vmem.read_u32 t.vmem (seg.slotted_base + Layout.hdr_n_slots) in
+      for idx = 0 to n_slots - 1 do
+        let off = Layout.slot_offset idx in
+        let fix field width value =
+          let abs = off + field in
+          if abs >= lo && abs + width <= lo + ps then
+            if width = 8 then Bess_util.Codec.set_i64 img (abs - lo) value
+            else Bess_util.Codec.set_u32 img (abs - lo) value
+        in
+        let flags_addr = slot_addr seg idx + Layout.slot_flags in
+        let flags = Vmem.read_u32 t.vmem flags_addr in
+        let transparent = flags land (Layout.flag_large lor Layout.flag_vlarge) <> 0 in
+        if flags land Layout.flag_used <> 0 && not transparent then begin
+          let dp = Vmem.read_i64 t.vmem (slot_addr seg idx + Layout.slot_dp) in
+          fix Layout.slot_dp 8 (dp - seg.data_base)
+        end
+        else if flags land Layout.flag_used <> 0 then fix Layout.slot_dp 8 0;
+        fix Layout.slot_lock 8 0
+      done);
+  img
+
+(* Fetch one data page (or, under the whole-segment policy, every
+   still-unmapped page of the data segment). *)
+let data_fault t seg faulting_page_idx =
+  ensure_slotted t seg;
+  let b = binding t seg.db_id in
+  let txn = txn_for t b in
+  let ps = page_size t in
+  let fetch_one idx =
+    let page_id = { Page_id.area = seg.data_disk.area; page = seg.data_disk.first_page + idx } in
+    if not (Page_id.Tbl.mem t.mapped page_id) then begin
+      let bytes = b.b_fetcher.f_fetch_page ~txn page_id ~mode:Lock_mode.S in
+      if t.policy = Eager then swizzle_page_raw t seg idx bytes;
+      ignore (map_frame t (Data seg) page_id (seg.data_base + (idx * ps)) bytes ~pin:false ~prot:Prot_read)
+    end
+  in
+  if t.fetch_whole_segments then
+    for idx = 0 to seg.data_disk.npages - 1 do
+      fetch_one idx
+    done
+  else fetch_one faulting_page_idx;
+  Bess_util.Stats.incr t.stats "session.data_faults";
+  Event.fire t.hooks (Data_fault { seg = seg.seg_id })
+
+(* Large-object page fault: fetch from the object's own disk segment. *)
+let large_fault t seg slot page_idx =
+  let b = binding t seg.db_id in
+  let txn = txn_for t b in
+  let disk = Hashtbl.find seg.large_disks slot in
+  let base = Hashtbl.find seg.large_bases slot in
+  let page_id = { Page_id.area = disk.area; page = disk.first_page + page_idx } in
+  if not (Page_id.Tbl.mem t.mapped page_id) then begin
+    let bytes = b.b_fetcher.f_fetch_page ~txn page_id ~mode:Lock_mode.S in
+    ignore
+      (map_frame t (Large (seg, slot)) page_id
+         (base + (page_idx * page_size t))
+         bytes ~pin:false ~prot:Prot_read)
+  end;
+  Bess_util.Stats.incr t.stats "session.large_faults"
+
+(* ---- Write detection ---- *)
+
+let note_write t region vm_page_addr =
+  let page_id = page_id_of t region vm_page_addr in
+  if not (Page_id.Tbl.mem t.write_set page_id) then begin
+    let seg_db =
+      match region with Slotted s | Data s | Large (s, _) -> s.db_id
+    in
+    let b = binding t seg_db in
+    let txn = txn_for t b in
+    b.b_fetcher.f_lock ~txn
+      (Lock_mgr.page_resource ~area:page_id.area ~page:page_id.page)
+      Lock_mode.X;
+    let before = unswizzle_page_image t region vm_page_addr in
+    Page_id.Tbl.replace t.write_set page_id
+      { we_page = page_id; we_vm = vm_page_addr; we_region = region; we_before = before };
+    (* Dirty pages must not be evicted before commit. *)
+    (match Cache.find_slot t.pool page_id with
+    | Some slot -> slot.Cache.pins <- slot.Cache.pins + 1
+    | None -> ());
+    Bess_util.Stats.incr t.stats "session.write_faults"
+  end
+
+let write_fault t region vm_page_addr =
+  (match region with
+  | Slotted _ ->
+      (* User code stored through a stray pointer into control
+         structures: the guard of section 2.2. *)
+      Event.fire t.hooks (Protection_violation { addr = vm_page_addr; write = true });
+      Bess_util.Stats.incr t.stats "session.corruption_trapped";
+      raise (Corruption { addr = vm_page_addr })
+  | Data seg | Large (seg, _) ->
+      note_write t region vm_page_addr;
+      Vmem.set_prot t.vmem vm_page_addr 1 Prot_read_write;
+      Event.fire t.hooks (Write_fault { seg = seg.seg_id; addr = vm_page_addr }));
+  ()
+
+(* ---- The fault handler ---- *)
+
+let handle_fault t _vm ~addr ~access =
+  let ps = page_size t in
+  let vm_page = addr / ps * ps in
+  match region_at t addr with
+  | None ->
+      Event.fire t.hooks (Protection_violation { addr; write = access = Vmem.Write });
+      raise (Corruption { addr })
+  | Some region -> (
+      match Vmem.frame_at t.vmem vm_page with
+      | Some _ -> (
+          (* Frame present: either the clock revoked access (regrant), or
+             this is the first write to a read-only page. *)
+          match (Vmem.prot_at t.vmem vm_page, access) with
+          | Vmem.Prot_none, _ ->
+              (* Clock-protected: re-grant at the level the page had. *)
+              let page_id = page_id_of t region vm_page in
+              let level =
+                if Page_id.Tbl.mem t.write_set page_id then Vmem.Prot_read_write
+                else Vmem.Prot_read
+              in
+              Vmem.set_prot t.vmem vm_page 1 level;
+              (match Cache.find_slot t.pool page_id with
+              | Some slot -> State_clock.access t.clock ~vframe:slot.Cache.index
+              | None -> ());
+              if access = Vmem.Write && level = Vmem.Prot_read then
+                write_fault t region vm_page
+          | Vmem.Prot_read, Vmem.Write -> write_fault t region vm_page
+          | Vmem.Prot_read, Vmem.Read | Vmem.Prot_read_write, _ -> ())
+      | None -> (
+          (* Not fetched yet. *)
+          (match region with
+          | Slotted seg -> slotted_fault t seg
+          | Data seg -> data_fault t seg ((vm_page - seg.data_base) / ps)
+          | Large (seg, slot) ->
+              large_fault t seg slot ((vm_page - Hashtbl.find seg.large_bases slot) / ps));
+          if access = Vmem.Write then
+            match region with
+            | Slotted _ -> write_fault t region vm_page (* raises Corruption *)
+            | Data _ | Large _ -> write_fault t region vm_page))
+
+(* ---- Construction ---- *)
+
+let create ?(pool_slots = 512) ?(page_size = 4096) ?area_ids ~db_id ~catalog ~fetcher
+    ~default_area () =
+  let area_ids = Option.value ~default:[ default_area ] area_ids in
+  let vmem = Vmem.create ~page_size () in
+  let pool = Cache.create ~nslots:pool_slots ~page_size in
+  let t =
+    {
+      vmem;
+      pool;
+      clock = State_clock.create ~n_vframes:1 ~protect:ignore ~invalidate:ignore;
+      slot_vm = Array.make pool_slots 0;
+      dbs = Hashtbl.create 4;
+      main_db = db_id;
+      segs = Hashtbl.create 64;
+      regions = Hashtbl.create 1024;
+      mapped = Page_id.Tbl.create 1024;
+      write_set = Page_id.Tbl.create 64;
+      forwards = Hashtbl.create 16;
+      hooks = Event.hooks_create ();
+      policy = Eager;
+      fetch_whole_segments = true;
+      in_txn = false;
+      stats = Bess_util.Stats.create ();
+    }
+  in
+  install_clock t;
+  Hashtbl.replace t.dbs db_id
+    { b_catalog = catalog; b_fetcher = fetcher; b_default_area = default_area;
+      b_area_ids = area_ids; b_txn = None; b_forward_seg = None };
+  Vmem.set_fault_handler vmem (fun vm ~addr ~access -> handle_fault t vm ~addr ~access);
+  (* Callbacks from the server: drop the cached page unless an active
+     transaction is using it. *)
+  fetcher.f_register_sink (fun r _mode ->
+      match r with
+      | { space = 0; a = area; b = page } ->
+          let page_id = { Page_id.area; page } in
+          (* Conservative: while a transaction is open, assume the page
+             may be in use and refuse; the requester blocks and retries
+             (section 3's callback protocol). *)
+          if t.in_txn then `Refused
+          else begin
+            drop_cached_page t page_id;
+            Bess_util.Stats.incr t.stats "session.callbacks_dropped";
+            `Dropped
+          end
+      | _ -> `Dropped);
+  Event.fire t.hooks (Db_open { db = db_id });
+  t
+
+(* Attach a further database (inter-database references, section 2.1). *)
+let attach_db t ?area_ids ~db_id ~catalog ~fetcher ~default_area () =
+  if Hashtbl.mem t.dbs db_id then invalid_arg "Session.attach_db: already attached";
+  let area_ids = Option.value ~default:[ default_area ] area_ids in
+  Hashtbl.replace t.dbs db_id
+    { b_catalog = catalog; b_fetcher = fetcher; b_default_area = default_area;
+      b_area_ids = area_ids; b_txn = None; b_forward_seg = None };
+  fetcher.f_register_sink (fun r _mode ->
+      match r with
+      | { space = 0; a = area; b = page } ->
+          let page_id = { Page_id.area; page } in
+          if t.in_txn then `Refused
+          else begin
+            drop_cached_page t page_id;
+            Bess_util.Stats.incr t.stats "session.callbacks_dropped";
+            `Dropped
+          end
+      | _ -> `Dropped);
+  Event.fire t.hooks (Db_open { db = db_id })
+
+(* ---- Runtime (trusted) writes to control structures ---- *)
+
+(* Update a byte range of a slotted page on behalf of the runtime: X-lock
+   and before-image the page like any update, then write through a
+   temporary unprotect window (two counted mprotect calls, section 2.2). *)
+let runtime_write t seg ~addr ~width f =
+  let ps = page_size t in
+  ensure_slotted t seg;
+  let first = addr / ps * ps in
+  let last = (addr + width - 1) / ps * ps in
+  let vm = ref first in
+  while !vm <= last do
+    note_write t (Slotted seg) !vm;
+    vm := !vm + ps
+  done;
+  let npages = ((last - first) / ps) + 1 in
+  Vmem.with_unprotected t.vmem first npages f
+
+(* Session-local slot fix-up: not a database update, so no lock, no
+   write-set entry -- just a brief unprotect window. Used for state whose
+   canonical on-disk form is recomputed at load (large-object DPs). *)
+let local_slot_write_i64 t seg idx ~field v =
+  ensure_slotted t seg;
+  let addr = slot_addr seg idx + field in
+  let ps = page_size t in
+  let first = addr / ps * ps in
+  let npages = (((addr + 8 - 1) / ps * ps) - first) / ps + 1 in
+  Vmem.with_unprotected t.vmem first npages (fun () -> Vmem.write_i64 t.vmem addr v)
+
+let write_slot_u32 t seg idx ~field v =
+  let addr = slot_addr seg idx + field in
+  runtime_write t seg ~addr ~width:4 (fun () -> Vmem.write_u32 t.vmem addr v)
+
+let write_slot_i64 t seg idx ~field v =
+  let addr = slot_addr seg idx + field in
+  runtime_write t seg ~addr ~width:8 (fun () -> Vmem.write_i64 t.vmem addr v)
+
+let write_header_u32 t seg ~field v =
+  let addr = seg.slotted_base + field in
+  runtime_write t seg ~addr ~width:4 (fun () -> Vmem.write_u32 t.vmem addr v)
+
+let read_slot_u32 t seg idx ~field = Vmem.read_u32 t.vmem (slot_addr seg idx + field)
+let read_slot_i64 t seg idx ~field = Vmem.read_i64 t.vmem (slot_addr seg idx + field)
+let read_header_u32 t seg ~field = Vmem.read_u32 t.vmem (seg.slotted_base + field)
+
+(* ---- Transaction lifecycle ---- *)
+
+let begin_txn t =
+  if t.in_txn then invalid_arg "Session.begin_txn: transaction already open";
+  t.in_txn <- true;
+  (* The primary database's transaction starts eagerly; others start on
+     first touch. The primary's server coordinates a distributed commit
+     (the paper: "distributed transaction processing ... is performed by
+     the first BeSS server the application establishes a connection
+     with"). *)
+  ignore (txn_for t (main_binding t));
+  Bess_util.Stats.incr t.stats "session.txns"
+
+let updates_by_db t =
+  let per_db = Hashtbl.create 4 in
+  Page_id.Tbl.iter
+    (fun _ we ->
+      let db =
+        match we.we_region with Slotted s | Data s | Large (s, _) -> s.db_id
+      in
+      let after = unswizzle_page_image t we.we_region we.we_vm in
+      let ranges = Diff.ranges ~before:we.we_before ~after () in
+      let updates =
+        List.map
+          (fun (r : Diff.range) ->
+            { Server.page = we.we_page; offset = r.offset; before = r.before; after = r.after })
+          ranges
+      in
+      let l = try Hashtbl.find per_db db with Not_found -> [] in
+      Hashtbl.replace per_db db (l @ updates))
+    t.write_set;
+  per_db
+
+let finish_write_set t ~keep_frames =
+  Page_id.Tbl.iter
+    (fun page_id we ->
+      (match Cache.find_slot t.pool page_id with
+      | Some slot -> if slot.Cache.pins > 0 then slot.Cache.pins <- slot.Cache.pins - 1
+      | None -> ());
+      if keep_frames then begin
+        if Vmem.frame_at t.vmem we.we_vm <> None then
+          Vmem.set_prot t.vmem we.we_vm 1 Vmem.Prot_read
+      end)
+    t.write_set;
+  Page_id.Tbl.reset t.write_set
+
+exception Distributed_abort
+
+let commit t =
+  if not t.in_txn then invalid_arg "Session.commit: no transaction open";
+  let per_db = updates_by_db t in
+  (* Single-database fast path; multi-database commits run 2PC with the
+     main database's server as coordinator. *)
+  let active =
+    Hashtbl.fold (fun db b acc -> match b.b_txn with Some tx -> (db, b, tx) :: acc | None -> acc)
+      t.dbs []
+  in
+  let updates_for db = try Hashtbl.find per_db db with Not_found -> [] in
+  (match active with
+  | [] -> ()
+  | [ (db, b, tx) ] -> b.b_fetcher.f_commit ~txn:tx (updates_for db)
+  | _ ->
+      let coordinator, participants =
+        match List.partition (fun (db, _, _) -> db = t.main_db) active with
+        | [ c ], ps -> (c, ps)
+        | _ -> failwith "Session.commit: no coordinator binding"
+      in
+      (* Phase 1: prepare every participant. *)
+      let votes =
+        List.map
+          (fun (db, b, tx) -> b.b_fetcher.f_prepare ~txn:tx ~coordinator:t.main_db
+              (updates_for db))
+          participants
+      in
+      if List.for_all (fun v -> v = `Vote_yes) votes then begin
+        (* Decision: commit locally (the coordinator's commit record is
+           the decision record), then phase 2. *)
+        let _, cb, ctx = coordinator in
+        cb.b_fetcher.f_commit ~txn:ctx (updates_for t.main_db);
+        List.iter (fun (_, b, tx) -> b.b_fetcher.f_decide ~txn:tx `Commit) participants
+      end
+      else begin
+        let _, cb, ctx = coordinator in
+        cb.b_fetcher.f_abort ~txn:ctx;
+        List.iter
+          (fun ((_, b, tx), vote) ->
+            if vote = `Vote_yes then b.b_fetcher.f_decide ~txn:tx `Abort)
+          (List.combine participants votes);
+        Hashtbl.iter (fun _ b -> b.b_txn <- None) t.dbs;
+        t.in_txn <- false;
+        finish_write_set t ~keep_frames:true;
+        raise Distributed_abort
+      end);
+  Hashtbl.iter (fun _ b -> b.b_txn <- None) t.dbs;
+  t.in_txn <- false;
+  finish_write_set t ~keep_frames:true;
+  Event.fire t.hooks (Txn_commit { txn = 0 });
+  Bess_util.Stats.incr t.stats "session.commits"
+
+(* Abort: restore every dirtied frame from its before-image (re-applying
+   swizzling / DP rebasing so the in-memory form stays consistent), then
+   release server-side state. *)
+let restore_frame t we =
+  match Vmem.frame_at t.vmem we.we_vm with
+  | None -> ()
+  | Some frame ->
+      Bytes.blit we.we_before 0 frame 0 (Bytes.length we.we_before);
+      (match we.we_region with
+      | Large _ -> ()
+      | Data seg ->
+          let page_idx = (we.we_vm - seg.data_base) / page_size t in
+          swizzle_page_raw t seg page_idx frame
+      | Slotted seg ->
+          let ps = page_size t in
+          let page_idx = (we.we_vm - seg.slotted_base) / ps in
+          if page_idx = 0 then
+            Bess_util.Codec.set_i64 frame Layout.hdr_last_data_base seg.data_base;
+          let n_slots = read_header_u32 t seg ~field:Layout.hdr_n_slots in
+          let lo = page_idx * ps in
+          for idx = 0 to n_slots - 1 do
+            let off = Layout.slot_offset idx + Layout.slot_dp in
+            if off >= lo && off + 8 <= lo + ps then begin
+              let flags_off = Layout.slot_offset idx + Layout.slot_flags in
+              (* flags may live on a different page; read via vmem only if
+                 same page, else read from the (now restored) frame. *)
+              let flags =
+                if flags_off >= lo && flags_off + 4 <= lo + ps then
+                  Bess_util.Codec.get_u32 frame (flags_off - lo)
+                else Vmem.read_u32 t.vmem (seg.slotted_base + flags_off)
+              in
+              let transparent =
+                flags land (Layout.flag_large lor Layout.flag_vlarge) <> 0
+              in
+              if flags land Layout.flag_used <> 0 && not transparent then begin
+                let dp = Bess_util.Codec.get_i64 frame (off - lo) in
+                Bess_util.Codec.set_i64 frame (off - lo) (dp + seg.data_base)
+              end
+            end
+          done)
+
+let abort t =
+  if not t.in_txn then invalid_arg "Session.abort: no transaction open";
+  Page_id.Tbl.iter (fun _ we -> restore_frame t we) t.write_set;
+  Hashtbl.iter
+    (fun _ b ->
+      match b.b_txn with
+      | Some tx ->
+          b.b_fetcher.f_abort ~txn:tx;
+          b.b_txn <- None
+      | None -> ())
+    t.dbs;
+  t.in_txn <- false;
+  finish_write_set t ~keep_frames:true;
+  Event.fire t.hooks (Txn_abort { txn = 0 });
+  Bess_util.Stats.incr t.stats "session.aborts"
+
+let with_txn t f =
+  begin_txn t;
+  match f () with
+  | v ->
+      commit t;
+      v
+  | exception e ->
+      if t.in_txn then abort t;
+      raise e
+
+(* ---- Segment creation ---- *)
+
+let create_segment t ?db_id ?area ~slotted_pages ~data_pages () =
+  let db_id = Option.value ~default:t.main_db db_id in
+  let b = binding t db_id in
+  let area = Option.value ~default:b.b_default_area area in
+  let txn = txn_for t b in
+  let ps = page_size t in
+  let seg_id = Catalog.fresh_seg_id b.b_catalog in
+  let slotted_disk = b.b_fetcher.f_alloc_segment ~area ~npages:slotted_pages in
+  let data_disk = b.b_fetcher.f_alloc_segment ~area ~npages:data_pages in
+  Catalog.add_segment b.b_catalog ~seg_id slotted_disk;
+  let seg = get_seg t ~db_id ~seg_id in
+  seg.data_disk <- data_disk;
+  ensure_data_range t seg;
+  (* Fabricate the image locally: the disk pages are zeroed by the
+     allocator, so zero frames mirror the authoritative state. *)
+  let zeros = Bytes.make ps '\000' in
+  for i = 0 to slotted_pages - 1 do
+    let page_id = { Page_id.area = slotted_disk.area; page = slotted_disk.first_page + i } in
+    b.b_fetcher.f_lock ~txn
+      (Lock_mgr.page_resource ~area:page_id.area ~page:page_id.page)
+      Lock_mode.X;
+    ignore (map_frame t (Slotted seg) page_id (seg.slotted_base + (i * ps)) zeros ~pin:true
+              ~prot:Prot_read)
+  done;
+  for i = 0 to data_pages - 1 do
+    let page_id = { Page_id.area = data_disk.area; page = data_disk.first_page + i } in
+    ignore (map_frame t (Data seg) page_id (seg.data_base + (i * ps)) zeros ~pin:false
+              ~prot:Prot_read)
+  done;
+  seg.slotted_present <- true;
+  (* Write the header through the runtime path so it lands in the write
+     set and ships at commit. *)
+  let hdr = Bytes.make Layout.header_size '\000' in
+  Layout.Raw.init_header hdr ~db_id ~seg_id ~n_slots:0 ~data_disk
+    ~overflow_disk:{ area = 0; first_page = 0; npages = 0 };
+  (* The canonical image keeps last_data_base = 0; the live frame wants
+     the current mapping base. *)
+  runtime_write t seg ~addr:seg.slotted_base ~width:Layout.header_size (fun () ->
+      Vmem.write_bytes t.vmem seg.slotted_base hdr;
+      Vmem.write_i64 t.vmem (seg.slotted_base + Layout.hdr_last_data_base) seg.data_base);
+  Bess_util.Stats.incr t.stats "session.segments_created";
+  seg
+
+(* ---- Object lifecycle ---- *)
+
+let align8 n = (n + 7) land lnot 7
+
+(* Pop a slot from the free chain, or extend the high-water mark. *)
+let alloc_slot t seg =
+  ensure_slotted t seg;
+  let free_head = read_header_u32 t seg ~field:Layout.hdr_free_slot_head in
+  if free_head <> 0xFFFFFFFF then begin
+    let next = read_slot_u32 t seg free_head ~field:Layout.slot_aux in
+    write_header_u32 t seg ~field:Layout.hdr_free_slot_head next;
+    free_head
+  end
+  else begin
+    let n = read_header_u32 t seg ~field:Layout.hdr_n_slots in
+    if n >= seg.capacity then raise (Segment_full { seg = seg.seg_id });
+    write_header_u32 t seg ~field:Layout.hdr_n_slots (n + 1);
+    n
+  end
+
+(* Bump-allocate [size] bytes in the data segment. *)
+let alloc_data t seg size =
+  let used = read_header_u32 t seg ~field:Layout.hdr_data_used in
+  let off = align8 used in
+  let cap = seg.data_disk.npages * page_size t in
+  if off + size > cap then raise (Segment_full { seg = seg.seg_id });
+  write_header_u32 t seg ~field:Layout.hdr_data_used (off + size);
+  off
+
+let create_object t seg (ty : Type_desc.t) ~size =
+  if size > Layout.transparent_large_limit then
+    invalid_arg "Session.create_object: beyond the transparent large-object limit";
+  let idx = alloc_slot t seg in
+  let off = alloc_data t seg size in
+  write_slot_u32 t seg idx ~field:Layout.slot_type ty.id;
+  write_slot_i64 t seg idx ~field:Layout.slot_dp (seg.data_base + off);
+  write_slot_u32 t seg idx ~field:Layout.slot_objsize size;
+  write_slot_u32 t seg idx ~field:Layout.slot_flags Layout.flag_used;
+  write_slot_i64 t seg idx ~field:Layout.slot_lock 0;
+  (* Zero the object bytes through the user path: the write fault takes
+     the X lock and the before-image. *)
+  if size > 0 then Vmem.write_bytes t.vmem (seg.data_base + off) (Bytes.make size '\000');
+  Bess_util.Stats.incr t.stats "session.objects_created";
+  slot_addr seg idx
+
+(* ---- Object accessors (the ref<T> dereference surface) ---- *)
+
+let seg_of_slot t addr = unswizzle_addr t addr
+
+(* DP: the object's data address; dereferencing faults segments in. *)
+let data_ptr t addr =
+  let seg, idx = seg_of_slot t addr in
+  let dp = read_slot_i64 t seg idx ~field:Layout.slot_dp in
+  (* Touching the data realises wave 3 lazily through the fault handler
+     on actual access; DP itself is already a valid reserved address. *)
+  ignore idx;
+  dp
+
+let obj_size t addr =
+  let seg, idx = seg_of_slot t addr in
+  read_slot_u32 t seg idx ~field:Layout.slot_objsize
+
+let obj_type t addr =
+  let seg, idx = seg_of_slot t addr in
+  let ty_id = read_slot_u32 t seg idx ~field:Layout.slot_type in
+  Type_desc.find (Catalog.types (binding t seg.db_id).b_catalog) ty_id
+
+let obj_flags t addr =
+  let seg, idx = seg_of_slot t addr in
+  read_slot_u32 t seg idx ~field:Layout.slot_flags
+
+let is_used t addr = obj_flags t addr land Layout.flag_used <> 0
+
+(* ---- OIDs, roots, forwards ---- *)
+
+let oid_of t addr =
+  let seg, idx = seg_of_slot t addr in
+  let uniq = read_slot_u32 t seg idx ~field:Layout.slot_uniq in
+  let b = binding t seg.db_id in
+  Oid.make ~host:(Catalog.host b.b_catalog) ~db:seg.db_id ~seg:seg.seg_id ~slot:idx ~uniq
+
+(* global_ref<T>: resolve an OID, validating the uniquifier ("somewhat
+   slower compared to" plain refs -- measured in experiment E1). *)
+let by_oid t (oid : Oid.t) =
+  let seg = get_seg t ~db_id:oid.db ~seg_id:oid.seg in
+  ensure_slotted t seg;
+  let flags = read_slot_u32 t seg oid.slot ~field:Layout.slot_flags in
+  let uniq = read_slot_u32 t seg oid.slot ~field:Layout.slot_uniq in
+  if flags land Layout.flag_used = 0 || uniq <> oid.uniq then raise (Stale_oid oid);
+  slot_addr seg oid.slot
+
+(* Names live in the directory of the *object's own* database ("any BeSS
+   object can be given a name"); lookup searches the main database first,
+   then every attached one. *)
+let set_root t ~name addr =
+  let seg, _ = seg_of_slot t addr in
+  Catalog.set_root (binding t seg.db_id).b_catalog ~name (oid_of t addr)
+
+let root t name =
+  let find db_id =
+    Option.map (by_oid t) (Catalog.find_root (binding t db_id).b_catalog name)
+  in
+  match find t.main_db with
+  | Some _ as r -> r
+  | None ->
+      Hashtbl.fold
+        (fun db_id _ acc ->
+          match acc with Some _ -> acc | None -> if db_id = t.main_db then None else find db_id)
+        t.dbs None
+
+let remove_root t ?db_id ~name () =
+  let db_id = Option.value ~default:t.main_db db_id in
+  Catalog.remove_root_by_name (binding t db_id).b_catalog name
+
+(* Forward objects: the level of indirection for inter-database
+   references (section 2.1). The forward object lives in the referencing
+   database and its data is the OID of the referenced object. *)
+let forward_type_name = "__bess_forward"
+
+let forward_type t db_id =
+  let types = Catalog.types (binding t db_id).b_catalog in
+  match Type_desc.find_by_name types forward_type_name with
+  | Some ty -> ty
+  | None -> Type_desc.register types ~name:forward_type_name ~size:16 ~ref_offsets:[||]
+
+let forward_seg t db_id =
+  let b = binding t db_id in
+  match b.b_forward_seg with
+  | Some seg_id -> get_seg t ~db_id ~seg_id
+  | None ->
+      let seg = create_segment t ~db_id ~slotted_pages:1 ~data_pages:4 () in
+      b.b_forward_seg <- Some seg.seg_id;
+      seg
+
+let make_forward t ~src_db target_oid =
+  let key = (src_db, Oid.hash target_oid) in
+  match Hashtbl.find_opt t.forwards key with
+  | Some addr when is_used t addr -> addr
+  | _ ->
+      let seg = forward_seg t src_db in
+      let ty = forward_type t src_db in
+      let addr = create_object t seg ty ~size:16 in
+      let dp = data_ptr t addr in
+      let b = Bytes.make 16 '\000' in
+      Oid.encode b 0 target_oid;
+      Vmem.write_bytes t.vmem dp b;
+      let rt, idx = seg_of_slot t addr in
+      write_slot_u32 t rt idx ~field:Layout.slot_flags
+        (Layout.flag_used lor Layout.flag_forward);
+      Hashtbl.replace t.forwards key addr;
+      Bess_util.Stats.incr t.stats "session.forwards_created";
+      addr
+
+(* Chase a forward object to the slot it names, transparently. *)
+let rec follow_forward t addr =
+  let seg, idx = seg_of_slot t addr in
+  let flags = read_slot_u32 t seg idx ~field:Layout.slot_flags in
+  if flags land Layout.flag_forward = 0 then addr
+  else begin
+    let dp = read_slot_i64 t seg idx ~field:Layout.slot_dp in
+    let oid = Oid.decode (Vmem.read_bytes t.vmem dp 12) 0 in
+    Bess_util.Stats.incr t.stats "session.forward_chases";
+    follow_forward t (by_oid t oid)
+  end
+
+(* ---- Typed reference fields ---- *)
+
+(* Read a reference field at [data_addr]: returns the target's slot
+   address, resolving lazily unswizzled values (the On_deref policy) and
+   chasing forward objects. *)
+let read_ref t ~data_addr =
+  let v = Vmem.read_i64 t.vmem data_addr in
+  match Layout.ref_decode v with
+  | Layout.Null -> None
+  | Layout.Swizzled addr -> Some (follow_forward t addr)
+  | Layout.Unswizzled { seg; slot } ->
+      let db_id =
+        match region_at t data_addr with
+        | Some (Data s) | Some (Large (s, _)) | Some (Slotted s) -> s.db_id
+        | None -> invalid_arg "Session.read_ref: address outside any region"
+      in
+      let target = get_seg t ~db_id ~seg_id:seg in
+      Bess_util.Stats.incr t.stats "session.deref_swizzles";
+      Some (follow_forward t (slot_addr target slot))
+
+(* Store a reference field: same-database targets store the swizzled slot
+   address; cross-database targets go through a forward object,
+   transparently. *)
+let write_ref t ~data_addr target =
+  match target with
+  | None -> Vmem.write_i64 t.vmem data_addr 0
+  | Some target_addr ->
+      let src_db =
+        match region_at t data_addr with
+        | Some (Data s) | Some (Large (s, _)) -> s.db_id
+        | _ -> invalid_arg "Session.write_ref: address is not object data"
+      in
+      let tgt_seg, _ = seg_of_slot t target_addr in
+      let stored =
+        if tgt_seg.db_id = src_db then target_addr
+        else make_forward t ~src_db (oid_of t target_addr)
+      in
+      Vmem.write_i64 t.vmem data_addr (Layout.ref_encode (Swizzled stored))
+
+(* ---- Deletion ---- *)
+
+let delete_object t addr =
+  let seg, idx = seg_of_slot t addr in
+  let b = binding t seg.db_id in
+  Catalog.remove_root_by_oid b.b_catalog (oid_of t addr);
+  (match Hashtbl.find_opt seg.large_disks idx with
+  | Some disk ->
+      b.b_fetcher.f_free_segment disk;
+      Hashtbl.remove seg.large_disks idx;
+      (match Hashtbl.find_opt seg.large_bases idx with
+      | Some base ->
+          let ps = page_size t in
+          for i = 0 to disk.npages - 1 do
+            unmap_vm_page t (base + (i * ps));
+            Hashtbl.remove t.regions ((base + (i * ps)) / ps)
+          done;
+          Vmem.release t.vmem base disk.npages;
+          Hashtbl.remove seg.large_bases idx
+      | None -> ())
+  | None -> ());
+  let uniq = read_slot_u32 t seg idx ~field:Layout.slot_uniq in
+  let free_head = read_header_u32 t seg ~field:Layout.hdr_free_slot_head in
+  write_slot_u32 t seg idx ~field:Layout.slot_flags 0;
+  write_slot_u32 t seg idx ~field:Layout.slot_uniq (uniq + 1);
+  write_slot_u32 t seg idx ~field:Layout.slot_aux free_head;
+  write_header_u32 t seg ~field:Layout.hdr_free_slot_head idx;
+  Bess_util.Stats.incr t.stats "session.objects_deleted"
+
+(* ---- Transparent large objects (fixed size, up to 64KB) ---- *)
+
+let create_large_object t seg ~size =
+  if size > Layout.transparent_large_limit then
+    invalid_arg "Session.create_large_object: size above 64KB; use the Lob interface";
+  let b = binding t seg.db_id in
+  let ps = page_size t in
+  let npages = (size + ps - 1) / ps in
+  let disk = b.b_fetcher.f_alloc_segment ~area:b.b_default_area ~npages in
+  let idx = alloc_slot t seg in
+  (* The slot's table entry (aux) records nothing on disk beyond the
+     descriptor stored in the data segment: a 12-byte segment address. *)
+  let desc_off = alloc_data t seg Seg_addr.encoded_size in
+  let desc = Bytes.create Seg_addr.encoded_size in
+  Seg_addr.encode desc 0 disk;
+  Vmem.write_bytes t.vmem (seg.data_base + desc_off) desc;
+  write_slot_u32 t seg idx ~field:Layout.slot_type Type_desc.bytes_type.id;
+  write_slot_i64 t seg idx ~field:Layout.slot_dp 0;
+  write_slot_u32 t seg idx ~field:Layout.slot_objsize size;
+  write_slot_u32 t seg idx ~field:Layout.slot_flags (Layout.flag_used lor Layout.flag_large);
+  write_slot_u32 t seg idx ~field:Layout.slot_aux desc_off;
+  (* Reserve and pre-map zero frames: a fresh object is all zeros and
+     writable after the usual write faults. *)
+  let base = Vmem.reserve t.vmem npages in
+  Hashtbl.replace seg.large_bases idx base;
+  Hashtbl.replace seg.large_disks idx disk;
+  add_region t ~base ~npages (Large (seg, idx));
+  let zeros = Bytes.make ps '\000' in
+  for i = 0 to npages - 1 do
+    let page_id = { Page_id.area = disk.area; page = disk.first_page + i } in
+    ignore (map_frame t (Large (seg, idx)) page_id (base + (i * ps)) zeros ~pin:false
+              ~prot:Prot_read)
+  done;
+  write_slot_i64 t seg idx ~field:Layout.slot_dp base;
+  Bess_util.Stats.incr t.stats "session.large_created";
+  slot_addr seg idx
+
+(* Resolve a large object's mapped range on first access after a fresh
+   slotted fetch (its DP canonicalises to 0 on disk). *)
+let large_data_ptr t addr =
+  let seg, idx = seg_of_slot t addr in
+  let dp = read_slot_i64 t seg idx ~field:Layout.slot_dp in
+  if dp <> 0 then dp
+  else begin
+    let desc_off = read_slot_u32 t seg idx ~field:Layout.slot_aux in
+    let desc = Vmem.read_bytes t.vmem (seg.data_base + desc_off) Seg_addr.encoded_size in
+    let disk = Seg_addr.decode desc 0 in
+    let size = read_slot_u32 t seg idx ~field:Layout.slot_objsize in
+    let ps = page_size t in
+    let npages = Stdlib.max disk.npages ((size + ps - 1) / ps) in
+    let base = Vmem.reserve t.vmem npages in
+    Hashtbl.replace seg.large_bases idx base;
+    Hashtbl.replace seg.large_disks idx disk;
+    add_region t ~base ~npages (Large (seg, idx));
+    (* Runtime slot update: DP now points at the reserved range; pages
+       fault in on demand ("the actual object data may be fetched ...
+       dynamically as pages in the object's reserved address range are
+       being accessed"). This is session-local state -- the canonical
+       on-disk DP of a large object stays 0 -- so it is written without
+       locking or logging. *)
+    local_slot_write_i64 t seg idx ~field:Layout.slot_dp base;
+    base
+  end
+
+(* Unified data pointer: transparent for small and large objects alike. *)
+let obj_data t addr =
+  let seg, idx = seg_of_slot t addr in
+  let flags = read_slot_u32 t seg idx ~field:Layout.slot_flags in
+  if flags land Layout.flag_large <> 0 then large_data_ptr t addr else data_ptr t addr
+
+(* ---- Reorganisation support (used by {!Reorg}) ---- *)
+
+(* Change a resident page's disk identity in place (relocation: same
+   frame, same VM address, new disk segment). *)
+let rekey_page t ~old_page ~new_page ~vm =
+  Cache.rekey t.pool ~old_page ~new_page;
+  Page_id.Tbl.remove t.mapped old_page;
+  Page_id.Tbl.replace t.mapped new_page vm;
+  match Page_id.Tbl.find_opt t.write_set old_page with
+  | Some we ->
+      Page_id.Tbl.remove t.write_set old_page;
+      Page_id.Tbl.replace t.write_set new_page { we with we_page = new_page }
+  | None -> ()
+
+(* Force a page into the write set with an explicit before-image (used
+   when the authoritative content is known to be freshly zeroed). *)
+let force_full_write t region vm ~page_id ~before =
+  if not (Page_id.Tbl.mem t.write_set page_id) then begin
+    let db = match region with Slotted s | Data s | Large (s, _) -> s.db_id in
+    let b = binding t db in
+    let txn = txn_for t b in
+    b.b_fetcher.f_lock ~txn
+      (Lock_mgr.page_resource ~area:page_id.area ~page:page_id.page)
+      Lock_mode.X;
+    (match Cache.find_slot t.pool page_id with
+    | Some slot -> slot.Cache.pins <- slot.Cache.pins + 1
+    | None -> ());
+    Page_id.Tbl.replace t.write_set page_id
+      { we_page = page_id; we_vm = vm; we_region = region; we_before = before }
+  end
+  else
+    Page_id.Tbl.replace t.write_set page_id
+      { we_page = page_id; we_vm = vm; we_region = region; we_before = before }
+
+(* Write a segment address field of the slotted header (runtime path). *)
+let write_header_seg_addr t seg ~field addr =
+  let buf = Bytes.create Seg_addr.encoded_size in
+  Seg_addr.encode buf 0 addr;
+  let vm_addr = seg.slotted_base + field in
+  runtime_write t seg ~addr:vm_addr ~width:Seg_addr.encoded_size (fun () ->
+      Vmem.write_bytes t.vmem vm_addr buf)
+
+(* Reserve a fresh VM range for a data segment about to replace the
+   current one (resize); the caller moves mappings then swaps bases. *)
+let reserve_data_range t seg ~(disk : Seg_addr.t) =
+  let base = Vmem.reserve t.vmem disk.npages in
+  add_region t ~base ~npages:disk.npages (Data seg);
+  base
+
+(* Move a resident frame to a new VM address and disk identity. *)
+let move_mapping t ~old_page ~new_page ~old_vm ~new_vm =
+  match Vmem.frame_at t.vmem old_vm with
+  | None -> invalid_arg "Session.move_mapping: page not resident"
+  | Some frame ->
+      Cache.rekey t.pool ~old_page ~new_page;
+      Page_id.Tbl.remove t.mapped old_page;
+      Page_id.Tbl.remove t.write_set old_page;
+      Vmem.unmap t.vmem old_vm;
+      Vmem.map t.vmem new_vm frame;
+      Vmem.set_prot t.vmem new_vm 1 Vmem.Prot_read;
+      Page_id.Tbl.replace t.mapped new_page new_vm;
+      (match Cache.find_slot t.pool new_page with
+      | Some slot -> t.slot_vm.(slot.Cache.index) <- new_vm
+      | None -> ())
+
+(* Map a zeroed frame at [vm] for a brand-new page. *)
+let map_zero_page t region page_id vm =
+  let zeros = Bytes.make (page_size t) '\000' in
+  ignore (map_frame t region page_id vm zeros ~pin:false ~prot:Prot_read)
+
+(* Return an abandoned data range to the address-space pool. *)
+let release_data_range t _seg ~base ~npages =
+  let ps = page_size t in
+  for i = 0 to npages - 1 do
+    (match Vmem.frame_at t.vmem (base + (i * ps)) with
+    | Some _ -> Vmem.unmap t.vmem (base + (i * ps))
+    | None -> ());
+    Hashtbl.remove t.regions ((base / ps) + i)
+  done;
+  Vmem.release t.vmem base npages
+
+(* ---- Cache control ---- *)
+
+let in_txn t = t.in_txn
+
+(* Drop every cached page. Models a client whose cache does not survive
+   transactions (the no-inter-transaction-caching baseline of experiment
+   E8, and the paper's bare clients "data and locks are cached only
+   during the duration of a transaction"). *)
+let drop_all_cached t =
+  if t.in_txn then invalid_arg "Session.drop_all_cached: transaction open";
+  let pages = Page_id.Tbl.fold (fun pid _ acc -> pid :: acc) t.mapped [] in
+  List.iter (fun pid -> drop_cached_page t pid) pages
+
+(* The hot dereference path: field value -> target slot -> DP. Two memory
+   accesses and no table lookup -- this is exactly what swizzling buys
+   (section 2.1). The general path ({!read_ref} + {!obj_data}) also
+   validates forward and large-object flags; this fast accessor covers
+   the common case a compiler-inlined ref<T> dereference hits: a plain
+   small object in the same database. Falls back to the general path on
+   anything else. *)
+let deref_data_fast t ~data_addr =
+  let v = Vmem.read_i64 t.vmem data_addr in
+  if v = 0 then None
+  else if v land 1 = 0 then Some (Vmem.read_i64 t.vmem (v + Layout.slot_dp))
+  else
+    match read_ref t ~data_addr with
+    | Some slot -> Some (obj_data t slot)
+    | None -> None
+
+(* ---- Object-level locking (section 2.3) ----
+
+   "Notice that hardware based detection works only for granules that are
+   integral multiples of the page size ... We are currently examining
+   issues related to object level locking. Object level locking is
+   realized by following a software-based approach."
+
+   These explicit locks live in a namespace orthogonal to the page locks
+   the write faults take: applications whose objects share hot pages can
+   serialise on objects instead of (or in addition to) pages. Strict 2PL
+   still applies -- object locks release with the transaction. *)
+
+let object_lock_resource seg idx =
+  Lock_mgr.object_resource ~db:seg.db_id ~slot:((seg.seg_id lsl 16) lor idx)
+
+(* Acquire an explicit object lock; raises {!Fetcher.Would_block} /
+   {!Fetcher.Deadlock_abort} like any lock request. *)
+let lock_object t addr mode =
+  let seg, idx = seg_of_slot t addr in
+  let b = binding t seg.db_id in
+  let txn = txn_for t b in
+  b.b_fetcher.f_lock ~txn (object_lock_resource seg idx) mode;
+  Bess_util.Stats.incr t.stats "session.object_locks"
+
+(* [with_object_write t addr f]: the software update protocol the paper
+   contrasts with hardware detection -- X-lock the object, then run the
+   update. The page-level machinery still guarantees correctness if the
+   caller forgets; the object lock only adds finer-grained mutual
+   exclusion. *)
+let with_object_write t addr f =
+  lock_object t addr Lock_mode.X;
+  f (obj_data t addr)

@@ -1,0 +1,162 @@
+(* The server-side page store: storage areas fronted by a page cache, with
+   write-ahead logging and ARIES recovery wired through.
+
+   Invariants enforced here:
+   - WAL rule: a dirty page is written back only after the log is forced
+     past that page's LSN.
+   - Steal/no-force: dirty pages may be evicted before commit (their
+     updates are already logged), and commit forces only the log, never
+     data pages.
+
+   Page LSNs are kept in a volatile table rather than on the pages
+   themselves: update records carry physical byte images, so redo is
+   idempotent and correct even from LSN zero; the table only serves the
+   WAL rule during normal operation and as a redo filter within a run.
+   (See DESIGN.md, faithfulness substitutions.) *)
+
+module Page_id = Bess_cache.Page_id
+
+type t = {
+  areas : Bess_storage.Area_set.t;
+  cache : Bess_cache.Cache.t;
+  log : Bess_wal.Log.t;
+  page_lsn : int Page_id.Tbl.t;
+  stats : Bess_util.Stats.t;
+}
+
+let to_wal_page (p : Page_id.t) : Bess_wal.Log_record.page_id = { area = p.area; page = p.page }
+let of_wal_page (p : Bess_wal.Log_record.page_id) : Page_id.t = { area = p.area; page = p.page }
+
+let get_page_lsn t page = Option.value ~default:0 (Page_id.Tbl.find_opt t.page_lsn page)
+let set_page_lsn t page lsn = Page_id.Tbl.replace t.page_lsn page lsn
+
+let create ?log_path ?log ?(cache_slots = 256) areas =
+  let page_size =
+    match Bess_storage.Area_set.ids areas with
+    | id :: _ -> Bess_storage.Area.page_size (Bess_storage.Area_set.find areas id)
+    | [] -> 4096
+  in
+  let cache = Bess_cache.Cache.create ~nslots:cache_slots ~page_size in
+  let t =
+    {
+      areas;
+      cache;
+      log = (match log with Some l -> l | None -> Bess_wal.Log.create ?path:log_path ());
+      page_lsn = Page_id.Tbl.create 1024;
+      stats = Bess_util.Stats.create ();
+    }
+  in
+  ignore (Bess_cache.Clock.create cache);
+  Bess_cache.Cache.set_writeback cache (fun page bytes ->
+      (* WAL rule: force the log past this page's LSN first. *)
+      let lsn = get_page_lsn t page in
+      if lsn > Bess_wal.Log.flushed_lsn t.log then Bess_wal.Log.flush t.log ~lsn ();
+      Bess_storage.Area_set.write_page areas ~area_id:page.area page.page bytes);
+  t
+
+let cache t = t.cache
+let log t = t.log
+let areas t = t.areas
+let stats t = t.stats
+
+(* Pinned access to a page through the cache. *)
+let with_page t (page : Page_id.t) f =
+  let slot =
+    Bess_cache.Cache.load t.cache page ~fill:(fun buf ->
+        Bess_storage.Area_set.read_page_into t.areas ~area_id:page.area page.page buf)
+  in
+  Fun.protect
+    ~finally:(fun () -> Bess_cache.Cache.unpin t.cache slot)
+    (fun () -> f slot)
+
+(* Copy of a page's current contents (for shipping to clients). *)
+let read_page t page = with_page t page (fun slot -> Bytes.copy slot.Bess_cache.Cache.bytes)
+
+(* Read several contiguous pages of one area (segment fetch). *)
+let read_segment t (seg : Bess_storage.Seg_addr.t) =
+  List.init seg.npages (fun i ->
+      read_page t { Page_id.area = seg.area; page = seg.first_page + i })
+
+(* Log one physical update and apply it to the cached page.
+   Returns the record's LSN. *)
+let apply_update t ~txn ~prev_lsn (page : Page_id.t) ~offset ~before ~after =
+  if Bytes.length before <> Bytes.length after then
+    invalid_arg "Store.apply_update: image length mismatch";
+  let lsn =
+    Bess_wal.Log.append t.log
+      { prev_lsn; body = Update { txn; page = to_wal_page page; offset; before; after } }
+  in
+  with_page t page (fun slot ->
+      Bytes.blit after 0 slot.Bess_cache.Cache.bytes offset (Bytes.length after);
+      Bess_cache.Cache.mark_dirty t.cache slot);
+  set_page_lsn t page lsn;
+  Bess_util.Stats.incr t.stats "store.updates";
+  lsn
+
+let log_commit t ~txn ~prev_lsn =
+  let lsn = Bess_wal.Log.append t.log { prev_lsn; body = Commit { txn } } in
+  Bess_wal.Log.flush t.log ~lsn ();
+  ignore (Bess_wal.Log.append t.log { prev_lsn = lsn; body = End { txn } });
+  lsn
+
+let log_prepare t ~txn ~prev_lsn ~coordinator =
+  let lsn = Bess_wal.Log.append t.log { prev_lsn; body = Prepare { txn; coordinator } } in
+  Bess_wal.Log.flush t.log ~lsn ();
+  lsn
+
+(* The abstract page interface ARIES recovery and rollback drive. During
+   recovery the cache is cold, so this reads/writes through it normally. *)
+let page_io t : Bess_wal.Recovery.page_io =
+  {
+    page_lsn = (fun p -> get_page_lsn t (of_wal_page p));
+    set_page_lsn = (fun p lsn -> set_page_lsn t (of_wal_page p) lsn);
+    write =
+      (fun p ~offset image ->
+        with_page t (of_wal_page p) (fun slot ->
+            Bytes.blit image 0 slot.Bess_cache.Cache.bytes offset (Bytes.length image);
+            Bess_cache.Cache.mark_dirty t.cache slot));
+  }
+
+(* Roll back one transaction in place (used by the open-server in-place
+   update path). *)
+let rollback t ~txn ~last_lsn =
+  let n = Bess_wal.Recovery.rollback_txn t.log (page_io t) ~txn ~last_lsn in
+  Bess_util.Stats.add t.stats "store.undos" n;
+  n
+
+(* Fuzzy checkpoint: record the active-transaction and dirty-page tables. *)
+let checkpoint t ~active =
+  ignore (Bess_wal.Log.append t.log { prev_lsn = 0; body = Begin_checkpoint });
+  let dirty = ref [] in
+  Bess_cache.Cache.iter_resident t.cache (fun page slot ->
+      if slot.Bess_cache.Cache.dirty then
+        dirty := (to_wal_page page, get_page_lsn t page) :: !dirty);
+  let lsn =
+    Bess_wal.Log.append t.log { prev_lsn = 0; body = End_checkpoint { active; dirty = !dirty } }
+  in
+  Bess_wal.Log.flush t.log ~lsn ();
+  Bess_util.Stats.incr t.stats "store.checkpoints"
+
+(* Crash simulation: throw away all volatile state (cache contents, page
+   LSNs) and the unforced log tail. *)
+let crash t =
+  Bess_wal.Log.crash t.log ();
+  Bess_cache.Cache.iter_resident t.cache (fun page _ -> ignore page);
+  (* Discard everything resident without writeback. *)
+  let resident = ref [] in
+  Bess_cache.Cache.iter_resident t.cache (fun page _ -> resident := page :: !resident);
+  List.iter (fun p -> Bess_cache.Cache.discard t.cache p) !resident;
+  Page_id.Tbl.reset t.page_lsn;
+  Bess_util.Stats.incr t.stats "store.crashes"
+
+(* ARIES restart. *)
+let recover t =
+  let outcome = Bess_wal.Recovery.recover t.log (page_io t) in
+  Bess_util.Stats.incr t.stats "store.recoveries";
+  outcome
+
+(* Flush everything (orderly shutdown). *)
+let flush_all t =
+  Bess_wal.Log.flush t.log ();
+  Bess_cache.Cache.flush_all t.cache;
+  Bess_storage.Area_set.sync t.areas

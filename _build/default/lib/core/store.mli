@@ -1,0 +1,63 @@
+(** The server-side page store: storage areas fronted by a page cache,
+    with write-ahead logging and ARIES recovery wired through.
+
+    Enforced invariants: the WAL rule (a dirty page writes back only
+    after the log is forced past its LSN) and steal/no-force (dirty pages
+    may be evicted before commit; commit forces only the log). Page LSNs
+    are volatile — update records carry physical images, so redo is
+    idempotent from LSN 0 (DESIGN.md §7). *)
+
+module Page_id = Bess_cache.Page_id
+
+type t
+
+(** [log] supplies a pre-opened (possibly recovered-from) log; [log_path]
+    otherwise names a fresh backing file. *)
+val create :
+  ?log_path:string -> ?log:Bess_wal.Log.t -> ?cache_slots:int -> Bess_storage.Area_set.t -> t
+val cache : t -> Bess_cache.Cache.t
+val log : t -> Bess_wal.Log.t
+val areas : t -> Bess_storage.Area_set.t
+val stats : t -> Bess_util.Stats.t
+val get_page_lsn : t -> Page_id.t -> int
+val set_page_lsn : t -> Page_id.t -> int -> unit
+
+(** Pinned access to a page through the cache. *)
+val with_page : t -> Page_id.t -> (Bess_cache.Cache.slot -> 'a) -> 'a
+
+(** Copy of a page's current contents (for shipping to clients). *)
+val read_page : t -> Page_id.t -> Bytes.t
+
+(** All pages of one disk segment, in order. *)
+val read_segment : t -> Bess_storage.Seg_addr.t -> Bytes.t list
+
+(** Log one physical update and apply it to the cached page; returns the
+    record's LSN. *)
+val apply_update :
+  t -> txn:int -> prev_lsn:int -> Page_id.t -> offset:int -> before:Bytes.t -> after:Bytes.t -> int
+
+(** Append COMMIT, force the log, append END; returns the commit LSN. *)
+val log_commit : t -> txn:int -> prev_lsn:int -> int
+
+(** Append PREPARE and force (2PC phase 1); returns its LSN. *)
+val log_prepare : t -> txn:int -> prev_lsn:int -> coordinator:int -> int
+
+(** The abstract page interface ARIES recovery and rollback drive. *)
+val page_io : t -> Bess_wal.Recovery.page_io
+
+(** Roll back one transaction in place with CLRs; returns updates undone. *)
+val rollback : t -> txn:int -> last_lsn:int -> int
+
+(** Fuzzy checkpoint recording the given active-transaction table and the
+    cache's dirty pages. *)
+val checkpoint : t -> active:(int * int) list -> unit
+
+(** Crash simulation: discard all volatile state (cache contents, page
+    LSNs, unforced log tail). *)
+val crash : t -> unit
+
+(** ARIES restart: analysis, redo, undo. *)
+val recover : t -> Bess_wal.Recovery.outcome
+
+(** Force the log and write back every dirty page (orderly shutdown). *)
+val flush_all : t -> unit

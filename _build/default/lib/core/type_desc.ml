@@ -1,0 +1,87 @@
+(* Type descriptors (section 2.1).
+
+   "The object header contains ... a pointer to the object's type (TP).
+   Type descriptors contain the offsets of pointers within the objects
+   they describe." The data-segment fault handler walks these offsets to
+   find every inter-object reference and swizzle it.
+
+   Descriptors are persistent (stored in the database catalog) and are
+   identified by a small integer; slot TP fields store that id. *)
+
+type t = {
+  id : int;
+  name : string;
+  size : int; (* instance size in bytes; 0 = variable-sized (byte data) *)
+  ref_offsets : int array; (* byte offsets of 8-byte references within instances *)
+}
+
+let make ~id ~name ~size ~ref_offsets =
+  Array.iter
+    (fun off ->
+      if off < 0 || (size > 0 && off + 8 > size) then
+        invalid_arg "Type_desc.make: reference offset out of bounds")
+    ref_offsets;
+  { id; name; size; ref_offsets }
+
+(* The distinguished descriptor for raw byte objects: no references. *)
+let bytes_type = { id = 0; name = "bytes"; size = 0; ref_offsets = [||] }
+
+let pp ppf t =
+  Fmt.pf ppf "%s(id=%d,size=%d,refs=[%a])" t.name t.id t.size
+    Fmt.(array ~sep:(any ";") int)
+    t.ref_offsets
+
+let encoded_size t = 4 + 4 + Bess_util.Codec.string_size t.name + 4 + (4 * Array.length t.ref_offsets)
+
+let encode b off t =
+  Bess_util.Codec.set_u32 b off t.id;
+  Bess_util.Codec.set_u32 b (off + 4) t.size;
+  let off = Bess_util.Codec.set_string b (off + 8) t.name in
+  Bess_util.Codec.set_u32 b off (Array.length t.ref_offsets);
+  Array.iteri (fun i r -> Bess_util.Codec.set_u32 b (off + 4 + (4 * i)) r) t.ref_offsets;
+  off + 4 + (4 * Array.length t.ref_offsets)
+
+let decode b off =
+  let id = Bess_util.Codec.get_u32 b off in
+  let size = Bess_util.Codec.get_u32 b (off + 4) in
+  let name, off = Bess_util.Codec.get_string b (off + 8) in
+  let n = Bess_util.Codec.get_u32 b off in
+  let ref_offsets = Array.init n (fun i -> Bess_util.Codec.get_u32 b (off + 4 + (4 * i))) in
+  ({ id; name; size; ref_offsets }, off + 4 + (4 * n))
+
+(* Registry: id -> descriptor, name -> descriptor. *)
+type registry = {
+  by_id : (int, t) Hashtbl.t;
+  by_name : (string, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let registry_create () =
+  let r = { by_id = Hashtbl.create 16; by_name = Hashtbl.create 16; next_id = 1 } in
+  Hashtbl.replace r.by_id 0 bytes_type;
+  Hashtbl.replace r.by_name "bytes" bytes_type;
+  r
+
+let register r ~name ~size ~ref_offsets =
+  if Hashtbl.mem r.by_name name then invalid_arg "Type_desc.register: duplicate type name";
+  let t = make ~id:r.next_id ~name ~size ~ref_offsets in
+  r.next_id <- r.next_id + 1;
+  Hashtbl.replace r.by_id t.id t;
+  Hashtbl.replace r.by_name name t;
+  t
+
+(* Re-install a decoded descriptor (catalog load). *)
+let install r t =
+  Hashtbl.replace r.by_id t.id t;
+  Hashtbl.replace r.by_name t.name t;
+  if t.id >= r.next_id then r.next_id <- t.id + 1
+
+let find r id =
+  match Hashtbl.find_opt r.by_id id with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Type_desc.find: unknown type id %d" id)
+
+let find_by_name r name = Hashtbl.find_opt r.by_name name
+
+let registry_to_list r =
+  Hashtbl.fold (fun _ t acc -> t :: acc) r.by_id [] |> List.sort (fun a b -> compare a.id b.id)

@@ -1,0 +1,49 @@
+(** Type descriptors (section 2.1).
+
+    "The object header contains ... a pointer to the object's type (TP).
+    Type descriptors contain the offsets of pointers within the objects
+    they describe" — the data-segment fault handler walks these offsets
+    to find and swizzle every inter-object reference. Descriptors persist
+    in the database catalog and are named by small integer ids stored in
+    slot TP fields. *)
+
+type t = {
+  id : int;
+  name : string;
+  size : int;  (** instance size in bytes; 0 = variable-sized raw bytes *)
+  ref_offsets : int array;  (** byte offsets of 8-byte references *)
+}
+
+(** Validates that reference offsets lie within [size]. *)
+val make : id:int -> name:string -> size:int -> ref_offsets:int array -> t
+
+(** The distinguished descriptor for raw byte objects (id 0, no refs). *)
+val bytes_type : t
+
+val pp : Format.formatter -> t -> unit
+val encoded_size : t -> int
+
+(** [encode b off t] writes the descriptor, returning the offset past it. *)
+val encode : Bytes.t -> int -> t -> int
+
+(** [decode b off] reads a descriptor and the offset past it. *)
+val decode : Bytes.t -> int -> t * int
+
+(** Per-database registry mapping ids and names to descriptors. *)
+type registry
+
+(** A fresh registry containing only {!bytes_type}. *)
+val registry_create : unit -> registry
+
+(** Register a new type under a fresh id. Raises on duplicate names. *)
+val register : registry -> name:string -> size:int -> ref_offsets:int array -> t
+
+(** Re-install a decoded descriptor (catalog load); advances the id
+    counter past it. *)
+val install : registry -> t -> unit
+
+(** Raises [Invalid_argument] on unknown ids. *)
+val find : registry -> int -> t
+
+val find_by_name : registry -> string -> t option
+val registry_to_list : registry -> t list

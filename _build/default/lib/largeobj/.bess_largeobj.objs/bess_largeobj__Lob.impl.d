@@ -1,0 +1,1 @@
+lib/largeobj/lob.ml: Array Bess_storage Bess_util Bytes List Option Stdlib

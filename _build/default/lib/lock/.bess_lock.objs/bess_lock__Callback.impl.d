@@ -1,0 +1,1 @@
+lib/lock/callback.ml: Bess_util Hashtbl List Lock_mgr Lock_mode

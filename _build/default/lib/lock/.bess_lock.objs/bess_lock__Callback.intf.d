@@ -1,0 +1,1 @@
+lib/lock/callback.mli: Bess_util Lock_mgr Lock_mode

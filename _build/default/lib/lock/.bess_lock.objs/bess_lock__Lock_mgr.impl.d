@@ -1,0 +1,1 @@
+lib/lock/lock_mgr.ml: Bess_util Fmt Hashtbl List Lock_mode

@@ -1,0 +1,229 @@
+(* The lock table: strict two-phase locking with FIFO wait queues.
+
+   The simulation is cooperative, so [acquire] never blocks a thread --
+   it returns [`Granted] or [`Blocked], and the scheduler retries blocked
+   clients after each [release_all]. Deadlocks are detected two ways, both
+   from the paper's world: timeouts (what BeSS uses for the distributed
+   case) via a logical clock, and an exact waits-for-graph cycle check
+   (what a local lock manager can afford). Experiments can choose either.
+
+   Resources are small integer triples so page, file and object locks all
+   fit one table: [space] names the namespace (see {!resource}). *)
+
+type resource = { space : int; a : int; b : int }
+
+let page_resource ~area ~page = { space = 0; a = area; b = page }
+let object_resource ~db ~slot = { space = 1; a = db; b = slot }
+let file_resource ~db ~file = { space = 2; a = db; b = file }
+
+let pp_resource ppf r =
+  let name = match r.space with 0 -> "page" | 1 -> "obj" | 2 -> "file" | _ -> "res" in
+  Fmt.pf ppf "%s(%d,%d)" name r.a r.b
+
+type entry = {
+  mutable granted : (int * Lock_mode.t) list; (* txn, cumulative mode *)
+  mutable waiting : (int * Lock_mode.t * int) list; (* txn, mode, enqueue tick; FIFO order *)
+}
+
+type t = {
+  table : (resource, entry) Hashtbl.t;
+  held : (int, resource list ref) Hashtbl.t; (* txn -> resources (for release_all) *)
+  mutable tick : int;
+  timeout : int; (* ticks a request may wait before being declared deadlocked *)
+  stats : Bess_util.Stats.t;
+}
+
+let create ?(timeout = 1000) () =
+  { table = Hashtbl.create 256; held = Hashtbl.create 32; tick = 0; timeout;
+    stats = Bess_util.Stats.create () }
+
+let stats t = t.stats
+let tick t = t.tick <- t.tick + 1
+let now t = t.tick
+
+let entry t r =
+  match Hashtbl.find_opt t.table r with
+  | Some e -> e
+  | None ->
+      let e = { granted = []; waiting = [] } in
+      Hashtbl.add t.table r e;
+      e
+
+let held_mode t ~txn r =
+  match Hashtbl.find_opt t.table r with
+  | None -> None
+  | Some e -> List.assoc_opt txn e.granted
+
+let holds t ~txn r mode =
+  match held_mode t ~txn r with Some m -> Lock_mode.covers m mode | None -> false
+
+let record_held t ~txn r =
+  let l =
+    match Hashtbl.find_opt t.held txn with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add t.held txn l;
+        l
+  in
+  if not (List.mem r !l) then l := r :: !l
+
+(* Would granting [mode] to [txn] conflict with other granted locks? *)
+let conflicts e ~txn mode =
+  List.exists (fun (t', m') -> t' <> txn && not (Lock_mode.compatible mode m')) e.granted
+
+(* A request may jump the queue only if it is a lock *upgrade* (the txn
+   already holds the resource); fresh requests respect FIFO order so
+   writers are not starved. *)
+let blocked_by_queue e ~txn = List.exists (fun (t', _, _) -> t' <> txn) e.waiting
+
+(* ---- Waits-for graph ----------------------------------------------------- *)
+
+(* Edges: each waiter waits for every granted holder it conflicts with and
+   for earlier incompatible waiters. Exact cycle detection by DFS. *)
+let waits_for t =
+  let edges = Hashtbl.create 32 in
+  let add_edge a b = if a <> b then Hashtbl.add edges a b in
+  Hashtbl.iter
+    (fun _ e ->
+      List.iter
+        (fun (w, wm, _) ->
+          List.iter
+            (fun (g, gm) -> if not (Lock_mode.compatible wm gm) then add_edge w g)
+            e.granted;
+          (* earlier waiters that conflict also precede us *)
+          let rec earlier = function
+            | (w', wm', _) :: rest when w' <> w ->
+                if not (Lock_mode.compatible wm wm') then add_edge w w';
+                earlier rest
+            | _ -> ()
+          in
+          earlier e.waiting)
+        e.waiting)
+    t.table;
+  edges
+
+let creates_cycle t ~txn =
+  let edges = waits_for t in
+  (* DFS from txn looking for a path back to txn. *)
+  let visited = Hashtbl.create 16 in
+  let rec dfs v =
+    if Hashtbl.mem visited v then false
+    else begin
+      Hashtbl.add visited v ();
+      let succs = Hashtbl.find_all edges v in
+      List.exists (fun s -> s = txn || dfs s) succs
+    end
+  in
+  let succs = Hashtbl.find_all edges txn in
+  List.exists (fun s -> s = txn || dfs s) succs
+
+(* ---- Acquire / release --------------------------------------------------- *)
+
+type verdict = [ `Granted | `Blocked | `Deadlock ]
+
+let remove_waiter e ~txn = e.waiting <- List.filter (fun (t', _, _) -> t' <> txn) e.waiting
+
+let acquire ?(detect = `Graph) t ~txn r mode : verdict =
+  t.tick <- t.tick + 1;
+  let e = entry t r in
+  let current = List.assoc_opt txn e.granted in
+  let want = match current with Some m -> Lock_mode.sup m mode | None -> mode in
+  match current with
+  | Some m when Lock_mode.covers m mode ->
+      Bess_util.Stats.incr t.stats "lock.regrants";
+      remove_waiter e ~txn;
+      `Granted
+  | _ ->
+      let is_upgrade = current <> None in
+      if (not (conflicts e ~txn want)) && (is_upgrade || not (blocked_by_queue e ~txn)) then begin
+        e.granted <- (txn, want) :: List.remove_assoc txn e.granted;
+        remove_waiter e ~txn;
+        record_held t ~txn r;
+        Bess_util.Stats.incr t.stats "lock.grants";
+        `Granted
+      end
+      else begin
+        if not (List.exists (fun (t', _, _) -> t' = txn) e.waiting) then begin
+          e.waiting <- e.waiting @ [ (txn, want, t.tick) ];
+          Bess_util.Stats.incr t.stats "lock.blocks"
+        end;
+        match detect with
+        | `Graph ->
+            if creates_cycle t ~txn then begin
+              remove_waiter e ~txn;
+              Bess_util.Stats.incr t.stats "lock.deadlocks";
+              `Deadlock
+            end
+            else `Blocked
+        | `Timeout ->
+            let enqueue_tick =
+              match List.find_opt (fun (t', _, _) -> t' = txn) e.waiting with
+              | Some (_, _, tk) -> tk
+              | None -> t.tick
+            in
+            if t.tick - enqueue_tick > t.timeout then begin
+              remove_waiter e ~txn;
+              Bess_util.Stats.incr t.stats "lock.timeouts";
+              `Deadlock
+            end
+            else `Blocked
+      end
+
+(* Release everything held by [txn] (strict 2PL: only at commit/abort).
+   Returns the transactions that may now be grantable, for the scheduler
+   to retry. *)
+let release_all t ~txn =
+  let wake = ref [] in
+  (match Hashtbl.find_opt t.held txn with
+  | None -> ()
+  | Some resources ->
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt t.table r with
+          | None -> ()
+          | Some e ->
+              e.granted <- List.remove_assoc txn e.granted;
+              remove_waiter e ~txn;
+              List.iter (fun (w, _, _) -> if not (List.mem w !wake) then wake := w :: !wake) e.waiting;
+              if e.granted = [] && e.waiting = [] then Hashtbl.remove t.table r)
+        !resources;
+      Hashtbl.remove t.held txn);
+  (* The transaction may be queued on resources it never acquired; those
+     ghost waiters would block later requesters (FIFO order). Purge. *)
+  let empty = ref [] in
+  Hashtbl.iter
+    (fun r e ->
+      remove_waiter e ~txn;
+      if e.granted = [] && e.waiting = [] then empty := r :: !empty)
+    t.table;
+  List.iter (Hashtbl.remove t.table) !empty;
+  Bess_util.Stats.incr t.stats "lock.release_alls";
+  List.rev !wake
+
+(* Drop one resource early (used by callback processing, not by 2PL). *)
+let release_one t ~txn r =
+  (match Hashtbl.find_opt t.table r with
+  | None -> ()
+  | Some e ->
+      e.granted <- List.remove_assoc txn e.granted;
+      if e.granted = [] && e.waiting = [] then Hashtbl.remove t.table r);
+  match Hashtbl.find_opt t.held txn with
+  | Some l -> l := List.filter (fun r' -> r' <> r) !l
+  | None -> ()
+
+let held_resources t ~txn =
+  match Hashtbl.find_opt t.held txn with Some l -> !l | None -> []
+
+let n_locks t = Hashtbl.length t.table
+
+(* Waiters blocked longer than the timeout, under timeout-based detection
+   (the paper: "timeouts are used for distributed deadlock detection"). *)
+let expired_waiters t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      List.fold_left
+        (fun acc (txn, _, tk) -> if t.tick - tk > t.timeout then txn :: acc else acc)
+        acc e.waiting)
+    t.table []
+  |> List.sort_uniq compare

@@ -1,0 +1,55 @@
+(** The lock table: strict two-phase locking with FIFO wait queues.
+
+    Cooperative (non-blocking): {!acquire} returns a verdict; blocked
+    callers retry after a {!release_all} elsewhere. Deadlocks are
+    detected either by an exact waits-for-graph cycle check or by
+    timeouts on a logical clock (the paper's distributed mechanism). *)
+
+(** A lockable resource: [space] separates the page / object / file
+    namespaces; [a]/[b] are namespace-specific coordinates. *)
+type resource = { space : int; a : int; b : int }
+
+val page_resource : area:int -> page:int -> resource
+val object_resource : db:int -> slot:int -> resource
+val file_resource : db:int -> file:int -> resource
+val pp_resource : Format.formatter -> resource -> unit
+
+type t
+
+(** [create ~timeout ()]: [timeout] is in logical ticks for the
+    [`Timeout] detector. *)
+val create : ?timeout:int -> unit -> t
+
+val stats : t -> Bess_util.Stats.t
+
+(** Advance the logical clock (timeout detection). *)
+val tick : t -> unit
+
+val now : t -> int
+
+type verdict = [ `Granted | `Blocked | `Deadlock ]
+
+(** Request [mode] on a resource for [txn]. Regrants and upgrades of held
+    locks are recognised; fresh requests respect FIFO order so writers
+    are not starved. [`Deadlock] means this transaction should abort. *)
+val acquire : ?detect:[ `Graph | `Timeout ] -> t -> txn:int -> resource -> Lock_mode.t -> verdict
+
+(** Current cumulative mode held by [txn], if any. *)
+val held_mode : t -> txn:int -> resource -> Lock_mode.t option
+
+(** Does [txn] hold a mode covering [mode]? *)
+val holds : t -> txn:int -> resource -> Lock_mode.t -> bool
+
+(** Strict 2PL release at commit/abort; also purges the transaction's
+    queued waiters everywhere. Returns transactions that may now be
+    grantable. *)
+val release_all : t -> txn:int -> int list
+
+(** Drop one resource early (callback processing, not 2PL). *)
+val release_one : t -> txn:int -> resource -> unit
+
+val held_resources : t -> txn:int -> resource list
+val n_locks : t -> int
+
+(** Waiters blocked longer than the timeout (timeout-based detection). *)
+val expired_waiters : t -> int list

@@ -1,0 +1,1 @@
+lib/net/net.ml: Bess_util Hashtbl Printf

@@ -1,0 +1,79 @@
+(* Simulated client/server transport.
+
+   BeSS runs on a multi-client multi-server network (Figure 2). The
+   experiments that compare operation modes and callback locking are
+   dominated by *message counts* and *bytes shipped*, so the transport
+   models exactly that: synchronous RPC between registered endpoints, with
+   per-message and per-byte costs accumulated on a simulated clock, plus
+   full message/byte accounting per endpoint pair.
+
+   Endpoints are in-process: a call executes the destination handler
+   directly (handlers may issue nested calls -- a node server forwarding a
+   fetch to the owning server, a 2PC coordinator contacting participants).
+   Cost parameters default to a LAN-ish ratio: crossing processes is three
+   orders of magnitude more expensive than a function call. *)
+
+type ('req, 'resp) handler = src:int -> 'req -> 'resp
+
+type ('req, 'resp) t = {
+  handlers : (int, ('req, 'resp) handler) Hashtbl.t;
+  req_cost : 'req -> int; (* payload size in bytes, for accounting *)
+  resp_cost : 'resp -> int;
+  per_message_ns : int;
+  per_byte_ns : int;
+  mutable clock_ns : int;
+  stats : Bess_util.Stats.t;
+}
+
+let create ?(per_message_ns = 150_000) ?(per_byte_ns = 10) ~req_cost ~resp_cost () =
+  {
+    handlers = Hashtbl.create 16;
+    req_cost;
+    resp_cost;
+    per_message_ns;
+    per_byte_ns;
+    clock_ns = 0;
+    stats = Bess_util.Stats.create ();
+  }
+
+(* Re-registering an endpoint replaces its handler: a client that
+   attaches to several servers keeps one endpoint whose successive sink
+   closures are behaviourally identical. *)
+let register t ~id handler = Hashtbl.replace t.handlers id handler
+
+let unregister t ~id = Hashtbl.remove t.handlers id
+
+let stats t = t.stats
+let clock_ns t = t.clock_ns
+let reset_clock t = t.clock_ns <- 0
+
+exception No_such_endpoint of int
+
+let account t ~bytes =
+  t.clock_ns <- t.clock_ns + t.per_message_ns + (bytes * t.per_byte_ns);
+  Bess_util.Stats.incr t.stats "net.messages";
+  Bess_util.Stats.add t.stats "net.bytes" bytes
+
+(* Synchronous RPC: one request message, one reply message. *)
+let call t ~src ~dst req =
+  match Hashtbl.find_opt t.handlers dst with
+  | None -> raise (No_such_endpoint dst)
+  | Some handler ->
+      account t ~bytes:(t.req_cost req);
+      Bess_util.Stats.incr t.stats (Printf.sprintf "net.calls.%d_to_%d" src dst);
+      let resp = handler ~src req in
+      account t ~bytes:(t.resp_cost resp);
+      resp
+
+(* One-way message (server-initiated callbacks): still executes the
+   handler synchronously, but only one message is accounted. *)
+let send t ~src ~dst req =
+  match Hashtbl.find_opt t.handlers dst with
+  | None -> raise (No_such_endpoint dst)
+  | Some handler ->
+      account t ~bytes:(t.req_cost req);
+      Bess_util.Stats.incr t.stats (Printf.sprintf "net.sends.%d_to_%d" src dst);
+      ignore (handler ~src req)
+
+let messages t = Bess_util.Stats.get t.stats "net.messages"
+let bytes t = Bess_util.Stats.get t.stats "net.bytes"

@@ -1,0 +1,1 @@
+lib/relational/btree.ml: Array Bess Bess_vmem Option Printf

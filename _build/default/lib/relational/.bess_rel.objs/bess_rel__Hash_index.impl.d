@@ -1,0 +1,1 @@
+lib/relational/hash_index.ml: Array Bess Bess_vmem Printf

@@ -1,0 +1,1 @@
+lib/relational/hash_index.mli: Bess

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Bess_util Buffer Bytes Fmt Hashtbl List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Bess Bess_vmem Bytes List Printf Schema String

@@ -1,0 +1,365 @@
+(* A persistent B+-tree of BeSS objects: ordered indexing with range
+   scans, complementing {!Hash_index}.
+
+   Every node is an ordinary object whose child/row pointers are swizzled
+   BeSS references, so descending the tree is a chain of pointer hops and
+   every structural update flows through the normal write-fault machinery
+   — the index is transactional, crash-safe, and survives reorganisation
+   of its segments like any other data.
+
+   Layout (capacities sized to keep nodes well under a page):
+     descriptor:  root ref, height u64
+     leaf node:   tag u64 (=0), nkeys u64, next-leaf ref,
+                  CAP x (key u64, row ref)
+     inner node:  tag u64 (=1), nkeys u64,
+                  CAP x key u64, (CAP+1) x child ref
+
+   Deletion is by key+row from the leaf, without rebalancing (standard
+   lazy deletion: underfull leaves are permitted and reclaimed when
+   emptied); inserts split leaves and inner nodes, growing at the root. *)
+
+module Vmem = Bess_vmem.Vmem
+
+let cap = 24
+
+let leaf_size = 16 + 8 + (cap * 16)
+let inner_size = 16 + (cap * 8) + ((cap + 1) * 8)
+let desc_size = 16
+
+type t = {
+  session : Bess.Session.t;
+  desc : int; (* descriptor object: root ref @0, height @8 *)
+  leaf_type : Bess.Type_desc.t;
+  inner_type : Bess.Type_desc.t;
+  file : Bess.Bess_file.t;
+}
+
+let types_of session =
+  Bess.Catalog.types (Bess.Session.binding session (Bess.Session.main_db_id session)).b_catalog
+
+let leaf_type session =
+  match Bess.Type_desc.find_by_name (types_of session) "__btree_leaf" with
+  | Some ty -> ty
+  | None ->
+      (* refs: next-leaf @16, row refs @24+16k+8 *)
+      let offsets = Array.init (cap + 1) (fun i -> if i = 0 then 16 else 24 + ((i - 1) * 16) + 8) in
+      Bess.Type_desc.register (types_of session) ~name:"__btree_leaf" ~size:leaf_size
+        ~ref_offsets:offsets
+
+let inner_type session =
+  match Bess.Type_desc.find_by_name (types_of session) "__btree_inner" with
+  | Some ty -> ty
+  | None ->
+      (* children at 16 + cap*8 + 8k *)
+      let base = 16 + (cap * 8) in
+      let offsets = Array.init (cap + 1) (fun i -> base + (8 * i)) in
+      Bess.Type_desc.register (types_of session) ~name:"__btree_inner" ~size:inner_size
+        ~ref_offsets:offsets
+
+let desc_type session =
+  match Bess.Type_desc.find_by_name (types_of session) "__btree_desc" with
+  | Some ty -> ty
+  | None -> Bess.Type_desc.register (types_of session) ~name:"__btree_desc" ~size:desc_size
+              ~ref_offsets:[| 0 |]
+
+let index_file session =
+  let fname = "__btrees" in
+  match
+    Bess.Catalog.find_file_by_name
+      (Bess.Session.binding session (Bess.Session.main_db_id session)).b_catalog fname
+  with
+  | Some _ -> Bess.Bess_file.open_existing session ~name:fname ()
+  | None -> Bess.Bess_file.create session ~name:fname ~slotted_pages:2 ~data_pages:8 ()
+
+(* ---- Node accessors (every access is a vmem access on object data) ---- *)
+
+let mem t = Bess.Session.mem t.session
+let data t node = Bess.Session.obj_data t.session node
+let tag t node = Vmem.read_i64 (mem t) (data t node)
+let is_leaf t node = tag t node = 0
+let nkeys t node = Vmem.read_i64 (mem t) (data t node + 8)
+let set_nkeys t node n = Vmem.write_i64 (mem t) (data t node + 8) n
+
+(* leaf *)
+let leaf_next t node = Bess.Session.read_ref t.session ~data_addr:(data t node + 16)
+let set_leaf_next t node nx = Bess.Session.write_ref t.session ~data_addr:(data t node + 16) nx
+let leaf_key t node i = Vmem.read_i64 (mem t) (data t node + 24 + (16 * i))
+let leaf_row t node i = Bess.Session.read_ref t.session ~data_addr:(data t node + 24 + (16 * i) + 8)
+
+let set_leaf_entry t node i key row =
+  Vmem.write_i64 (mem t) (data t node + 24 + (16 * i)) key;
+  Bess.Session.write_ref t.session ~data_addr:(data t node + 24 + (16 * i) + 8) row
+
+(* inner *)
+let inner_key t node i = Vmem.read_i64 (mem t) (data t node + 16 + (8 * i))
+let set_inner_key t node i k = Vmem.write_i64 (mem t) (data t node + 16 + (8 * i)) k
+let child_off i = 16 + (cap * 8) + (8 * i)
+let inner_child t node i = Bess.Session.read_ref t.session ~data_addr:(data t node + child_off i)
+
+let set_inner_child t node i c =
+  Bess.Session.write_ref t.session ~data_addr:(data t node + child_off i) c
+
+let new_leaf t =
+  let node = Bess.Bess_file.new_object t.file t.leaf_type ~size:leaf_size in
+  Vmem.write_i64 (mem t) (data t node) 0;
+  node
+
+let new_inner t =
+  let node = Bess.Bess_file.new_object t.file t.inner_type ~size:inner_size in
+  Vmem.write_i64 (mem t) (data t node) 1;
+  node
+
+(* ---- Descriptor ---- *)
+
+let root t = Bess.Session.read_ref t.session ~data_addr:(data t t.desc)
+let set_root t r = Bess.Session.write_ref t.session ~data_addr:(data t t.desc) r
+let height t = Vmem.read_i64 (mem t) (data t t.desc + 8)
+let set_height t h = Vmem.write_i64 (mem t) (data t t.desc + 8) h
+
+let create session ~name () =
+  let file = index_file session in
+  let desc = Bess.Bess_file.new_object file (desc_type session) ~size:desc_size in
+  Bess.Session.set_root session ~name:("__btree:" ^ name) desc;
+  let t = { session; desc; leaf_type = leaf_type session; inner_type = inner_type session; file } in
+  let leaf = new_leaf t in
+  set_root t (Some leaf);
+  set_height t 1;
+  t
+
+let open_existing session ~name =
+  match Bess.Session.root session ("__btree:" ^ name) with
+  | None -> invalid_arg (Printf.sprintf "Btree: no index named %s" name)
+  | Some desc ->
+      { session; desc; leaf_type = leaf_type session; inner_type = inner_type session;
+        file = index_file session }
+
+(* ---- Search ---- *)
+
+(* First slot in a leaf whose key >= k. *)
+let leaf_lower_bound t node k =
+  let n = nkeys t node in
+  let rec go i = if i >= n then n else if leaf_key t node i >= k then i else go (i + 1) in
+  go 0
+
+(* Child index to descend for key k on the *insert* path: entries equal
+   to a separator go right of it, so appends of duplicates cluster. *)
+let inner_slot t node k =
+  let n = nkeys t node in
+  let rec go i = if i >= n then n else if k < inner_key t node i then i else go (i + 1) in
+  go 0
+
+(* Leftmost descent for *search*: duplicates may sit on either side of an
+   equal separator, so go left of the first separator >= k. *)
+let inner_slot_lb t node k =
+  let n = nkeys t node in
+  let rec go i = if i >= n then n else if k <= inner_key t node i then i else go (i + 1) in
+  go 0
+
+let rec find_leaf_lb t node k =
+  if is_leaf t node then node
+  else
+    let i = inner_slot_lb t node k in
+    match inner_child t node i with
+    | Some c -> find_leaf_lb t c k
+    | None -> failwith "Btree: missing child"
+
+(* All rows under [key]. *)
+let lookup t ~key =
+  match root t with
+  | None -> []
+  | Some r ->
+      let leaf = find_leaf_lb t r key in
+      let rec collect node acc =
+        let n = nkeys t node in
+        let acc = ref acc and past = ref false in
+        let i = ref (leaf_lower_bound t node key) in
+        while (not !past) && !i < n do
+          if leaf_key t node !i = key then begin
+            (match leaf_row t node !i with Some row -> acc := row :: !acc | None -> ());
+            incr i
+          end
+          else past := true
+        done;
+        (* matching entries may continue in the next leaf *)
+        if (not !past) && !i >= n then
+          match leaf_next t node with Some nx -> collect nx !acc | None -> !acc
+        else !acc
+      in
+      collect leaf []
+
+(* Range scan: every (key, row) with lo <= key <= hi, in key order. *)
+let range t ~lo ~hi f =
+  match root t with
+  | None -> ()
+  | Some r ->
+      let rec walk node =
+        let n = nkeys t node in
+        let stop = ref false in
+        for i = 0 to n - 1 do
+          if not !stop then begin
+            let k = leaf_key t node i in
+            if k > hi then stop := true
+            else if k >= lo then
+              match leaf_row t node i with Some row -> f k row | None -> ()
+          end
+        done;
+        if not !stop then match leaf_next t node with Some nx -> walk nx | None -> ()
+      in
+      walk (find_leaf_lb t r lo)
+
+(* ---- Insert ---- *)
+
+(* Insert into a leaf known to have room. *)
+let leaf_insert_at t node k row =
+  let n = nkeys t node in
+  let pos = leaf_lower_bound t node k in
+  for i = n downto pos + 1 do
+    set_leaf_entry t node i (leaf_key t node (i - 1)) (leaf_row t node (i - 1))
+  done;
+  set_leaf_entry t node pos k (Some row);
+  set_nkeys t node (n + 1)
+
+(* Split a full leaf; returns (separator key, new right sibling). *)
+let split_leaf t node =
+  let n = nkeys t node in
+  let mid = n / 2 in
+  let right = new_leaf t in
+  for i = mid to n - 1 do
+    set_leaf_entry t right (i - mid) (leaf_key t node i) (leaf_row t node i)
+  done;
+  set_nkeys t right (n - mid);
+  set_nkeys t node mid;
+  set_leaf_next t right (leaf_next t node);
+  set_leaf_next t node (Some right);
+  (leaf_key t right 0, right)
+
+let inner_insert_at t node pos k child =
+  let n = nkeys t node in
+  for i = n downto pos + 1 do
+    set_inner_key t node i (inner_key t node (i - 1))
+  done;
+  for i = n + 1 downto pos + 2 do
+    set_inner_child t node i (inner_child t node (i - 1))
+  done;
+  set_inner_key t node pos k;
+  set_inner_child t node (pos + 1) (Some child);
+  set_nkeys t node (n + 1)
+
+let split_inner t node =
+  let n = nkeys t node in
+  let mid = n / 2 in
+  let sep = inner_key t node mid in
+  let right = new_inner t in
+  for i = mid + 1 to n - 1 do
+    set_inner_key t right (i - mid - 1) (inner_key t node i)
+  done;
+  for i = mid + 1 to n do
+    set_inner_child t right (i - mid - 1) (inner_child t node i)
+  done;
+  set_nkeys t right (n - mid - 1);
+  set_nkeys t node mid;
+  (sep, right)
+
+(* Recursive insert; returns Some (sep, right) when [node] split. *)
+let rec insert_rec t node k row =
+  if is_leaf t node then begin
+    leaf_insert_at t node k row;
+    if nkeys t node >= cap then Some (split_leaf t node) else None
+  end
+  else begin
+    let i = inner_slot t node k in
+    let child = Option.get (inner_child t node i) in
+    match insert_rec t child k row with
+    | None -> None
+    | Some (sep, right) ->
+        inner_insert_at t node i sep right;
+        if nkeys t node >= cap then Some (split_inner t node) else None
+  end
+
+let insert t ~key row =
+  let r = Option.get (root t) in
+  match insert_rec t r key row with
+  | None -> ()
+  | Some (sep, right) ->
+      let new_root = new_inner t in
+      set_inner_key t new_root 0 sep;
+      set_inner_child t new_root 0 (Some r);
+      set_inner_child t new_root 1 (Some right);
+      set_nkeys t new_root 1;
+      set_root t (Some new_root);
+      set_height t (height t + 1)
+
+(* ---- Delete (lazy: no rebalancing) ---- *)
+
+let remove t ~key row =
+  match root t with
+  | None -> false
+  | Some r ->
+      let rec try_leaf node =
+        let n = nkeys t node in
+        let found = ref false in
+        (try
+           for i = leaf_lower_bound t node key to n - 1 do
+             if leaf_key t node i > key then raise Exit;
+             if leaf_row t node i = Some row then begin
+               for j = i to n - 2 do
+                 set_leaf_entry t node j (leaf_key t node (j + 1)) (leaf_row t node (j + 1))
+               done;
+               set_leaf_entry t node (n - 1) 0 None;
+               set_nkeys t node (n - 1);
+               found := true;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found then true
+        else
+          (* duplicates may have spilled right *)
+          match leaf_next t node with
+          | Some nx when nkeys t nx > 0 && leaf_key t nx 0 <= key -> try_leaf nx
+          | _ -> false
+      in
+      try_leaf (find_leaf_lb t r key)
+
+(* ---- Integrity (for property tests) ---- *)
+
+let check t =
+  let rec go node lo hi depth =
+    if depth > 32 then failwith "btree too deep";
+    let n = nkeys t node in
+    if is_leaf t node then
+      for i = 0 to n - 1 do
+        let k = leaf_key t node i in
+        if k < lo || k > hi then failwith "leaf key out of bounds";
+        if i > 0 && leaf_key t node (i - 1) > k then failwith "leaf keys unsorted"
+      done
+    else begin
+      if n = 0 then failwith "empty inner node";
+      for i = 0 to n - 1 do
+        (* duplicates make separators non-strict *)
+        if i > 0 && inner_key t node (i - 1) > inner_key t node i then
+          failwith "inner keys unsorted"
+      done;
+      for i = 0 to n do
+        let clo = if i = 0 then lo else inner_key t node (i - 1) in
+        let chi = if i = n then hi else inner_key t node i in
+        match inner_child t node i with
+        | Some c -> go c clo chi (depth + 1)
+        | None -> failwith "missing child"
+      done
+    end
+  in
+  match root t with None -> () | Some r -> go r min_int max_int 0
+
+let cardinality t =
+  let total = ref 0 in
+  (match root t with
+  | None -> ()
+  | Some r ->
+      let rec leftmost node = if is_leaf t node then node else leftmost (Option.get (inner_child t node 0)) in
+      let rec walk node =
+        total := !total + nkeys t node;
+        match leaf_next t node with Some nx -> walk nx | None -> ()
+      in
+      walk (leftmost r));
+  !total

@@ -1,0 +1,33 @@
+(** A persistent B+-tree of BeSS objects: ordered indexing with range
+    scans, complementing {!Hash_index}.
+
+    Nodes are ordinary objects whose child and row pointers are swizzled
+    references; updates flow through the write-fault machinery, making
+    the tree transactional and crash-safe for free. Duplicate keys are
+    supported. Deletion is lazy (no rebalancing), the standard trade-off
+    for value-logged trees. *)
+
+type t
+
+val create : Bess.Session.t -> name:string -> unit -> t
+val open_existing : Bess.Session.t -> name:string -> t
+
+(** Current height (1 = a single leaf). *)
+val height : t -> int
+
+val insert : t -> key:int -> int -> unit
+
+(** All rows under [key] (duplicates included). *)
+val lookup : t -> key:int -> int list
+
+(** In-order visit of every (key, row) with [lo <= key <= hi]. *)
+val range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** Remove one (key, row) entry; [false] if absent. *)
+val remove : t -> key:int -> int -> bool
+
+(** Raise [Failure] if ordering or structure invariants are violated. *)
+val check : t -> unit
+
+(** Entries across the leaf chain. *)
+val cardinality : t -> int

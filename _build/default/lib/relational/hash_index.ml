@@ -1,0 +1,172 @@
+(* A persistent hash index built out of BeSS objects.
+
+   Buckets are ordinary objects: a fixed array of (key, row-reference)
+   entries plus an overflow reference to the next bucket — every entry
+   reference is a swizzled BeSS reference, so a probe is a pointer hop,
+   and every update goes through the normal write-fault machinery (the
+   index is transactional and crash-safe for free). The directory object
+   holds references to the first bucket of each chain and is reachable
+   from a named root, so indexes survive sessions.
+
+   Layout:
+     directory object: n_buckets u64, then n_buckets references
+     bucket object:    next-overflow ref, count u64,
+                       then CAPACITY x (key u64, row ref)            *)
+
+module Vmem = Bess_vmem.Vmem
+
+let capacity = 28 (* entries per bucket object *)
+
+let bucket_size = 8 (* next ref *) + 8 (* count *) + (capacity * 16)
+
+let dir_size n_buckets = 8 + (8 * n_buckets)
+
+type t = {
+  session : Bess.Session.t;
+  dir : int; (* directory object slot address *)
+  n_buckets : int;
+  bucket_type : Bess.Type_desc.t;
+  file : Bess.Bess_file.t;
+}
+
+let types_of session =
+  Bess.Catalog.types (Bess.Session.binding session (Bess.Session.main_db_id session)).b_catalog
+
+let bucket_type session =
+  match Bess.Type_desc.find_by_name (types_of session) "__hash_bucket" with
+  | Some ty -> ty
+  | None ->
+      (* references live at offset 0 (overflow) and at 16 + 16k + 8 *)
+      let offsets = Array.init (capacity + 1) (fun i -> if i = 0 then 0 else 16 + ((i - 1) * 16) + 8) in
+      Bess.Type_desc.register (types_of session) ~name:"__hash_bucket" ~size:bucket_size
+        ~ref_offsets:offsets
+
+(* The directory's type depends on its bucket count; one type per size. *)
+let dir_type session n_buckets =
+  let name = Printf.sprintf "__hash_dir_%d" n_buckets in
+  match Bess.Type_desc.find_by_name (types_of session) name with
+  | Some ty -> ty
+  | None ->
+      let offsets = Array.init n_buckets (fun i -> 8 + (8 * i)) in
+      Bess.Type_desc.register (types_of session) ~name ~size:(dir_size n_buckets) ~ref_offsets:offsets
+
+let index_file session =
+  let fname = "__indexes" in
+  match
+    Bess.Catalog.find_file_by_name
+      (Bess.Session.binding session (Bess.Session.main_db_id session)).b_catalog fname
+  with
+  | Some _ -> Bess.Bess_file.open_existing session ~name:fname ()
+  | None -> Bess.Bess_file.create session ~name:fname ~slotted_pages:2 ~data_pages:8 ()
+
+let mix key = ((key * 0x2545F4914F6CDD1D) lsr 17) land max_int
+
+(* Create an empty index and register it under a name. *)
+let create session ~name ?(n_buckets = 64) () =
+  let file = index_file session in
+  let dir = Bess.Bess_file.new_object file (dir_type session n_buckets) ~size:(dir_size n_buckets) in
+  Vmem.write_i64 (Bess.Session.mem session) (Bess.Session.obj_data session dir) n_buckets;
+  Bess.Session.set_root session ~name:("__index:" ^ name) dir;
+  { session; dir; n_buckets; bucket_type = bucket_type session; file }
+
+let open_existing session ~name =
+  match Bess.Session.root session ("__index:" ^ name) with
+  | None -> invalid_arg (Printf.sprintf "Hash_index: no index named %s" name)
+  | Some dir ->
+      let n_buckets = Vmem.read_i64 (Bess.Session.mem session) (Bess.Session.obj_data session dir) in
+      { session; dir; n_buckets; bucket_type = bucket_type session; file = index_file session }
+
+let mem t = Bess.Session.mem t.session
+
+let dir_slot_addr t key =
+  Bess.Session.obj_data t.session t.dir + 8 + (8 * (mix key mod t.n_buckets))
+
+let bucket_next t bucket =
+  Bess.Session.read_ref t.session ~data_addr:(Bess.Session.obj_data t.session bucket)
+
+let bucket_count t bucket = Vmem.read_i64 (mem t) (Bess.Session.obj_data t.session bucket + 8)
+
+let entry_key t bucket i = Vmem.read_i64 (mem t) (Bess.Session.obj_data t.session bucket + 16 + (16 * i))
+
+let entry_row t bucket i =
+  Bess.Session.read_ref t.session
+    ~data_addr:(Bess.Session.obj_data t.session bucket + 16 + (16 * i) + 8)
+
+let set_entry t bucket i key row =
+  let base = Bess.Session.obj_data t.session bucket in
+  Vmem.write_i64 (mem t) (base + 16 + (16 * i)) key;
+  Bess.Session.write_ref t.session ~data_addr:(base + 16 + (16 * i) + 8) row
+
+(* Insert (key, row). New buckets chain at the head. *)
+let insert t ~key row =
+  let head = Bess.Session.read_ref t.session ~data_addr:(dir_slot_addr t key) in
+  let target =
+    match head with
+    | Some bucket when bucket_count t bucket < capacity -> bucket
+    | _ ->
+        let bucket = Bess.Bess_file.new_object t.file t.bucket_type ~size:bucket_size in
+        Bess.Session.write_ref t.session
+          ~data_addr:(Bess.Session.obj_data t.session bucket)
+          head;
+        Bess.Session.write_ref t.session ~data_addr:(dir_slot_addr t key) (Some bucket);
+        bucket
+  in
+  let n = bucket_count t target in
+  set_entry t target n key (Some row);
+  Vmem.write_i64 (mem t) (Bess.Session.obj_data t.session target + 8) (n + 1)
+
+(* All rows currently indexed under [key]. *)
+let lookup t ~key =
+  let rec walk acc bucket =
+    match bucket with
+    | None -> acc
+    | Some b ->
+        let n = bucket_count t b in
+        let acc = ref acc in
+        for i = 0 to n - 1 do
+          if entry_key t b i = key then
+            match entry_row t b i with Some row -> acc := row :: !acc | None -> ()
+        done;
+        walk !acc (bucket_next t b)
+  in
+  walk [] (Bess.Session.read_ref t.session ~data_addr:(dir_slot_addr t key))
+
+(* Remove one (key, row) entry: swap-with-last inside its bucket. *)
+let remove t ~key row =
+  let rec walk bucket =
+    match bucket with
+    | None -> false
+    | Some b ->
+        let n = bucket_count t b in
+        let found = ref false in
+        (try
+           for i = 0 to n - 1 do
+             if entry_key t b i = key && entry_row t b i = Some row then begin
+               let last = n - 1 in
+               if i <> last then set_entry t b i (entry_key t b last) (entry_row t b last);
+               set_entry t b last 0 None;
+               Vmem.write_i64 (mem t) (Bess.Session.obj_data t.session b + 8) last;
+               found := true;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found then true else walk (bucket_next t b)
+  in
+  ignore (walk (Bess.Session.read_ref t.session ~data_addr:(dir_slot_addr t key)))
+
+(* Entries across all chains, for integrity checks. *)
+let cardinality t =
+  let total = ref 0 in
+  for b = 0 to t.n_buckets - 1 do
+    let slot_addr = Bess.Session.obj_data t.session t.dir + 8 + (8 * b) in
+    let rec walk bucket =
+      match bucket with
+      | None -> ()
+      | Some bk ->
+          total := !total + bucket_count t bk;
+          walk (bucket_next t bk)
+    in
+    walk (Bess.Session.read_ref t.session ~data_addr:slot_addr)
+  done;
+  !total

@@ -1,0 +1,27 @@
+(** A persistent hash index built out of BeSS objects.
+
+    Buckets are ordinary objects — a fixed entry array plus an overflow
+    reference — so probes are pointer hops and every update flows through
+    the normal write-fault machinery: the index is transactional and
+    crash-safe with no code of its own for either. The directory is
+    reachable from a named root, so indexes survive sessions. *)
+
+type t
+
+(** Create an empty index registered under [name]. *)
+val create : Bess.Session.t -> name:string -> ?n_buckets:int -> unit -> t
+
+val open_existing : Bess.Session.t -> name:string -> t
+
+(** Add an entry mapping [key] to a row (slot address). Duplicates are
+    permitted. *)
+val insert : t -> key:int -> int -> unit
+
+(** All rows currently under [key]. *)
+val lookup : t -> key:int -> int list
+
+(** Remove one (key, row) entry if present. *)
+val remove : t -> key:int -> int -> unit
+
+(** Total entries, for integrity checks. *)
+val cardinality : t -> int

@@ -1,0 +1,124 @@
+(* Relational schemas over BeSS objects.
+
+   The paper's opening claim is that BeSS provides "key facilities for
+   the fast development of object-oriented, relational, or home-grown
+   database management systems" (Prospector runs "an extended relational
+   interface to BeSS"). This small relational layer demonstrates it:
+   tables are BeSS files, rows are fixed-layout BeSS objects, foreign
+   keys are ordinary swizzled references (so joins dereference at pointer
+   speed and survive reorganisation), and schemas persist inside the
+   database itself as named objects.
+
+   Column layout: columns are placed in declaration order, each aligned
+   to 8 bytes. Reference columns are declared to the type descriptor so
+   wave-3 swizzling covers foreign keys. *)
+
+type col_ty =
+  | Int (* 8 bytes *)
+  | Text of int (* fixed width, zero-padded *)
+  | Ref of string (* foreign key into the named table *)
+
+type column = { col_name : string; col_ty : col_ty; col_off : int }
+
+type t = {
+  table_name : string;
+  columns : column list;
+  row_size : int;
+}
+
+let align8 n = (n + 7) land lnot 7
+
+let width = function Int -> 8 | Text w -> align8 (Stdlib.max 1 w) | Ref _ -> 8
+
+let layout ~table_name cols =
+  if cols = [] then invalid_arg "Schema: a table needs at least one column";
+  let seen = Hashtbl.create 8 in
+  let off = ref 0 in
+  let columns =
+    List.map
+      (fun (col_name, col_ty) ->
+        if Hashtbl.mem seen col_name then invalid_arg "Schema: duplicate column";
+        Hashtbl.add seen col_name ();
+        let col_off = !off in
+        off := !off + width col_ty;
+        { col_name; col_ty; col_off })
+      cols
+  in
+  { table_name; columns; row_size = !off }
+
+let column t name =
+  match List.find_opt (fun c -> c.col_name = name) t.columns with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Schema: table %s has no column %s" t.table_name name)
+
+let ref_offsets t =
+  List.filter_map
+    (fun c -> match c.col_ty with Ref _ -> Some c.col_off | Int | Text _ -> None)
+    t.columns
+  |> Array.of_list
+
+(* ---- Persistence: a schema encodes into a byte object ---- *)
+
+let encode t =
+  let buf = Buffer.create 128 in
+  let u32 v =
+    let b = Bytes.create 4 in
+    Bess_util.Codec.set_u32 b 0 v;
+    Buffer.add_bytes buf b
+  in
+  let str s =
+    let b = Bytes.create (Bess_util.Codec.string_size s) in
+    ignore (Bess_util.Codec.set_string b 0 s);
+    Buffer.add_bytes buf b
+  in
+  str t.table_name;
+  u32 (List.length t.columns);
+  List.iter
+    (fun c ->
+      str c.col_name;
+      match c.col_ty with
+      | Int -> u32 0
+      | Text w ->
+          u32 1;
+          u32 w
+      | Ref target ->
+          u32 2;
+          str target)
+    t.columns;
+  Buffer.to_bytes buf
+
+let decode b =
+  let pos = ref 0 in
+  let u32 () =
+    let v = Bess_util.Codec.get_u32 b !pos in
+    pos := !pos + 4;
+    v
+  in
+  let str () =
+    let s, p = Bess_util.Codec.get_string b !pos in
+    pos := p;
+    s
+  in
+  let table_name = str () in
+  let n = u32 () in
+  let cols =
+    List.init n (fun _ ->
+        let name = str () in
+        match u32 () with
+        | 0 -> (name, Int)
+        | 1 -> (name, Text (u32 ()))
+        | 2 -> (name, Ref (str ()))
+        | _ -> failwith "Schema.decode: corrupt")
+  in
+  layout ~table_name cols
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>table %s (%d bytes/row)@,%a@]" t.table_name t.row_size
+    (Fmt.list ~sep:Fmt.cut (fun ppf c ->
+         Fmt.pf ppf "  %-16s %s @%d" c.col_name
+           (match c.col_ty with
+           | Int -> "int"
+           | Text w -> Printf.sprintf "text(%d)" w
+           | Ref t -> "ref " ^ t)
+           c.col_off))
+    t.columns

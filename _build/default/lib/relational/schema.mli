@@ -1,0 +1,28 @@
+(** Relational schemas over BeSS objects: column layout, reference
+    offsets for the swizzler, and an in-database persistence codec.
+
+    Columns are placed in declaration order, each aligned to 8 bytes;
+    reference (foreign key) columns become entries in the row type's
+    descriptor, so wave-3 swizzling covers them. *)
+
+type col_ty =
+  | Int  (** 8 bytes *)
+  | Text of int  (** fixed width, zero-padded, rounded up to 8 *)
+  | Ref of string  (** foreign key into the named table *)
+
+type column = { col_name : string; col_ty : col_ty; col_off : int }
+
+type t = { table_name : string; columns : column list; row_size : int }
+
+(** Compute a layout; raises on duplicate or empty column lists. *)
+val layout : table_name:string -> (string * col_ty) list -> t
+
+(** Raises [Invalid_argument] on unknown columns. *)
+val column : t -> string -> column
+
+(** Byte offsets of the reference columns, for the type descriptor. *)
+val ref_offsets : t -> int array
+
+val encode : t -> Bytes.t
+val decode : Bytes.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,154 @@
+(* Tables as BeSS files, rows as BeSS objects.
+
+   A row is a fixed-layout object whose type descriptor lists the foreign
+   key columns, so the storage manager swizzles them like any reference;
+   a join dereference is a pointer hop. Schemas persist as byte objects
+   named "__schema:<table>" in a dedicated schema file, so a fresh
+   session can re-open every table from the database alone. *)
+
+module Vmem = Bess_vmem.Vmem
+
+type value = VInt of int | VText of string | VRef of int option (* row slot address *)
+
+type t = {
+  session : Bess.Session.t;
+  schema : Schema.t;
+  row_type : Bess.Type_desc.t;
+  file : Bess.Bess_file.t;
+}
+
+let schema t = t.schema
+let name t = t.schema.table_name
+
+let type_name table_name = "__row:" ^ table_name
+let schema_root table_name = "__schema:" ^ table_name
+let schema_file_name = "__schemas"
+
+let schema_file session =
+  match
+    Bess.Catalog.find_file_by_name
+      (Bess.Session.binding session (Bess.Session.main_db_id session)).b_catalog
+      schema_file_name
+  with
+  | Some _ -> Bess.Bess_file.open_existing session ~name:schema_file_name ()
+  | None -> Bess.Bess_file.create session ~name:schema_file_name ~data_pages:2 ()
+
+(* Persist the schema blob as a named byte object. *)
+let save_schema session (schema : Schema.t) =
+  let blob = Schema.encode schema in
+  let sf = schema_file session in
+  let obj =
+    Bess.Bess_file.new_object sf Bess.Type_desc.bytes_type ~size:(Bytes.length blob)
+  in
+  Vmem.write_bytes (Bess.Session.mem session) (Bess.Session.obj_data session obj) blob;
+  Bess.Session.set_root session ~name:(schema_root schema.table_name) obj
+
+let load_schema session table_name =
+  match Bess.Session.root session (schema_root table_name) with
+  | None -> invalid_arg (Printf.sprintf "Table: no table named %s" table_name)
+  | Some obj ->
+      let size = Bess.Session.obj_size session obj in
+      let blob =
+        Vmem.read_bytes (Bess.Session.mem session) (Bess.Session.obj_data session obj) size
+      in
+      Schema.decode blob
+
+let row_type session (schema : Schema.t) =
+  let types =
+    Bess.Catalog.types (Bess.Session.binding session (Bess.Session.main_db_id session)).b_catalog
+  in
+  match Bess.Type_desc.find_by_name types (type_name schema.table_name) with
+  | Some ty -> ty
+  | None ->
+      Bess.Type_desc.register types ~name:(type_name schema.table_name) ~size:schema.row_size
+        ~ref_offsets:(Schema.ref_offsets schema)
+
+(* Create a table: lay out the schema, register the row type, persist the
+   schema, create the backing file. Must run inside a transaction. *)
+let create session ~name:table_name cols =
+  let schema = Schema.layout ~table_name cols in
+  let ty = row_type session schema in
+  save_schema session schema;
+  let file =
+    Bess.Bess_file.create session ~name:("__table:" ^ table_name) ~slotted_pages:2
+      ~data_pages:4 ()
+  in
+  { session; schema; row_type = ty; file }
+
+let open_existing session ~name:table_name =
+  let schema = load_schema session table_name in
+  let ty = row_type session schema in
+  let file = Bess.Bess_file.open_existing session ~name:("__table:" ^ table_name) () in
+  { session; schema; row_type = ty; file }
+
+(* ---- Row access ---- *)
+
+let mem t = Bess.Session.mem t.session
+
+let get t row col_name =
+  let c = Schema.column t.schema col_name in
+  let base = Bess.Session.obj_data t.session row in
+  match c.col_ty with
+  | Schema.Int -> VInt (Vmem.read_i64 (mem t) (base + c.col_off))
+  | Schema.Text w ->
+      let raw = Vmem.read_bytes (mem t) (base + c.col_off) w in
+      let len = try Bytes.index raw '\000' with Not_found -> w in
+      VText (Bytes.sub_string raw 0 len)
+  | Schema.Ref _ -> VRef (Bess.Session.read_ref t.session ~data_addr:(base + c.col_off))
+
+let get_int t row col = match get t row col with VInt v -> v | _ -> invalid_arg "get_int"
+let get_text t row col = match get t row col with VText v -> v | _ -> invalid_arg "get_text"
+let get_ref t row col = match get t row col with VRef v -> v | _ -> invalid_arg "get_ref"
+
+let set t row col_name value =
+  let c = Schema.column t.schema col_name in
+  let base = Bess.Session.obj_data t.session row in
+  match (c.col_ty, value) with
+  | Schema.Int, VInt v -> Vmem.write_i64 (mem t) (base + c.col_off) v
+  | Schema.Text w, VText s ->
+      if String.length s > w then invalid_arg "Table.set: text too wide";
+      let raw = Bytes.make w '\000' in
+      Bytes.blit_string s 0 raw 0 (String.length s);
+      Vmem.write_bytes (mem t) (base + c.col_off) raw
+  | Schema.Ref _, VRef target ->
+      Bess.Session.write_ref t.session ~data_addr:(base + c.col_off) target
+  | _ -> invalid_arg "Table.set: value does not match the column type"
+
+(* Insert a row given values in column order. *)
+let insert t values =
+  if List.length values <> List.length t.schema.columns then
+    invalid_arg "Table.insert: wrong arity";
+  let row = Bess.Bess_file.new_object t.file t.row_type ~size:t.schema.row_size in
+  List.iter2 (fun c v -> set t row c.Schema.col_name v) t.schema.columns values;
+  row
+
+let delete t row = Bess.Session.delete_object t.session row
+
+(* ---- Scans and query operators ---- *)
+
+let iter t f = Bess.Bess_file.iter t.file f
+
+let fold t f init =
+  let acc = ref init in
+  iter t (fun row -> acc := f !acc row);
+  !acc
+
+let count t = fold t (fun n _ -> n + 1) 0
+
+(* select: full scan with an optional predicate. *)
+let select ?(where = fun _ -> true) t =
+  List.rev (fold t (fun acc row -> if where row then row :: acc else acc) [])
+
+(* Pointer join: follow the foreign-key reference of each qualifying row
+   — a swizzled dereference, no key comparison at all. *)
+let join_ref ?(where = fun _ -> true) t ~ref_col f =
+  iter t (fun row ->
+      if where row then
+        match get_ref t row ref_col with
+        | Some target -> f row target
+        | None -> ())
+
+(* Nested-loop join on an arbitrary equality (for comparison with
+   {!join_ref} — the paper's fast-reference pitch in miniature). *)
+let join_nested ?(where = fun _ -> true) t ~on other f =
+  iter t (fun row -> if where row then iter other (fun orow -> if on row orow then f row orow))

@@ -1,0 +1,52 @@
+(** Tables as BeSS files, rows as BeSS objects.
+
+    Rows are fixed-layout objects whose type descriptor lists the foreign
+    key columns, so the storage manager swizzles them like any reference
+    — a join dereference is a pointer hop. Schemas persist as named byte
+    objects inside the database, so any session can re-open every table
+    from the database alone.
+
+    Rows are identified by their slot addresses (ints), as everywhere in
+    the session API. All operations must run inside a transaction. *)
+
+type value = VInt of int | VText of string | VRef of int option
+
+type t
+
+val schema : t -> Schema.t
+val name : t -> string
+
+(** Create a table: registers the row type, persists the schema, creates
+    the backing file. *)
+val create : Bess.Session.t -> name:string -> (string * Schema.col_ty) list -> t
+
+(** Re-open a table from its persisted schema. *)
+val open_existing : Bess.Session.t -> name:string -> t
+
+(** {2 Rows} *)
+
+(** Insert a row; values in column order. *)
+val insert : t -> value list -> int
+
+val delete : t -> int -> unit
+val get : t -> int -> string -> value
+val get_int : t -> int -> string -> int
+val get_text : t -> int -> string -> string
+val get_ref : t -> int -> string -> int option
+val set : t -> int -> string -> value -> unit
+
+(** {2 Scans and operators} *)
+
+val iter : t -> (int -> unit) -> unit
+val fold : t -> ('a -> int -> 'a) -> 'a -> 'a
+val count : t -> int
+
+(** Full scan with an optional predicate; rows in scan order. *)
+val select : ?where:(int -> bool) -> t -> int list
+
+(** Pointer join: follow each qualifying row's foreign-key reference —
+    one swizzled dereference per row, no key comparison. *)
+val join_ref : ?where:(int -> bool) -> t -> ref_col:string -> (int -> int -> unit) -> unit
+
+(** Nested-loop join on an arbitrary predicate, for comparison. *)
+val join_nested : ?where:(int -> bool) -> t -> on:(int -> int -> bool) -> t -> (int -> int -> unit) -> unit

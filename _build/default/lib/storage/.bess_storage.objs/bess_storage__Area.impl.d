@@ -1,0 +1,1 @@
+lib/storage/area.ml: Array Bess_buddy Bess_util Bytes List Stdlib Unix

@@ -1,0 +1,1 @@
+lib/storage/area.mli: Bess_util Bytes

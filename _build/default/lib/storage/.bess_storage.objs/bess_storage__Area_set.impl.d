@@ -1,0 +1,1 @@
+lib/storage/area_set.ml: Area Array Bess_util Hashtbl List Printf Seg_addr

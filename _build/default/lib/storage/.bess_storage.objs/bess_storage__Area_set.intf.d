@@ -1,0 +1,1 @@
+lib/storage/area_set.mli: Area Bess_util Bytes Seg_addr

@@ -1,0 +1,1 @@
+lib/storage/seg_addr.ml: Bess_util Fmt Stdlib

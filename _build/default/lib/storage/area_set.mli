@@ -1,0 +1,28 @@
+(** A set of storage areas with round-robin striping for multifiles. *)
+
+type t
+
+val create : unit -> t
+
+(** Register an area; its {!Area.id} must be unique in the set. *)
+val add : t -> Area.t -> unit
+
+val find : t -> int -> Area.t
+val ids : t -> int list
+val n_areas : t -> int
+val stats : t -> Bess_util.Stats.t
+val iter : t -> (Area.t -> unit) -> unit
+
+(** Allocate a segment in one named area (ordinary BeSS files: all segments
+    of a file live in a single area). *)
+val alloc_in : t -> area_id:int -> npages:int -> Seg_addr.t option
+
+(** Allocate round-robin across areas (multifiles, section 2). *)
+val alloc_striped : t -> npages:int -> Seg_addr.t option
+
+val free : t -> Seg_addr.t -> unit
+val read_page : t -> area_id:int -> int -> Bytes.t
+val read_page_into : t -> area_id:int -> int -> Bytes.t -> unit
+val write_page : t -> area_id:int -> int -> Bytes.t -> unit
+val sync : t -> unit
+val close : t -> unit

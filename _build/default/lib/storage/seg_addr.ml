@@ -1,0 +1,23 @@
+(* Disk address of a segment: which storage area, first page, page count.
+   12 bytes on disk; used in slot tables, large-object trees and the WAL. *)
+
+type t = { area : int; first_page : int; npages : int }
+
+let equal a b = a.area = b.area && a.first_page = b.first_page && a.npages = b.npages
+let compare = Stdlib.compare
+
+let pp ppf t = Fmt.pf ppf "area%d:%d+%d" t.area t.first_page t.npages
+
+let encoded_size = 12
+
+let encode b off t =
+  Bess_util.Codec.set_u32 b off t.area;
+  Bess_util.Codec.set_u32 b (off + 4) t.first_page;
+  Bess_util.Codec.set_u32 b (off + 8) t.npages
+
+let decode b off =
+  {
+    area = Bess_util.Codec.get_u32 b off;
+    first_page = Bess_util.Codec.get_u32 b (off + 4);
+    npages = Bess_util.Codec.get_u32 b (off + 8);
+  }

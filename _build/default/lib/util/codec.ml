@@ -1,0 +1,44 @@
+(* Little-endian fixed-width integer codecs over [Bytes.t].
+
+   Every persistent structure in BeSS (slot arrays, segment headers, log
+   records, large-object tree nodes) is laid out with these primitives so
+   that the on-disk format is byte-identical across runs and platforms. *)
+
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get_u32 b off = get_u16 b off lor (get_u16 b (off + 2) lsl 16)
+
+let set_u32 b off v =
+  set_u16 b off (v land 0xffff);
+  set_u16 b (off + 2) ((v lsr 16) land 0xffff)
+
+(* 63-bit OCaml ints stored in 8 bytes; the sign bit is preserved through
+   Int64 conversion so negative sentinels round-trip. *)
+let get_i64 b off = Int64.to_int (Bytes.get_int64_le b off)
+let set_i64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let get_int64 b off = Bytes.get_int64_le b off
+let set_int64 b off v = Bytes.set_int64_le b off v
+
+let get_bytes b off len = Bytes.sub b off len
+let set_bytes b off src = Bytes.blit src 0 b off (Bytes.length src)
+
+(* Length-prefixed strings: u32 length then payload. Returns the value and
+   the offset just past it, so decoders can be chained. *)
+let set_string b off s =
+  set_u32 b off (String.length s);
+  Bytes.blit_string s 0 b (off + 4) (String.length s);
+  off + 4 + String.length s
+
+let get_string b off =
+  let len = get_u32 b off in
+  (Bytes.sub_string b (off + 4) len, off + 4 + len)
+
+let string_size s = 4 + String.length s

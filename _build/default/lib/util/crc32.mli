@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE) checksums for log records and superblocks. *)
+
+(** [update crc b off len] extends a running checksum. Start from [0l]. *)
+val update : int32 -> Bytes.t -> int -> int -> int32
+
+(** Checksum of a byte range (whole buffer by default). *)
+val bytes : ?off:int -> ?len:int -> Bytes.t -> int32
+
+val string : string -> int32
+
+(** Checksum as a non-negative [int] suitable for {!Codec.set_u32}. *)
+val to_int : int32 -> int

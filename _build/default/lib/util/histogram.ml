@@ -1,0 +1,67 @@
+(* Power-of-two bucketed histograms for latency and size distributions.
+
+   Bucket [i] counts samples in [2^i, 2^(i+1)); bucket 0 also absorbs 0.
+   Cheap enough to keep on hot paths, precise enough for the shape-level
+   comparisons the experiments report. *)
+
+type t = {
+  buckets : int array; (* 63 buckets cover the whole non-negative int range *)
+  mutable count : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+}
+
+let create () = { buckets = Array.make 63 0; count = 0; sum = 0; min = max_int; max = 0 }
+
+let bucket_of v =
+  if v <= 1 then 0
+  else
+    (* index of the highest set bit *)
+    let rec go v i = if v = 1 then i else go (v lsr 1) (i + 1) in
+    go v 0
+
+let observe t v =
+  let v = if v < 0 then 0 else v in
+  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let sum t = t.sum
+let min t = if t.count = 0 then 0 else t.min
+let max t = t.max
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+(* Percentile from bucket boundaries: returns the upper bound of the bucket
+   containing the p-th sample, an upper estimate consistent across runs. *)
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+    let target = if target < 1 then 1 else target in
+    let acc = ref 0 and result = ref 0 in
+    (try
+       for i = 0 to Array.length t.buckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc >= target then begin
+           result := (if i = 0 then 1 else 1 lsl (i + 1)) - 1;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let reset t =
+  Array.fill t.buckets 0 (Array.length t.buckets) 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.min <- max_int;
+  t.max <- 0
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p99=%d max=%d" t.count (mean t) (min t)
+    (percentile t 50.0) (percentile t 99.0) (max t)

@@ -1,0 +1,21 @@
+(** Power-of-two bucketed histograms for latencies and sizes. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one non-negative sample (negatives clamp to 0). *)
+val observe : t -> int -> unit
+
+val count : t -> int
+val sum : t -> int
+val min : t -> int
+val max : t -> int
+val mean : t -> float
+
+(** [percentile t p] is an upper estimate (bucket upper bound) of the p-th
+    percentile, [p] in (0, 100]. *)
+val percentile : t -> float -> int
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

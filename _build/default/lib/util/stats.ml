@@ -1,0 +1,36 @@
+(* Named event counters.
+
+   Every substrate (vmem, cache, lock manager, transport, ...) exposes a
+   [Stats.t] so experiments can report *why* a configuration is faster —
+   faults taken, protection changes, messages sent, pages read — not just
+   elapsed time. Counters are plain ints; the simulation is single-domain. *)
+
+type t = { counters : (string, int ref) Hashtbl.t }
+
+let create () = { counters = Hashtbl.create 32 }
+
+let find t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = incr (find t name)
+let add t name n = find t name := !(find t name) + n
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let set t name v = find t name := v
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t.counters
+
+let to_list t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (k, v) -> Fmt.pf ppf "%-32s %d" k v))
+    (to_list t)
+
+(* Merge [src] into [dst] by summing, used to aggregate per-client stats. *)
+let merge_into ~dst src = List.iter (fun (k, v) -> add dst k v) (to_list src)

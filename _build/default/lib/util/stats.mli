@@ -1,0 +1,21 @@
+(** Named event counters reported alongside benchmark timings. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+
+(** [get t name] is 0 for counters never touched. *)
+val get : t -> string -> int
+
+val set : t -> string -> int -> unit
+val reset : t -> unit
+
+(** Sorted [(name, value)] snapshot. *)
+val to_list : t -> (string * int) list
+
+val pp : Format.formatter -> t -> unit
+
+(** Sum all counters of [src] into [dst]. *)
+val merge_into : dst:t -> t -> unit

@@ -1,0 +1,1 @@
+lib/vmem/vmem.ml: Array Bess_util Bytes Char Fmt Fun List Stdlib

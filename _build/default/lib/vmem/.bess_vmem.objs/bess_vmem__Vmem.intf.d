@@ -1,0 +1,1 @@
+lib/vmem/vmem.mli: Bess_util Bytes Format

@@ -1,0 +1,322 @@
+(* Simulated virtual memory with page-granular protection and fault dispatch.
+
+   BeSS relies on three hardware facilities: reserving address ranges
+   without backing them (mmap PROT_NONE), changing page protection
+   (mprotect), and catching access violations (SIGSEGV/SIGBUS). OCaml under
+   a moving GC cannot hand raw addresses to user code, so this module
+   provides the same facilities over a *simulated* address space: addresses
+   are plain ints, every load/store goes through accessors that check the
+   protection of the pages they touch, and a violation invokes the
+   registered fault handler exactly once before the access is retried --
+   the same contract as a SIGSEGV handler that must resolve the fault
+   before the faulting instruction is restarted.
+
+   Protection changes and page mappings are counted as "system calls" so
+   experiments can report the cost the paper discusses in section 2.2
+   (Sullivan-Stonebraker style protection overhead). *)
+
+type prot = Prot_none | Prot_read | Prot_read_write
+
+type access = Read | Write
+
+type page = {
+  mutable prot : prot;
+  mutable frame : Bytes.t option; (* page-sized backing frame, None = reserved only *)
+}
+
+exception
+  Access_violation of {
+    addr : int;
+    access : access;
+    reason : string;
+  }
+
+type t = {
+  page_size : int;
+  mutable pages : page option array; (* index = page number; None = unreserved *)
+  mutable next_page : int; (* bump pointer for fresh reservations *)
+  mutable free_ranges : (int * int) list; (* (first_page, npages) returned ranges *)
+  mutable handler : (t -> addr:int -> access:access -> unit) option;
+  mutable in_handler : bool;
+  mutable reserved_now : int; (* pages *)
+  mutable reserved_peak : int;
+  mutable mapped_now : int;
+  stats : Bess_util.Stats.t;
+}
+
+let pp_access ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+
+let pp_prot ppf = function
+  | Prot_none -> Fmt.string ppf "none"
+  | Prot_read -> Fmt.string ppf "read"
+  | Prot_read_write -> Fmt.string ppf "read_write"
+
+let create ?(page_size = 4096) () =
+  if page_size < 64 then invalid_arg "Vmem.create: page_size too small";
+  {
+    page_size;
+    pages = Array.make 1024 None;
+    next_page = 1 (* page 0 stays unreserved so address 0 is a trap null *);
+    free_ranges = [];
+    handler = None;
+    in_handler = false;
+    reserved_now = 0;
+    reserved_peak = 0;
+    mapped_now = 0;
+    stats = Bess_util.Stats.create ();
+  }
+
+let page_size t = t.page_size
+let stats t = t.stats
+let reserved_bytes t = t.reserved_now * t.page_size
+let reserved_peak_bytes t = t.reserved_peak * t.page_size
+let mapped_bytes t = t.mapped_now * t.page_size
+
+let set_fault_handler t f = t.handler <- Some f
+let clear_fault_handler t = t.handler <- None
+
+let page_index t addr = addr / t.page_size
+
+let ensure_capacity t upto =
+  let n = Array.length t.pages in
+  if upto >= n then begin
+    let n' = Stdlib.max (upto + 1) (2 * n) in
+    let pages = Array.make n' None in
+    Array.blit t.pages 0 pages 0 n;
+    t.pages <- pages
+  end
+
+(* Reserve [npages] contiguous pages of address space, access-protected and
+   unbacked -- the analogue of mmap(NULL, len, PROT_NONE, MAP_ANON). *)
+let reserve t npages =
+  if npages <= 0 then invalid_arg "Vmem.reserve: npages must be positive";
+  let first =
+    (* Exact-or-larger fit from released ranges, else bump. *)
+    let rec take acc = function
+      | [] ->
+          t.free_ranges <- List.rev acc;
+          let first = t.next_page in
+          t.next_page <- t.next_page + npages;
+          first
+      | (f, n) :: rest when n >= npages ->
+          let remaining = if n > npages then (f + npages, n - npages) :: rest else rest in
+          t.free_ranges <- List.rev_append acc remaining;
+          f
+      | r :: rest -> take (r :: acc) rest
+    in
+    take [] t.free_ranges
+  in
+  ensure_capacity t (first + npages - 1);
+  for i = first to first + npages - 1 do
+    t.pages.(i) <- Some { prot = Prot_none; frame = None }
+  done;
+  t.reserved_now <- t.reserved_now + npages;
+  if t.reserved_now > t.reserved_peak then t.reserved_peak <- t.reserved_now;
+  Bess_util.Stats.incr t.stats "vmem.reserve_calls";
+  Bess_util.Stats.add t.stats "vmem.reserved_pages_total" npages;
+  first * t.page_size
+
+(* Return a reserved range to the free pool (munmap). *)
+let release t addr npages =
+  let first = page_index t addr in
+  for i = first to first + npages - 1 do
+    (match t.pages.(i) with
+    | Some p -> if p.frame <> None then t.mapped_now <- t.mapped_now - 1
+    | None -> invalid_arg "Vmem.release: page not reserved");
+    t.pages.(i) <- None
+  done;
+  t.reserved_now <- t.reserved_now - npages;
+  t.free_ranges <- (first, npages) :: t.free_ranges;
+  Bess_util.Stats.incr t.stats "vmem.release_calls"
+
+let get_page t addr =
+  let idx = page_index t addr in
+  if idx >= Array.length t.pages then None else t.pages.(idx)
+
+(* mprotect: one "system call" per invocation regardless of length. *)
+let set_prot t addr npages prot =
+  let first = page_index t addr in
+  for i = first to first + npages - 1 do
+    match t.pages.(i) with
+    | Some p -> p.prot <- prot
+    | None -> invalid_arg "Vmem.set_prot: page not reserved"
+  done;
+  Bess_util.Stats.incr t.stats "vmem.protect_calls"
+
+let prot_at t addr =
+  match get_page t addr with
+  | Some p -> p.prot
+  | None -> invalid_arg "Vmem.prot_at: page not reserved"
+
+(* Attach a page-sized backing frame to a reserved page. The frame is the
+   cache slot itself: stores through vmem mutate the cache frame directly,
+   which is exactly the zero-copy in-place access the paper claims. *)
+let map t addr frame =
+  if Bytes.length frame <> t.page_size then invalid_arg "Vmem.map: frame must be page-sized";
+  match get_page t addr with
+  | None -> invalid_arg "Vmem.map: page not reserved"
+  | Some p ->
+      if p.frame = None then t.mapped_now <- t.mapped_now + 1;
+      p.frame <- Some frame;
+      Bess_util.Stats.incr t.stats "vmem.map_calls"
+
+let unmap t addr =
+  match get_page t addr with
+  | None -> invalid_arg "Vmem.unmap: page not reserved"
+  | Some p ->
+      if p.frame <> None then t.mapped_now <- t.mapped_now - 1;
+      p.frame <- None;
+      p.prot <- Prot_none;
+      Bess_util.Stats.incr t.stats "vmem.unmap_calls"
+
+let frame_at t addr = match get_page t addr with Some p -> p.frame | None -> None
+
+let is_reserved t addr = get_page t addr <> None
+
+let allows prot access =
+  match (prot, access) with
+  | Prot_read_write, _ -> true
+  | Prot_read, Read -> true
+  | Prot_read, Write | Prot_none, _ -> false
+
+(* Resolve one page for [access], invoking the fault handler at most once.
+   Returns the backing frame. This mirrors the kernel path: check
+   protection; if violated, deliver the signal; retry the instruction;
+   a second violation is fatal. *)
+let resolve t addr access =
+  let violation reason = raise (Access_violation { addr; access; reason }) in
+  let check () =
+    match get_page t addr with
+    | None -> None
+    | Some p -> if allows p.prot access && p.frame <> None then p.frame else None
+  in
+  match check () with
+  | Some frame -> frame
+  | None -> (
+      (match access with
+      | Read -> Bess_util.Stats.incr t.stats "vmem.faults.read"
+      | Write -> Bess_util.Stats.incr t.stats "vmem.faults.write");
+      match t.handler with
+      | None -> violation "no fault handler installed"
+      | Some _ when t.in_handler -> violation "recursive fault in handler"
+      | Some h ->
+          t.in_handler <- true;
+          Fun.protect
+            ~finally:(fun () -> t.in_handler <- false)
+            (fun () -> h t ~addr ~access);
+          (match check () with
+          | Some frame -> frame
+          | None -> violation "fault handler did not resolve access"))
+
+(* Generic accessor over a byte range that may span pages. [f] is applied
+   per page chunk with (frame, offset_in_frame, offset_in_range, len). *)
+let iter_range t addr len access f =
+  if len < 0 then invalid_arg "Vmem: negative length";
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let frame = resolve t a access in
+    let in_page = a mod t.page_size in
+    let chunk = Stdlib.min (len - !pos) (t.page_size - in_page) in
+    f frame in_page !pos chunk;
+    pos := !pos + chunk
+  done
+
+let read_bytes t addr len =
+  let out = Bytes.create len in
+  iter_range t addr len Read (fun frame foff roff chunk -> Bytes.blit frame foff out roff chunk);
+  out
+
+let write_bytes t addr src =
+  iter_range t addr (Bytes.length src) Write (fun frame foff roff chunk ->
+      Bytes.blit src roff frame foff chunk)
+
+let read_string t addr len = Bytes.unsafe_to_string (read_bytes t addr len)
+let write_string t addr s = write_bytes t addr (Bytes.unsafe_of_string s)
+
+(* Small fixed-width accessors. The fast path (whole value within one page)
+   avoids allocation. *)
+let in_one_page t addr width = (addr mod t.page_size) + width <= t.page_size
+
+let read_u8 t addr =
+  let frame = resolve t addr Read in
+  Char.code (Bytes.get frame (addr mod t.page_size))
+
+let write_u8 t addr v =
+  let frame = resolve t addr Write in
+  Bytes.set frame (addr mod t.page_size) (Char.chr (v land 0xff))
+
+let read_u16 t addr =
+  if in_one_page t addr 2 then
+    let frame = resolve t addr Read in
+    Bess_util.Codec.get_u16 frame (addr mod t.page_size)
+  else Bess_util.Codec.get_u16 (read_bytes t addr 2) 0
+
+let write_u16 t addr v =
+  if in_one_page t addr 2 then begin
+    let frame = resolve t addr Write in
+    Bess_util.Codec.set_u16 frame (addr mod t.page_size) v
+  end
+  else begin
+    let b = Bytes.create 2 in
+    Bess_util.Codec.set_u16 b 0 v;
+    write_bytes t addr b
+  end
+
+let read_u32 t addr =
+  if in_one_page t addr 4 then
+    let frame = resolve t addr Read in
+    Bess_util.Codec.get_u32 frame (addr mod t.page_size)
+  else Bess_util.Codec.get_u32 (read_bytes t addr 4) 0
+
+let write_u32 t addr v =
+  if in_one_page t addr 4 then begin
+    let frame = resolve t addr Write in
+    Bess_util.Codec.set_u32 frame (addr mod t.page_size) v
+  end
+  else begin
+    let b = Bytes.create 4 in
+    Bess_util.Codec.set_u32 b 0 v;
+    write_bytes t addr b
+  end
+
+let read_i64 t addr =
+  if in_one_page t addr 8 then
+    let frame = resolve t addr Read in
+    Bess_util.Codec.get_i64 frame (addr mod t.page_size)
+  else Bess_util.Codec.get_i64 (read_bytes t addr 8) 0
+
+let write_i64 t addr v =
+  if in_one_page t addr 8 then begin
+    let frame = resolve t addr Write in
+    Bess_util.Codec.set_i64 frame (addr mod t.page_size) v
+  end
+  else begin
+    let b = Bytes.create 8 in
+    Bess_util.Codec.set_i64 b 0 v;
+    write_bytes t addr b
+  end
+
+(* Trusted-code escape hatch (section 2.2): briefly lift protection on a
+   range, run [f], re-protect. Two mprotect "system calls", as the paper's
+   cost analysis counts them. *)
+let with_unprotected t addr npages f =
+  let first = page_index t addr in
+  let saved =
+    Array.init npages (fun i ->
+        match t.pages.(first + i) with
+        | Some p -> p.prot
+        | None -> invalid_arg "Vmem.with_unprotected: page not reserved")
+  in
+  set_prot t addr npages Prot_read_write;
+  Fun.protect
+    ~finally:(fun () ->
+      let first = page_index t addr in
+      Array.iteri
+        (fun i prot ->
+          match t.pages.(first + i) with Some p -> p.prot <- prot | None -> ())
+        saved;
+      Bess_util.Stats.incr t.stats "vmem.protect_calls")
+    (fun () -> f ())

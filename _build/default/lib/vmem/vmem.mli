@@ -1,0 +1,93 @@
+(** Simulated virtual memory with page protection and fault dispatch.
+
+    Stands in for [mmap]/[mprotect]/SIGSEGV: addresses are plain ints in a
+    private address space, every access checks page protection, and a
+    violation invokes the registered fault handler once before the access
+    is retried — the contract of a SIGSEGV handler that must resolve the
+    fault before the faulting instruction restarts.
+
+    Protection changes, mappings and faults are counted in {!stats} under
+    [vmem.protect_calls], [vmem.map_calls], [vmem.faults.read],
+    [vmem.faults.write], etc., so experiments can report the system-call
+    costs the paper discusses in section 2.2. *)
+
+type prot = Prot_none | Prot_read | Prot_read_write
+type access = Read | Write
+
+(** Raised when an access cannot be resolved: no handler, a recursive fault
+    from inside the handler, or a handler that returned without mapping and
+    unprotecting the page. *)
+exception Access_violation of { addr : int; access : access; reason : string }
+
+type t
+
+val pp_access : Format.formatter -> access -> unit
+val pp_prot : Format.formatter -> prot -> unit
+
+(** [create ?page_size ()] makes an empty address space. Address 0 is never
+    reserved, so 0 serves as a trapping null pointer. *)
+val create : ?page_size:int -> unit -> t
+
+val page_size : t -> int
+val stats : t -> Bess_util.Stats.t
+
+(** Currently reserved address space, in bytes. *)
+val reserved_bytes : t -> int
+
+(** High-water mark of reserved address space, in bytes. *)
+val reserved_peak_bytes : t -> int
+
+(** Currently frame-backed address space, in bytes. *)
+val mapped_bytes : t -> int
+
+(** Install the handler invoked on protection faults. The handler must make
+    the page accessible (map + set_prot) or the access raises
+    {!Access_violation}. *)
+val set_fault_handler : t -> (t -> addr:int -> access:access -> unit) -> unit
+
+val clear_fault_handler : t -> unit
+
+(** [reserve t npages] reserves a contiguous, access-protected, unbacked
+    address range and returns its base address (mmap PROT_NONE). *)
+val reserve : t -> int -> int
+
+(** [release t addr npages] returns a reserved range to the pool (munmap). *)
+val release : t -> int -> int -> unit
+
+(** [set_prot t addr npages prot] is mprotect: one counted system call. *)
+val set_prot : t -> int -> int -> prot -> unit
+
+val prot_at : t -> int -> prot
+
+(** [map t addr frame] backs the page containing [addr] with a page-sized
+    frame. Stores through vmem mutate the frame in place. *)
+val map : t -> int -> Bytes.t -> unit
+
+(** [unmap t addr] detaches the frame and re-protects the page. *)
+val unmap : t -> int -> unit
+
+val frame_at : t -> int -> Bytes.t option
+val is_reserved : t -> int -> bool
+
+(** Typed accessors. Each access checks protection of every page touched
+    and dispatches faults. Multi-byte accessors handle page-crossing
+    values. *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+val read_i64 : t -> int -> int
+val write_i64 : t -> int -> int -> unit
+val read_bytes : t -> int -> int -> Bytes.t
+val write_bytes : t -> int -> Bytes.t -> unit
+val read_string : t -> int -> int -> string
+val write_string : t -> int -> string -> unit
+
+(** [with_unprotected t addr npages f] lifts protection to read-write, runs
+    [f], restores the previous protection; two counted system calls. Used
+    by trusted code to update write-protected control structures
+    (section 2.2). *)
+val with_unprotected : t -> int -> int -> (unit -> 'a) -> 'a

@@ -1,0 +1,1 @@
+lib/wal/log.ml: Bess_util Bytes Log_record Option Stdlib Unix

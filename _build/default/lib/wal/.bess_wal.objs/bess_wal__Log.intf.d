@@ -1,0 +1,1 @@
+lib/wal/log.mli: Bess_util Log_record

@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Bess_util Buffer Bytes Char Fmt List

@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: Bytes Hashtbl List Log Log_record Stdlib

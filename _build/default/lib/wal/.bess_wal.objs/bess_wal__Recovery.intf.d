@@ -1,0 +1,1 @@
+lib/wal/recovery.mli: Bytes Log Log_record

@@ -1,0 +1,140 @@
+(* The append-only log: in-memory tail over an optional backing file.
+
+   LSNs are byte offsets of records, starting at 1 (0 is "no LSN"). The
+   write-ahead contract is enforced by callers through [flush]: a page may
+   reach disk only after [flushed_lsn] covers its page-LSN, and commit
+   forces the log through the commit record. Forces are counted so
+   experiments can report group-commit-style savings. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable used : int; (* bytes 0..used-1 are valid; LSN l lives at buf offset l-1 *)
+  mutable flushed : int; (* bytes durable; LSN <= flushed is safe *)
+  mutable last_lsn : int;
+  backing : Unix.file_descr option;
+  stats : Bess_util.Stats.t;
+}
+
+let base = 1 (* first LSN *)
+
+let create ?path () =
+  let backing =
+    Option.map (fun p -> Unix.openfile p [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644) path
+  in
+  { buf = Bytes.create 4096; used = 0; flushed = 0; last_lsn = 0; backing;
+    stats = Bess_util.Stats.create () }
+
+let stats t = t.stats
+let last_lsn t = t.last_lsn
+let flushed_lsn t = t.flushed + base - 1
+let size_bytes t = t.used
+
+let ensure t extra =
+  let need = t.used + extra in
+  if need > Bytes.length t.buf then begin
+    let n' = Stdlib.max need (2 * Bytes.length t.buf) in
+    let b = Bytes.create n' in
+    Bytes.blit t.buf 0 b 0 t.used;
+    t.buf <- b
+  end
+
+let append t (record : Log_record.t) =
+  let image = Log_record.encode record in
+  ensure t (Bytes.length image);
+  let lsn = t.used + base in
+  Bytes.blit image 0 t.buf t.used (Bytes.length image);
+  t.used <- t.used + Bytes.length image;
+  t.last_lsn <- lsn;
+  Bess_util.Stats.incr t.stats "log.appends";
+  Bess_util.Stats.add t.stats "log.bytes" (Bytes.length image);
+  lsn
+
+(* Force the log through [lsn]. A no-op if already durable -- that is what
+   makes repeated commit forces cheap under a hot log tail. *)
+let flush t ?lsn () =
+  let target = match lsn with Some l -> l - base + 1 | None -> t.used in
+  if target > t.flushed then begin
+    (match t.backing with
+    | Some fd ->
+        ignore (Unix.lseek fd t.flushed Unix.SEEK_SET);
+        let rec write_all pos limit =
+          if pos < limit then begin
+            let n = Unix.write fd t.buf pos (limit - pos) in
+            write_all (pos + n) limit
+          end
+        in
+        write_all t.flushed t.used;
+        Unix.fsync fd
+    | None -> ());
+    t.flushed <- t.used;
+    Bess_util.Stats.incr t.stats "log.forces"
+  end
+
+let read t lsn =
+  let off = lsn - base in
+  if off < 0 || off >= t.used then invalid_arg "Log.read: LSN out of range";
+  let record, next = Log_record.decode t.buf off in
+  (record, next + base)
+
+(* Iterate records from [from] (default: start of log) in append order. *)
+let iter ?(from = base) t f =
+  let rec go lsn =
+    if lsn - base < t.used then begin
+      match Log_record.decode t.buf (lsn - base) with
+      | record, next ->
+          f lsn record;
+          go (next + base)
+      | exception Log_record.Torn_record -> () (* torn tail: stop *)
+    end
+  in
+  go from
+
+let fold ?from t f init =
+  let acc = ref init in
+  iter ?from t (fun lsn r -> acc := f !acc lsn r);
+  !acc
+
+(* Simulate a crash for tests: truncate the volatile tail back to what was
+   flushed, optionally tearing [tear] extra bytes off the end to model a
+   partial sector write. *)
+let crash t ?(tear = 0) () =
+  let survive = Stdlib.max 0 (t.flushed - tear) in
+  (* Model the loss: bytes past the durable prefix are gone, not merely
+     hidden -- a truncated record must fail its CRC. *)
+  Bytes.fill t.buf survive (Bytes.length t.buf - survive) '\000';
+  t.used <- survive;
+  t.flushed <- survive;
+  t.last_lsn <- 0;
+  (* Recompute last_lsn by scanning. *)
+  iter t (fun lsn _ -> t.last_lsn <- lsn)
+
+let close t = Option.iter Unix.close t.backing
+
+(* Re-open a backing file into a fresh log (after a real process crash).
+   Scans to the first torn record and truncates there. *)
+let open_existing path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  let buf = Bytes.create (Stdlib.max len 4096) in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let rec read_all pos =
+    if pos < len then begin
+      let n = Unix.read fd buf pos (len - pos) in
+      if n = 0 then () else read_all (pos + n)
+    end
+  in
+  read_all 0;
+  let t =
+    { buf; used = len; flushed = len; last_lsn = 0; backing = Some fd;
+      stats = Bess_util.Stats.create () }
+  in
+  (* Find the valid prefix. *)
+  let valid = ref 0 in
+  (try
+     iter t (fun lsn r ->
+         valid := lsn - base + Bytes.length (Log_record.encode r);
+         t.last_lsn <- lsn)
+   with _ -> ());
+  t.used <- !valid;
+  t.flushed <- !valid;
+  t

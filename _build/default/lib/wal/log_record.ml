@@ -1,0 +1,202 @@
+(* Write-ahead log records, ARIES-flavoured (Mohan et al. [21]).
+
+   Update records carry physical before/after images of a byte range of a
+   page; compensation records (CLRs) are redo-only and carry the
+   undo-next-LSN so rollback never undoes an undo. Prepare records support
+   the 2PC participant state (section 3 of the paper). Records serialize
+   with a length prefix and CRC so the log tail can be scanned and a torn
+   final record detected and discarded. *)
+
+type page_id = { area : int; page : int }
+
+let pp_page_id ppf p = Fmt.pf ppf "%d:%d" p.area p.page
+
+type body =
+  | Update of { txn : int; page : page_id; offset : int; before : Bytes.t; after : Bytes.t }
+  | Clr of { txn : int; page : page_id; offset : int; image : Bytes.t; undo_next : int }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+  | End of { txn : int }
+  | Prepare of { txn : int; coordinator : int }
+  | Begin_checkpoint
+  | End_checkpoint of {
+      active : (int * int) list; (* txn, last_lsn *)
+      dirty : (page_id * int) list; (* page, recovery lsn *)
+    }
+
+type t = { prev_lsn : int (* previous record of the same transaction, 0 = none *); body : body }
+
+let txn_of t =
+  match t.body with
+  | Update { txn; _ } | Clr { txn; _ } | Commit { txn } | Abort { txn } | End { txn }
+  | Prepare { txn; _ } ->
+      Some txn
+  | Begin_checkpoint | End_checkpoint _ -> None
+
+let tag_of_body = function
+  | Update _ -> 1
+  | Clr _ -> 2
+  | Commit _ -> 3
+  | Abort _ -> 4
+  | End _ -> 5
+  | Prepare _ -> 6
+  | Begin_checkpoint -> 7
+  | End_checkpoint _ -> 8
+
+let pp ppf t =
+  match t.body with
+  | Update u ->
+      Fmt.pf ppf "UPDATE txn=%d page=%a off=%d len=%d" u.txn pp_page_id u.page u.offset
+        (Bytes.length u.after)
+  | Clr c ->
+      Fmt.pf ppf "CLR txn=%d page=%a off=%d undo_next=%d" c.txn pp_page_id c.page c.offset
+        c.undo_next
+  | Commit c -> Fmt.pf ppf "COMMIT txn=%d" c.txn
+  | Abort a -> Fmt.pf ppf "ABORT txn=%d" a.txn
+  | End e -> Fmt.pf ppf "END txn=%d" e.txn
+  | Prepare p -> Fmt.pf ppf "PREPARE txn=%d coord=%d" p.txn p.coordinator
+  | Begin_checkpoint -> Fmt.pf ppf "BEGIN_CKPT"
+  | End_checkpoint e ->
+      Fmt.pf ppf "END_CKPT active=%d dirty=%d" (List.length e.active) (List.length e.dirty)
+
+(* ---- Serialization ------------------------------------------------------ *)
+
+let encode_body buf body =
+  let put_u32 v =
+    let b = Bytes.create 4 in
+    Bess_util.Codec.set_u32 b 0 v;
+    Buffer.add_bytes buf b
+  in
+  let put_bytes b =
+    put_u32 (Bytes.length b);
+    Buffer.add_bytes buf b
+  in
+  let put_page (p : page_id) =
+    put_u32 p.area;
+    put_u32 p.page
+  in
+  match body with
+  | Update u ->
+      put_u32 u.txn;
+      put_page u.page;
+      put_u32 u.offset;
+      put_bytes u.before;
+      put_bytes u.after
+  | Clr c ->
+      put_u32 c.txn;
+      put_page c.page;
+      put_u32 c.offset;
+      put_bytes c.image;
+      put_u32 c.undo_next
+  | Commit { txn } | Abort { txn } | End { txn } -> put_u32 txn
+  | Prepare p ->
+      put_u32 p.txn;
+      put_u32 p.coordinator
+  | Begin_checkpoint -> ()
+  | End_checkpoint e ->
+      put_u32 (List.length e.active);
+      List.iter
+        (fun (txn, lsn) ->
+          put_u32 txn;
+          put_u32 lsn)
+        e.active;
+      put_u32 (List.length e.dirty);
+      List.iter
+        (fun (p, lsn) ->
+          put_page p;
+          put_u32 lsn)
+        e.dirty
+
+(* Full record image: [total_len u32][crc u32][tag u8][prev_lsn u32][body].
+   total_len covers tag..body; crc covers the same range. *)
+let encode t =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr (tag_of_body t.body));
+  let b4 = Bytes.create 4 in
+  Bess_util.Codec.set_u32 b4 0 t.prev_lsn;
+  Buffer.add_bytes buf b4;
+  encode_body buf t.body;
+  let payload = Buffer.to_bytes buf in
+  let out = Bytes.create (8 + Bytes.length payload) in
+  Bess_util.Codec.set_u32 out 0 (Bytes.length payload);
+  Bess_util.Codec.set_u32 out 4 (Bess_util.Crc32.to_int (Bess_util.Crc32.bytes payload));
+  Bytes.blit payload 0 out 8 (Bytes.length payload);
+  out
+
+exception Torn_record
+
+(* [decode b off] parses the record at [off]; returns it and the offset of
+   the next record. Raises [Torn_record] on truncation or CRC mismatch
+   (expected at the very tail after a crash). *)
+let decode b off =
+  if off + 8 > Bytes.length b then raise Torn_record;
+  let len = Bess_util.Codec.get_u32 b off in
+  let crc = Bess_util.Codec.get_u32 b (off + 4) in
+  if len = 0 || off + 8 + len > Bytes.length b then raise Torn_record;
+  if Bess_util.Crc32.to_int (Bess_util.Crc32.bytes ~off:(off + 8) ~len b) <> crc then
+    raise Torn_record;
+  let pos = ref (off + 8) in
+  let u8 () =
+    let v = Bess_util.Codec.get_u8 b !pos in
+    incr pos;
+    v
+  in
+  let u32 () =
+    let v = Bess_util.Codec.get_u32 b !pos in
+    pos := !pos + 4;
+    v
+  in
+  let bytes_ () =
+    let n = u32 () in
+    let v = Bytes.sub b !pos n in
+    pos := !pos + n;
+    v
+  in
+  let page () =
+    let area = u32 () in
+    let page = u32 () in
+    { area; page }
+  in
+  let tag = u8 () in
+  let prev_lsn = u32 () in
+  let body =
+    match tag with
+    | 1 ->
+        let txn = u32 () in
+        let pg = page () in
+        let offset = u32 () in
+        let before = bytes_ () in
+        let after = bytes_ () in
+        Update { txn; page = pg; offset; before; after }
+    | 2 ->
+        let txn = u32 () in
+        let pg = page () in
+        let offset = u32 () in
+        let image = bytes_ () in
+        let undo_next = u32 () in
+        Clr { txn; page = pg; offset; image; undo_next }
+    | 3 -> Commit { txn = u32 () }
+    | 4 -> Abort { txn = u32 () }
+    | 5 -> End { txn = u32 () }
+    | 6 ->
+        let txn = u32 () in
+        let coordinator = u32 () in
+        Prepare { txn; coordinator }
+    | 7 -> Begin_checkpoint
+    | 8 ->
+        let n_active = u32 () in
+        let active = List.init n_active (fun _ ->
+            let txn = u32 () in
+            let lsn = u32 () in
+            (txn, lsn))
+        in
+        let n_dirty = u32 () in
+        let dirty = List.init n_dirty (fun _ ->
+            let pg = page () in
+            let lsn = u32 () in
+            (pg, lsn))
+        in
+        End_checkpoint { active; dirty }
+    | _ -> raise Torn_record
+  in
+  ({ prev_lsn; body }, off + 8 + len)

@@ -1,0 +1,38 @@
+(** Write-ahead log records, ARIES-flavoured (Mohan et al. [21]).
+
+    Update records carry physical before/after images of a page byte
+    range; compensation records (CLRs) are redo-only with an
+    undo-next-LSN; Prepare supports the 2PC participant state. Records
+    serialize with a length prefix and CRC so a torn tail is detected
+    and discarded on scan. *)
+
+type page_id = { area : int; page : int }
+
+val pp_page_id : Format.formatter -> page_id -> unit
+
+type body =
+  | Update of { txn : int; page : page_id; offset : int; before : Bytes.t; after : Bytes.t }
+  | Clr of { txn : int; page : page_id; offset : int; image : Bytes.t; undo_next : int }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+  | End of { txn : int }
+  | Prepare of { txn : int; coordinator : int }
+  | Begin_checkpoint
+  | End_checkpoint of { active : (int * int) list; dirty : (page_id * int) list }
+
+type t = { prev_lsn : int;  (** previous record of the same transaction; 0 = none *) body : body }
+
+(** The transaction a record belongs to, if any. *)
+val txn_of : t -> int option
+
+val pp : Format.formatter -> t -> unit
+
+(** Full record image: length prefix, CRC, tag, prev_lsn, body. *)
+val encode : t -> Bytes.t
+
+exception Torn_record
+
+(** [decode b off] parses the record at [off] and returns it with the
+    offset of the next record; raises {!Torn_record} on truncation or CRC
+    mismatch. *)
+val decode : Bytes.t -> int -> t * int

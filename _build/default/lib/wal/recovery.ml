@@ -1,0 +1,190 @@
+(* ARIES recovery: analysis, redo, undo (section 3: "recovery is based on
+   an ARIES-like [21] write-ahead log protocol").
+
+   Recovery is written against an abstract page store so it can drive both
+   the real cache/storage stack and the tiny fake stores used in tests.
+   Pages carry an LSN; redo reapplies a record only when the page LSN is
+   older ("repeating history"); undo rolls back loser transactions writing
+   compensation records whose undo-next pointers make rollback idempotent
+   across repeated crashes. Transactions in the prepared state survive
+   recovery as in-doubt -- their fate belongs to the 2PC coordinator. *)
+
+type page_io = {
+  page_lsn : Log_record.page_id -> int;
+  set_page_lsn : Log_record.page_id -> int -> unit;
+  write : Log_record.page_id -> offset:int -> Bytes.t -> unit;
+}
+
+type txn_status = Running | Committed | Prepared
+
+type outcome = {
+  winners : int list; (* committed, made durable *)
+  losers : int list; (* rolled back *)
+  in_doubt : int list; (* prepared, awaiting coordinator *)
+  redone : int;
+  undone : int;
+}
+
+(* ---- Analysis ----------------------------------------------------------- *)
+
+type analysis = {
+  att : (int, txn_status * int) Hashtbl.t; (* txn -> status, last_lsn *)
+  dpt : (Log_record.page_id, int) Hashtbl.t; (* page -> recovery lsn *)
+  redo_from : int;
+}
+
+let analyse log =
+  let att = Hashtbl.create 16 in
+  let dpt = Hashtbl.create 64 in
+  (* Find the last complete checkpoint to seed tables; scanning from the
+     log start is always correct, the checkpoint only shortens the scan. *)
+  let ckpt_start = ref 0 in
+  let ckpt_record = ref None in
+  Log.iter log (fun lsn (r : Log_record.t) ->
+      match r.body with
+      | Log_record.Begin_checkpoint -> ckpt_start := lsn
+      | Log_record.End_checkpoint e ->
+          ckpt_record := Some (!ckpt_start, e.active, e.dirty)
+      | _ -> ());
+  let scan_from =
+    match !ckpt_record with
+    | Some (start, active, dirty) ->
+        List.iter (fun (txn, last) -> Hashtbl.replace att txn (Running, last)) active;
+        List.iter
+          (fun (p, rec_lsn) -> if not (Hashtbl.mem dpt p) then Hashtbl.add dpt p rec_lsn)
+          dirty;
+        start
+    | None -> 1
+  in
+  Log.iter ~from:scan_from log (fun lsn (r : Log_record.t) ->
+      let touch_page (p : Log_record.page_id) =
+        if not (Hashtbl.mem dpt p) then Hashtbl.add dpt p lsn
+      in
+      match r.body with
+      | Update u ->
+          Hashtbl.replace att u.txn (Running, lsn);
+          touch_page u.page
+      | Clr c ->
+          Hashtbl.replace att c.txn (Running, lsn);
+          touch_page c.page
+      | Prepare p ->
+          Hashtbl.replace att p.txn (Prepared, lsn)
+      | Commit c -> Hashtbl.replace att c.txn (Committed, lsn)
+      | Abort a ->
+          (* An abort record alone does not finish the rollback; keep the
+             transaction as a loser so undo completes it. *)
+          let last = match Hashtbl.find_opt att a.txn with Some (_, l) -> l | None -> lsn in
+          Hashtbl.replace att a.txn (Running, last)
+      | End e -> Hashtbl.remove att e.txn
+      | Begin_checkpoint | End_checkpoint _ -> ());
+  let redo_from = Hashtbl.fold (fun _ rec_lsn acc -> Stdlib.min acc rec_lsn) dpt max_int in
+  { att; dpt; redo_from = (if redo_from = max_int then Log.last_lsn log + 1 else redo_from) }
+
+(* ---- Redo ---------------------------------------------------------------- *)
+
+let redo log io (a : analysis) =
+  let redone = ref 0 in
+  Log.iter ~from:a.redo_from log (fun lsn (r : Log_record.t) ->
+      let apply (p : Log_record.page_id) offset image =
+        match Hashtbl.find_opt a.dpt p with
+        | Some rec_lsn when lsn >= rec_lsn ->
+            if io.page_lsn p < lsn then begin
+              io.write p ~offset image;
+              io.set_page_lsn p lsn;
+              incr redone
+            end
+        | _ -> ()
+      in
+      match r.body with
+      | Update u -> apply u.page u.offset u.after
+      | Clr c -> apply c.page c.offset c.image
+      | _ -> ());
+  !redone
+
+(* ---- Undo ---------------------------------------------------------------- *)
+
+(* Undo a set of loser transactions from their last LSNs, writing CLRs.
+   Shared by crash recovery and by normal transaction rollback. *)
+let undo_losers log io losers =
+  let undone = ref 0 in
+  (* next undo LSN per txn *)
+  let next = Hashtbl.create 8 in
+  List.iter (fun (txn, lsn) -> if lsn > 0 then Hashtbl.replace next txn lsn) losers;
+  let pick_max () =
+    Hashtbl.fold
+      (fun txn lsn acc ->
+        match acc with Some (_, best) when best >= lsn -> acc | _ -> Some (txn, lsn))
+      next None
+  in
+  let rec loop () =
+    match pick_max () with
+    | None -> ()
+    | Some (txn, lsn) ->
+        let record, _ = Log.read log lsn in
+        (match record.body with
+        | Update u ->
+            assert (u.txn = txn);
+            (* Compensate: restore the before image, log a redo-only CLR
+               pointing past the record just undone. *)
+            let clr : Log_record.t =
+              {
+                prev_lsn = lsn (* chain CLR after the undone record *);
+                body =
+                  Clr { txn; page = u.page; offset = u.offset; image = u.before;
+                        undo_next = record.prev_lsn };
+              }
+            in
+            let clr_lsn = Log.append log clr in
+            io.write u.page ~offset:u.offset u.before;
+            io.set_page_lsn u.page clr_lsn;
+            incr undone;
+            if record.prev_lsn = 0 then Hashtbl.remove next txn
+            else Hashtbl.replace next txn record.prev_lsn
+        | Clr c ->
+            (* Skip over already-undone work. *)
+            if c.undo_next = 0 then Hashtbl.remove next txn
+            else Hashtbl.replace next txn c.undo_next
+        | Abort _ | Prepare _ | Commit _ ->
+            if record.prev_lsn = 0 then Hashtbl.remove next txn
+            else Hashtbl.replace next txn record.prev_lsn
+        | End _ | Begin_checkpoint | End_checkpoint _ -> Hashtbl.remove next txn);
+        loop ()
+  in
+  loop ();
+  (* Write END records for fully rolled-back losers. *)
+  List.iter
+    (fun (txn, lsn) ->
+      if lsn > 0 then ignore (Log.append log { prev_lsn = 0; body = End { txn } }))
+    losers;
+  !undone
+
+(* Normal-operation rollback of one transaction (used by Txn.abort): undo
+   from its last LSN, then log ABORT+END. *)
+let rollback_txn log io ~txn ~last_lsn =
+  ignore (Log.append log { prev_lsn = last_lsn; body = Abort { txn } });
+  undo_losers log io [ (txn, last_lsn) ]
+
+(* ---- Full restart -------------------------------------------------------- *)
+
+let recover log io =
+  let a = analyse log in
+  let redone = redo log io a in
+  let winners = ref [] and losers = ref [] and in_doubt = ref [] in
+  Hashtbl.iter
+    (fun txn (status, last) ->
+      match status with
+      | Committed ->
+          winners := txn :: !winners;
+          ignore (Log.append log { prev_lsn = last; body = End { txn } })
+      | Prepared -> in_doubt := txn :: !in_doubt
+      | Running -> losers := (txn, last) :: !losers)
+    a.att;
+  let undone = undo_losers log io !losers in
+  Log.flush log ();
+  {
+    winners = List.sort compare !winners;
+    losers = List.sort compare (List.map fst !losers);
+    in_doubt = List.sort compare !in_doubt;
+    redone;
+    undone;
+  }

@@ -1,0 +1,38 @@
+(** ARIES recovery: analysis, redo ("repeat history"), undo with CLRs
+    (section 3: "recovery is based on an ARIES-like [21] write-ahead log
+    protocol").
+
+    Written against an abstract page store so it drives both the real
+    cache/storage stack and the fake stores in tests. Prepared (2PC)
+    transactions survive restart as in-doubt. *)
+
+(** The page operations recovery needs. [page_lsn]/[set_page_lsn] may be
+    volatile (redo of physical images is idempotent from 0). *)
+type page_io = {
+  page_lsn : Log_record.page_id -> int;
+  set_page_lsn : Log_record.page_id -> int -> unit;
+  write : Log_record.page_id -> offset:int -> Bytes.t -> unit;
+}
+
+type txn_status = Running | Committed | Prepared
+
+type outcome = {
+  winners : int list;  (** committed transactions made durable *)
+  losers : int list;  (** active transactions rolled back *)
+  in_doubt : int list;  (** prepared, awaiting the 2PC coordinator *)
+  redone : int;
+  undone : int;
+}
+
+(** Undo a set of loser transactions from their last LSNs, appending CLRs
+    whose undo-next pointers make repeated rollback idempotent. Returns
+    the number of updates undone. *)
+val undo_losers : Log.t -> page_io -> (int * int) list -> int
+
+(** Normal-operation rollback of one transaction: logs ABORT, undoes its
+    updates with CLRs, logs END. *)
+val rollback_txn : Log.t -> page_io -> txn:int -> last_lsn:int -> int
+
+(** Full restart: analysis from the last complete checkpoint, redo from
+    the dirty-page low-water mark, undo of losers. *)
+val recover : Log.t -> page_io -> outcome

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Bess Bess_rel Hashtbl List Option QCheck QCheck_alcotest

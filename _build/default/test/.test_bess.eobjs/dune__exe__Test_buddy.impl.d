@@ -1,0 +1,1 @@
+test/test_buddy.ml: Alcotest Array Bess_buddy Bess_util List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Bess_cache Bess_util Bytes Char List Option QCheck QCheck_alcotest

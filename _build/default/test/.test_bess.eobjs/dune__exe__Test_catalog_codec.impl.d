@@ -1,0 +1,1 @@
+test/test_catalog_codec.ml: Alcotest Bess Bess_storage Bytes Char List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_client_logging.ml: Alcotest Array Bess Bess_cache Bess_lock Bess_storage Bess_util Bess_vmem

@@ -1,0 +1,1 @@
+test/test_crash_points.ml: Array Bess Bess_cache Bess_storage Bess_util Bytes List QCheck QCheck_alcotest

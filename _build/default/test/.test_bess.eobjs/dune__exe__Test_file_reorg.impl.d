@@ -1,0 +1,1 @@
+test/test_file_reorg.ml: Alcotest Array Bess Bess_storage Bess_vmem List Option

@@ -1,0 +1,1 @@
+test/test_lob.ml: Alcotest Bess_largeobj Bess_storage Bess_util Buffer Bytes Char List QCheck QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Array Bess_lock Bess_util List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_modes.ml: Alcotest Array Bess Bess_cache Bess_storage Bess_util Bess_vmem Bytes

@@ -1,0 +1,1 @@
+test/test_net_remote.ml: Alcotest Bess Bess_net Bess_util Bess_vmem Option String

@@ -1,0 +1,1 @@
+test/test_object_locking.ml: Alcotest Bess Bess_lock Bess_vmem Option

@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Array Bess Bess_vmem Bess_wal Bytes Filename Option Sys

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Bess Bess_rel List Printf

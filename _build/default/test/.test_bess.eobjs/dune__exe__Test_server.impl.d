@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Bess Bess_cache Bess_lock Bess_util Bess_vmem Bytes List Option

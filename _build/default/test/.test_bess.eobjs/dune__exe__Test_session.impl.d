@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Bess Bess_vmem List Option

@@ -1,0 +1,1 @@
+test/test_session_depth.ml: Alcotest Array Bess Bess_cache Bess_storage Bess_util Bess_vmem Option

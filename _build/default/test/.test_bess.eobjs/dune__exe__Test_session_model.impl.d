@@ -1,0 +1,1 @@
+test/test_session_model.ml: Bess Bess_util Bess_vmem Hashtbl List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bess_storage Bytes Filename List Option QCheck QCheck_alcotest Sys

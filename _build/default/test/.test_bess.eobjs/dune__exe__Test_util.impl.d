@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bess_util Bytes List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_vlarge_hooks.ml: Alcotest Bess Bess_largeobj Bess_storage Bess_util Bess_vmem Bytes List Option

@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Bess_util Bess_vmem Bytes Char List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Bess_wal Bytes Filename Hashtbl List Option Printf QCheck QCheck_alcotest Stdlib String Sys

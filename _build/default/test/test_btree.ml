@@ -1,0 +1,178 @@
+(* The B+-tree of BeSS objects: ordered lookups, range scans, splits,
+   duplicates, transactional behaviour, and a model-based property test
+   against a sorted association list. *)
+
+module Btree = Bess_rel.Btree
+module Table = Bess_rel.Table
+module Schema = Bess_rel.Schema
+
+let fresh_db =
+  let n = ref 950 in
+  fun () ->
+    incr n;
+    Bess.Db.create_memory ~db_id:!n ()
+
+let setup ?(rows = 0) () =
+  let db = fresh_db () in
+  let s = Bess.Db.session ~pool_slots:4096 db in
+  Bess.Session.begin_txn s;
+  let t = Table.create s ~name:"data" [ ("v", Schema.Int) ] in
+  let bt = Btree.create s ~name:"bt" () in
+  let row_of = Hashtbl.create 64 in
+  for i = 1 to rows do
+    let r = Table.insert t [ Table.VInt i ] in
+    Hashtbl.replace row_of i r
+  done;
+  (db, s, t, bt, row_of)
+
+let test_insert_lookup_small () =
+  let _, s, t, bt, _ = setup () in
+  let rows = List.init 10 (fun i -> (i * 7, Table.insert t [ Table.VInt (i * 7) ])) in
+  List.iter (fun (k, r) -> Btree.insert bt ~key:k r) rows;
+  Btree.check bt;
+  List.iter
+    (fun (k, r) ->
+      match Btree.lookup bt ~key:k with
+      | [ r' ] -> Alcotest.(check bool) "lookup finds the row" true (r = r')
+      | l -> Alcotest.failf "key %d: %d hits" k (List.length l))
+    rows;
+  Alcotest.(check (list int)) "missing key" [] (Btree.lookup bt ~key:1);
+  Bess.Session.commit s
+
+let test_splits_and_height_growth () =
+  let _, s, t, bt, _ = setup () in
+  (* Enough keys to force multiple levels (cap = 24). *)
+  for i = 1 to 2_000 do
+    Btree.insert bt ~key:i (Table.insert t [ Table.VInt i ])
+  done;
+  Btree.check bt;
+  Alcotest.(check bool) "tree grew levels" true (Btree.height bt >= 3);
+  Alcotest.(check int) "cardinality" 2_000 (Btree.cardinality bt);
+  (* spot lookups across the range *)
+  List.iter
+    (fun k -> Alcotest.(check int) "found" 1 (List.length (Btree.lookup bt ~key:k)))
+    [ 1; 24; 25; 777; 1999; 2000 ];
+  Bess.Session.commit s
+
+let test_range_scan () =
+  let _, s, t, bt, _ = setup () in
+  for i = 1 to 500 do
+    Btree.insert bt ~key:(i * 2) (Table.insert t [ Table.VInt i ])
+  done;
+  let seen = ref [] in
+  Btree.range bt ~lo:100 ~hi:120 (fun k _ -> seen := k :: !seen);
+  Alcotest.(check (list int)) "in-order inclusive range"
+    [ 100; 102; 104; 106; 108; 110; 112; 114; 116; 118; 120 ]
+    (List.rev !seen);
+  (* empty range *)
+  let none = ref 0 in
+  Btree.range bt ~lo:101 ~hi:101 (fun _ _ -> incr none);
+  Alcotest.(check int) "odd keys absent" 0 !none;
+  Bess.Session.commit s
+
+let test_duplicates () =
+  let _, s, t, bt, _ = setup () in
+  let rows = List.init 60 (fun i -> Table.insert t [ Table.VInt i ]) in
+  List.iter (fun r -> Btree.insert bt ~key:42 r) rows;
+  (* interleave other (disjoint) keys so the duplicates span leaves *)
+  List.iteri (fun i r -> Btree.insert bt ~key:(1000 + i) r) rows;
+  Btree.check bt;
+  Alcotest.(check int) "all duplicates found" 60 (List.length (Btree.lookup bt ~key:42));
+  Bess.Session.commit s
+
+let test_remove () =
+  let _, s, t, bt, _ = setup () in
+  let rows = Array.init 100 (fun i -> Table.insert t [ Table.VInt i ]) in
+  Array.iteri (fun i r -> Btree.insert bt ~key:i r) rows;
+  for i = 0 to 99 do
+    if i mod 2 = 0 then
+      Alcotest.(check bool) "removed" true (Btree.remove bt ~key:i rows.(i))
+  done;
+  Btree.check bt;
+  Alcotest.(check int) "half remain" 50 (Btree.cardinality bt);
+  Alcotest.(check int) "evens gone" 0 (List.length (Btree.lookup bt ~key:10));
+  Alcotest.(check int) "odds stay" 1 (List.length (Btree.lookup bt ~key:11));
+  Alcotest.(check bool) "removing absent returns false" false (Btree.remove bt ~key:10 rows.(10));
+  Bess.Session.commit s
+
+let test_transactional_and_persistent () =
+  let db, s, t, bt, _ = setup () in
+  Bess.Session.commit s;
+  (* Committed inserts... *)
+  Bess.Session.begin_txn s;
+  for i = 1 to 50 do
+    Btree.insert bt ~key:i (Table.insert t [ Table.VInt i ])
+  done;
+  Bess.Session.commit s;
+  (* ...then an aborted batch vanishes. *)
+  Bess.Session.begin_txn s;
+  for i = 51 to 80 do
+    Btree.insert bt ~key:i (Table.insert t [ Table.VInt i ])
+  done;
+  Bess.Session.abort s;
+  Bess.Session.begin_txn s;
+  Btree.check bt;
+  Alcotest.(check int) "aborted inserts gone" 50 (Btree.cardinality bt);
+  Bess.Session.commit s;
+  (* A fresh session reopens the index by name and sees the same tree. *)
+  let s2 = Bess.Db.session db in
+  Bess.Session.begin_txn s2;
+  let bt2 = Btree.open_existing s2 ~name:"bt" in
+  Btree.check bt2;
+  Alcotest.(check int) "persistent across sessions" 50 (Btree.cardinality bt2);
+  Alcotest.(check int) "lookup after reopen" 1 (List.length (Btree.lookup bt2 ~key:17));
+  Bess.Session.commit s2
+
+(* Model-based: random inserts/removes against a reference multimap. *)
+let prop_btree_model =
+  QCheck.Test.make ~name:"btree agrees with a reference multimap" ~count:25
+    QCheck.(small_list (pair (int_bound 200) bool))
+    (fun ops ->
+      let _, s, t, bt, _ = setup () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      (* model maps key -> count; rows per (key, seq) tracked by addr *)
+      let rows : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+      let seq = ref 0 in
+      List.iter
+        (fun (k, is_insert) ->
+          if is_insert then begin
+            let r = Table.insert t [ Table.VInt k ] in
+            incr seq;
+            Hashtbl.replace rows (k, !seq) r;
+            Btree.insert bt ~key:k r;
+            Hashtbl.replace model k (1 + Option.value ~default:0 (Hashtbl.find_opt model k))
+          end
+          else
+            (* remove one row with key k if any *)
+            let victim =
+              Hashtbl.fold
+                (fun (k', sq) r acc -> if k' = k && acc = None then Some (sq, r) else acc)
+                rows None
+            in
+            match victim with
+            | Some (sq, r) ->
+                let removed = Btree.remove bt ~key:k r in
+                if not removed then QCheck.Test.fail_report "remove lost a row";
+                Hashtbl.remove rows (k, sq);
+                Hashtbl.replace model k (Option.value ~default:1 (Hashtbl.find_opt model k) - 1)
+            | None -> ())
+        ops;
+      Btree.check bt;
+      Hashtbl.iter
+        (fun k n ->
+          let found = List.length (Btree.lookup bt ~key:k) in
+          if found <> n then QCheck.Test.fail_reportf "key %d: tree %d, model %d" k found n)
+        model;
+      Bess.Session.commit s;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "insert_lookup_small" `Quick test_insert_lookup_small;
+    Alcotest.test_case "splits_and_height" `Quick test_splits_and_height_growth;
+    Alcotest.test_case "range_scan" `Quick test_range_scan;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "transactional_persistent" `Quick test_transactional_and_persistent;
+    QCheck_alcotest.to_alcotest prop_btree_model;
+  ]

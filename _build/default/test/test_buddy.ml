@@ -1,0 +1,102 @@
+(* bess_buddy: allocation, coalescing, invariants. *)
+
+module Buddy = Bess_buddy.Buddy
+module Prng = Bess_util.Prng
+
+let test_basic_alloc_free () =
+  let b = Buddy.create ~order:4 in
+  Alcotest.(check int) "capacity" 16 (Buddy.capacity b);
+  let a1 = Option.get (Buddy.alloc b 1) in
+  let a2 = Option.get (Buddy.alloc b 1) in
+  Alcotest.(check bool) "distinct" true (a1 <> a2);
+  Alcotest.(check int) "allocated" 2 (Buddy.allocated_units b);
+  Buddy.free b a1;
+  Buddy.free b a2;
+  Alcotest.(check int) "all free again" 16 (Buddy.free_units b);
+  Alcotest.(check int) "fully coalesced" 16 (Buddy.largest_free b)
+
+let test_rounding_to_power_of_two () =
+  let b = Buddy.create ~order:6 in
+  let off = Option.get (Buddy.alloc b 5) in
+  Alcotest.(check (option int)) "rounded to 8" (Some 8) (Buddy.block_size b off);
+  Alcotest.(check int) "aligned" 0 (off mod 8)
+
+let test_exhaustion () =
+  let b = Buddy.create ~order:3 in
+  let blocks = List.init 8 (fun _ -> Buddy.alloc b 1) in
+  Alcotest.(check bool) "all 8 granted" true (List.for_all Option.is_some blocks);
+  Alcotest.(check (option int)) "exhausted" None (Buddy.alloc b 1);
+  Alcotest.(check (option int)) "oversize refused" None (Buddy.alloc b 16)
+
+let test_double_free_detected () =
+  let b = Buddy.create ~order:3 in
+  let off = Option.get (Buddy.alloc b 2) in
+  Buddy.free b off;
+  let caught = try Buddy.free b off; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "double free rejected" true caught
+
+let test_buddy_coalescing_order () =
+  let b = Buddy.create ~order:4 in
+  (* Split all the way down, then free in awkward order: must coalesce
+     back to one block. *)
+  let offs = List.init 16 (fun _ -> Option.get (Buddy.alloc b 1)) in
+  let shuffled = Array.of_list offs in
+  Prng.shuffle (Prng.create 3) shuffled;
+  Array.iter (Buddy.free b) shuffled;
+  Alcotest.(check int) "coalesced to full" 16 (Buddy.largest_free b);
+  Buddy.check_invariants b
+
+let test_fragmentation_metric () =
+  let b = Buddy.create ~order:4 in
+  Alcotest.(check (float 0.001)) "empty arena" 0.0 (Buddy.fragmentation b);
+  (* Allocate everything as singles, free alternate blocks: free space is
+     scattered singles. *)
+  let offs = Array.init 16 (fun _ -> Option.get (Buddy.alloc b 1)) in
+  Array.iteri (fun i off -> if i mod 2 = 0 then Buddy.free b off) offs;
+  Alcotest.(check bool) "fragmented" true (Buddy.fragmentation b > 0.5);
+  Alcotest.(check (option int)) "big alloc fails though half free" None (Buddy.alloc b 4)
+
+let prop_invariants_random_workload =
+  QCheck.Test.make ~name:"buddy invariants under random alloc/free" ~count:100
+    QCheck.(list (pair bool (int_bound 7)))
+    (fun ops ->
+      let b = Buddy.create ~order:6 in
+      let live = ref [] in
+      List.iter
+        (fun (is_alloc, sz) ->
+          if is_alloc || !live = [] then begin
+            match Buddy.alloc b (sz + 1) with
+            | Some off -> live := off :: !live
+            | None -> ()
+          end
+          else begin
+            match !live with
+            | off :: rest ->
+                Buddy.free b off;
+                live := rest
+            | [] -> ()
+          end)
+        ops;
+      Buddy.check_invariants b;
+      true)
+
+let prop_free_all_restores_arena =
+  QCheck.Test.make ~name:"freeing everything restores one block" ~count:100
+    QCheck.(small_list (int_bound 5))
+    (fun sizes ->
+      let b = Buddy.create ~order:7 in
+      let offs = List.filter_map (fun s -> Buddy.alloc b (s + 1)) sizes in
+      List.iter (Buddy.free b) offs;
+      Buddy.largest_free b = Buddy.capacity b)
+
+let suite =
+  [
+    Alcotest.test_case "basic_alloc_free" `Quick test_basic_alloc_free;
+    Alcotest.test_case "rounding" `Quick test_rounding_to_power_of_two;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "double_free" `Quick test_double_free_detected;
+    Alcotest.test_case "coalescing" `Quick test_buddy_coalescing_order;
+    Alcotest.test_case "fragmentation_metric" `Quick test_fragmentation_metric;
+    QCheck_alcotest.to_alcotest prop_invariants_random_workload;
+    QCheck_alcotest.to_alcotest prop_free_all_restores_arena;
+  ]

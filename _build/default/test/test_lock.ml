@@ -1,0 +1,202 @@
+(* bess_lock: mode algebra, 2PL grant/block, deadlock detection (graph
+   and timeout), callback registry. *)
+
+module Lock_mode = Bess_lock.Lock_mode
+module Lock_mgr = Bess_lock.Lock_mgr
+module Callback = Bess_lock.Callback
+
+let r1 = Lock_mgr.page_resource ~area:1 ~page:1
+let r2 = Lock_mgr.page_resource ~area:1 ~page:2
+let obj1 = Lock_mgr.object_resource ~db:1 ~slot:1
+
+let test_mode_algebra () =
+  let open Lock_mode in
+  (* Compatibility matrix spot checks. *)
+  Alcotest.(check bool) "S/S" true (compatible S S);
+  Alcotest.(check bool) "S/X" false (compatible S X);
+  Alcotest.(check bool) "IS/IX" true (compatible IS IX);
+  Alcotest.(check bool) "IX/IX" true (compatible IX IX);
+  Alcotest.(check bool) "SIX/IS" true (compatible SIX IS);
+  Alcotest.(check bool) "SIX/IX" false (compatible SIX IX);
+  Alcotest.(check bool) "X/anything" false (List.exists (compatible X) all);
+  (* Symmetry. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b -> Alcotest.(check bool) "symmetric" (compatible a b) (compatible b a))
+        all)
+    all;
+  (* Supremum. *)
+  Alcotest.(check bool) "S+IX=SIX" true (sup S IX = SIX);
+  Alcotest.(check bool) "covers" true (covers X S && covers SIX IS && not (covers S X))
+
+let test_grant_block_release () =
+  let m = Lock_mgr.create () in
+  Alcotest.(check bool) "t1 gets S" true (Lock_mgr.acquire m ~txn:1 r1 S = `Granted);
+  Alcotest.(check bool) "t2 shares S" true (Lock_mgr.acquire m ~txn:2 r1 S = `Granted);
+  Alcotest.(check bool) "t3 X blocks" true (Lock_mgr.acquire m ~txn:3 r1 X = `Blocked);
+  let woken = Lock_mgr.release_all m ~txn:1 in
+  ignore woken;
+  Alcotest.(check bool) "still blocked (t2 holds)" true (Lock_mgr.acquire m ~txn:3 r1 X = `Blocked);
+  ignore (Lock_mgr.release_all m ~txn:2);
+  Alcotest.(check bool) "granted after both release" true (Lock_mgr.acquire m ~txn:3 r1 X = `Granted)
+
+let test_upgrade () =
+  let m = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.S);
+  Alcotest.(check bool) "upgrade S->X when alone" true
+    (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X = `Granted);
+  Alcotest.(check bool) "holds X" true (Lock_mgr.holds m ~txn:1 r1 Lock_mode.X)
+
+let test_fifo_no_starvation () =
+  let m = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.S);
+  (* A writer queues... *)
+  Alcotest.(check bool) "writer blocks" true (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X = `Blocked);
+  (* ...and a later reader must not jump it. *)
+  Alcotest.(check bool) "later reader waits behind writer" true
+    (Lock_mgr.acquire m ~txn:3 r1 Lock_mode.S = `Blocked)
+
+let test_deadlock_graph () =
+  let m = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  ignore (Lock_mgr.acquire m ~txn:2 r2 Lock_mode.X);
+  Alcotest.(check bool) "t1 waits for r2" true (Lock_mgr.acquire m ~txn:1 r2 Lock_mode.X = `Blocked);
+  (* t2 -> r1 completes the cycle. *)
+  Alcotest.(check bool) "cycle detected" true (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X = `Deadlock)
+
+let test_deadlock_timeout () =
+  let m = Lock_mgr.create ~timeout:5 () in
+  ignore (Lock_mgr.acquire ~detect:`Timeout m ~txn:1 r1 Lock_mode.X);
+  Alcotest.(check bool) "blocks initially" true
+    (Lock_mgr.acquire ~detect:`Timeout m ~txn:2 r1 Lock_mode.X = `Blocked);
+  (* Let the logical clock run past the timeout. *)
+  for _ = 1 to 10 do
+    Lock_mgr.tick m
+  done;
+  Alcotest.(check bool) "times out" true
+    (Lock_mgr.acquire ~detect:`Timeout m ~txn:2 r1 Lock_mode.X = `Deadlock)
+
+let test_object_and_page_namespaces_disjoint () =
+  let m = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  Alcotest.(check bool) "object lock independent" true
+    (Lock_mgr.acquire m ~txn:2 obj1 Lock_mode.X = `Granted)
+
+let test_regrant_is_cheap () =
+  let m = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.S) (* covered by X *);
+  Alcotest.(check int) "regrants counted" 2
+    (Bess_util.Stats.get (Lock_mgr.stats m) "lock.regrants")
+
+let test_callback_registry () =
+  let cb = Callback.create () in
+  (* Two clients cache the page in S. *)
+  Alcotest.(check bool) "c1 S" true (Callback.request cb ~client:1 r1 Lock_mode.S = `Granted);
+  Alcotest.(check bool) "c2 S" true (Callback.request cb ~client:2 r1 Lock_mode.S = `Granted);
+  (* c3 wants X: both must be called back. *)
+  (match Callback.request cb ~client:3 r1 Lock_mode.X with
+  | `Callback_needed clients ->
+      Alcotest.(check (list int)) "both called back" [ 1; 2 ] (List.sort compare clients)
+  | `Granted -> Alcotest.fail "should need callbacks");
+  Callback.dropped cb ~client:1 r1;
+  Callback.dropped cb ~client:2 r1;
+  Alcotest.(check bool) "granted after drops" true
+    (Callback.request cb ~client:3 r1 Lock_mode.X = `Granted);
+  (* Own cached copy never conflicts with oneself. *)
+  Alcotest.(check bool) "self upgrade fine" true
+    (Callback.request cb ~client:3 r1 Lock_mode.X = `Granted)
+
+let test_callback_downgrade_and_forget () =
+  let cb = Callback.create () in
+  ignore (Callback.request cb ~client:1 r1 Bess_lock.Lock_mode.X);
+  Callback.downgraded cb ~client:1 r1 Bess_lock.Lock_mode.S;
+  Alcotest.(check bool) "S sharers fine after downgrade" true
+    (Callback.request cb ~client:2 r1 Bess_lock.Lock_mode.S = `Granted);
+  Callback.forget_client cb ~client:1;
+  Alcotest.(check bool) "X after forget" true
+    (Callback.request cb ~client:2 r1 Bess_lock.Lock_mode.X = `Granted)
+
+let prop_sup_is_lub =
+  QCheck.Test.make ~name:"sup is an upper bound" ~count:100
+    QCheck.(pair (oneofl Lock_mode.all) (oneofl Lock_mode.all))
+    (fun (a, b) ->
+      let s = Lock_mode.sup a b in
+      Lock_mode.covers s a && Lock_mode.covers s b)
+
+let prop_release_unblocks =
+  QCheck.Test.make ~name:"after release_all the resource is grantable" ~count:100
+    QCheck.(oneofl Lock_mode.all)
+    (fun mode ->
+      let m = Lock_mgr.create () in
+      ignore (Lock_mgr.acquire m ~txn:1 r1 mode);
+      ignore (Lock_mgr.release_all m ~txn:1);
+      Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X = `Granted)
+
+(* Random schedules: after any sequence of acquire/release_all, no two
+   transactions hold incompatible modes on the same resource, and every
+   waiter conflicts with someone. *)
+let prop_no_incompatible_grants =
+  QCheck.Test.make ~name:"2PL safety under random schedules" ~count:150
+    QCheck.(small_list (quad (int_bound 4) (int_bound 3) (oneofl Lock_mode.all) bool))
+    (fun ops ->
+      let m = Lock_mgr.create () in
+      let resources = [| r1; r2; obj1; Lock_mgr.page_resource ~area:9 ~page:9 |] in
+      List.iter
+        (fun (txn, r, mode, release) ->
+          let txn = txn + 1 in
+          if release then ignore (Lock_mgr.release_all m ~txn)
+          else ignore (Lock_mgr.acquire m ~txn resources.(r) mode))
+        ops;
+      (* safety: granted modes pairwise compatible per resource *)
+      Array.for_all
+        (fun r ->
+          let holders =
+            List.filter_map
+              (fun txn -> Option.map (fun mode -> (txn, mode)) (Lock_mgr.held_mode m ~txn r))
+              [ 1; 2; 3; 4; 5 ]
+          in
+          List.for_all
+            (fun (t1, m1) ->
+              List.for_all
+                (fun (t2, m2) -> t1 = t2 || Lock_mode.compatible m1 m2)
+                holders)
+            holders)
+        resources)
+
+let prop_release_all_is_total =
+  QCheck.Test.make ~name:"release_all leaves nothing held or queued" ~count:100
+    QCheck.(small_list (pair (int_bound 2) (oneofl Lock_mode.all)))
+    (fun ops ->
+      let m = Lock_mgr.create () in
+      let resources = [| r1; r2; obj1 |] in
+      List.iteri
+        (fun i (r, mode) -> ignore (Lock_mgr.acquire m ~txn:((i mod 3) + 1) resources.(r) mode))
+        ops;
+      ignore (Lock_mgr.release_all m ~txn:1);
+      ignore (Lock_mgr.release_all m ~txn:2);
+      ignore (Lock_mgr.release_all m ~txn:3);
+      Lock_mgr.n_locks m = 0
+      && Lock_mgr.held_resources m ~txn:1 = []
+      && Lock_mgr.held_resources m ~txn:2 = []
+      && Lock_mgr.held_resources m ~txn:3 = [])
+
+let suite =
+  [
+    Alcotest.test_case "mode_algebra" `Quick test_mode_algebra;
+    Alcotest.test_case "grant_block_release" `Quick test_grant_block_release;
+    Alcotest.test_case "upgrade" `Quick test_upgrade;
+    Alcotest.test_case "fifo_no_starvation" `Quick test_fifo_no_starvation;
+    Alcotest.test_case "deadlock_graph" `Quick test_deadlock_graph;
+    Alcotest.test_case "deadlock_timeout" `Quick test_deadlock_timeout;
+    Alcotest.test_case "namespaces_disjoint" `Quick test_object_and_page_namespaces_disjoint;
+    Alcotest.test_case "regrant_cheap" `Quick test_regrant_is_cheap;
+    Alcotest.test_case "callback_registry" `Quick test_callback_registry;
+    Alcotest.test_case "callback_downgrade_forget" `Quick test_callback_downgrade_and_forget;
+    QCheck_alcotest.to_alcotest prop_sup_is_lub;
+    QCheck_alcotest.to_alcotest prop_release_unblocks;
+    QCheck_alcotest.to_alcotest prop_no_incompatible_grants;
+    QCheck_alcotest.to_alcotest prop_release_all_is_total;
+  ]

@@ -1,0 +1,236 @@
+(* Server behaviour: callback locking across clients, lock-violation
+   rejection, in-place (open-server) transactions with ARIES rollback,
+   crash recovery through the full stack, checkpoints, 2PC. *)
+
+module Vmem = Bess_vmem.Vmem
+module Page_id = Bess_cache.Page_id
+module Lock_mode = Bess_lock.Lock_mode
+module Lock_mgr = Bess_lock.Lock_mgr
+
+let fresh_db =
+  let n = ref 200 in
+  fun () ->
+    incr n;
+    Bess.Db.create_memory ~db_id:!n ()
+
+let ty_of db =
+  Bess.Type_desc.register (Bess.Catalog.types (Bess.Db.catalog db)) ~name:"cell" ~size:16
+    ~ref_offsets:[||]
+
+let seed db =
+  let s = Bess.Db.session db in
+  let ty = ty_of db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:2 () in
+  let obj = Bess.Session.create_object s seg ty ~size:16 in
+  Vmem.write_i64 (Bess.Session.mem s) (Bess.Session.obj_data s obj) 1;
+  Bess.Session.set_root s ~name:"cell" obj;
+  Bess.Session.commit s;
+  s
+
+(* Callback locking: client 2's write forces client 1 to drop its cached
+   copy; client 1's next read refetches and sees the new value. *)
+let test_callback_invalidation () =
+  let db = fresh_db () in
+  let s1 = seed db in
+  (* s1 has the object cached (it created it). A second client writes. *)
+  let s2 = Bess.Db.session db in
+  Bess.Session.begin_txn s2;
+  let obj2 = Option.get (Bess.Session.root s2 "cell") in
+  Vmem.write_i64 (Bess.Session.mem s2) (Bess.Session.obj_data s2 obj2) 2;
+  Bess.Session.commit s2;
+  Alcotest.(check bool) "server sent callbacks" true
+    (Bess_util.Stats.get (Bess.Server.stats (Bess.Db.server db)) "server.callbacks_sent" > 0);
+  Alcotest.(check bool) "s1 dropped its copy" true
+    (Bess_util.Stats.get (Bess.Session.stats s1) "session.callbacks_dropped" > 0);
+  (* s1 refetches on next access and sees the committed update. *)
+  Bess.Session.begin_txn s1;
+  let obj1 = Option.get (Bess.Session.root s1 "cell") in
+  Alcotest.(check int) "fresh value after callback" 2
+    (Vmem.read_i64 (Bess.Session.mem s1) (Bess.Session.obj_data s1 obj1));
+  Bess.Session.commit s1
+
+(* Inter-transaction caching: a second read transaction on the same
+   client re-reads without any new segment fetch from the server. *)
+let test_intertxn_caching_saves_fetches () =
+  let db = fresh_db () in
+  let s = seed db in
+  let fetches () =
+    Bess_util.Stats.get (Bess.Server.stats (Bess.Db.server db)) "server.segment_fetches"
+  in
+  Bess.Session.begin_txn s;
+  let obj = Option.get (Bess.Session.root s "cell") in
+  ignore (Vmem.read_i64 (Bess.Session.mem s) (Bess.Session.obj_data s obj));
+  Bess.Session.commit s;
+  let before = fetches () in
+  Bess.Session.begin_txn s;
+  let obj = Option.get (Bess.Session.root s "cell") in
+  ignore (Vmem.read_i64 (Bess.Session.mem s) (Bess.Session.obj_data s obj));
+  Bess.Session.commit s;
+  Alcotest.(check int) "no new fetches for cached data" before (fetches ())
+
+let test_commit_requires_locks () =
+  let db = fresh_db () in
+  let server = Bess.Db.server db in
+  let txn = Bess.Server.begin_txn server ~client:77 in
+  let bogus =
+    [ { Bess.Server.page = { Page_id.area = Bess.Db.default_area db; page = 1 };
+        offset = 0; before = Bytes.make 4 '\000'; after = Bytes.make 4 'x' } ]
+  in
+  Alcotest.(check bool) "unlocked update rejected" true
+    (Bess.Server.commit_client server ~txn ~updates:bogus = `Lock_violation)
+
+let test_inplace_txn_commit_and_rollback () =
+  let db = fresh_db () in
+  ignore (seed db);
+  let server = Bess.Db.server db in
+  let area = Bess.Db.default_area db in
+  let page = { Page_id.area; page = 1 } in
+  (* Committed in-place write. *)
+  let t1 = Bess.Server.begin_txn server ~client:1 in
+  Bess.Server.update_inplace server ~txn:t1 page ~offset:100 (Bytes.of_string "COMMIT");
+  Bess.Server.commit_inplace server ~txn:t1;
+  (* Aborted in-place write rolls back via CLRs. *)
+  let t2 = Bess.Server.begin_txn server ~client:1 in
+  Bess.Server.update_inplace server ~txn:t2 page ~offset:100 (Bytes.of_string "NOPE!!");
+  Bess.Server.abort_inplace server ~txn:t2;
+  let bytes = Bess.Server.read_page server page in
+  Alcotest.(check string) "abort undone, commit retained" "COMMIT"
+    (Bytes.sub_string bytes 100 6)
+
+let test_crash_recovery_full_stack () =
+  let db = fresh_db () in
+  let s = seed db in
+  (* A committed update whose dirty pages never reach the areas. *)
+  Bess.Session.begin_txn s;
+  let obj = Option.get (Bess.Session.root s "cell") in
+  Vmem.write_i64 (Bess.Session.mem s) (Bess.Session.obj_data s obj) 42;
+  Bess.Session.commit s;
+  let oid = Bess.Session.oid_of s obj in
+  (* And an uncommitted in-place update that DID hit the cache. *)
+  let server = Bess.Db.server db in
+  let page = { Page_id.area = Bess.Db.default_area db; page = 1 } in
+  let t = Bess.Server.begin_txn server ~client:9 in
+  Bess.Server.update_inplace server ~txn:t page ~offset:200 (Bytes.of_string "GARBAGE");
+  (* Force the stolen page out so undo has real work after the crash. *)
+  Bess_cache.Cache.flush_all (Bess.Store.cache (Bess.Server.store server));
+  Bess.Server.crash server;
+  let outcome = Bess.Server.recover server in
+  Alcotest.(check bool) "loser rolled back" true (List.length outcome.losers >= 1);
+  (* A brand-new session sees the committed value, not the garbage. *)
+  let s2 = Bess.Db.session db in
+  Bess.Session.begin_txn s2;
+  let obj2 = Bess.Session.by_oid s2 oid in
+  Alcotest.(check int) "committed survives crash" 42
+    (Vmem.read_i64 (Bess.Session.mem s2) (Bess.Session.obj_data s2 obj2));
+  let bytes = Bess.Server.read_page server page in
+  Alcotest.(check bool) "loser data gone" true (Bytes.sub_string bytes 200 7 <> "GARBAGE");
+  Bess.Session.commit s2
+
+let test_checkpoint_then_recover () =
+  let db = fresh_db () in
+  let s = seed db in
+  Bess.Session.begin_txn s;
+  let obj = Option.get (Bess.Session.root s "cell") in
+  Vmem.write_i64 (Bess.Session.mem s) (Bess.Session.obj_data s obj) 7;
+  Bess.Session.commit s;
+  let server = Bess.Db.server db in
+  Bess.Server.checkpoint server;
+  Bess.Server.crash server;
+  let outcome = Bess.Server.recover server in
+  Alcotest.(check (list int)) "clean checkpointed recovery" [] outcome.losers;
+  let s2 = Bess.Db.session db in
+  Bess.Session.begin_txn s2;
+  let obj2 = Option.get (Bess.Session.root s2 "cell") in
+  Alcotest.(check int) "value intact" 7
+    (Vmem.read_i64 (Bess.Session.mem s2) (Bess.Session.obj_data s2 obj2));
+  Bess.Session.commit s2
+
+(* 2PC at the server interface: prepare / decide both ways. *)
+let test_two_phase_commit_paths () =
+  let db = fresh_db () in
+  ignore (seed db);
+  let server = Bess.Db.server db in
+  let area = Bess.Db.default_area db in
+  let page = { Page_id.area; page = 1 } in
+  let lock txn =
+    match Bess.Server.lock server ~txn (Lock_mgr.page_resource ~area ~page:1) Lock_mode.X with
+    | `Granted -> ()
+    | _ -> Alcotest.fail "lock not granted"
+  in
+  let current () = Bytes.sub_string (Bess.Server.read_page server page) 300 4 in
+  let update after =
+    (* The before-image is the page's content at prepare time (the server
+       trusts the client's images; recovery undo applies them). *)
+    [ { Bess.Server.page; offset = 300; before = Bytes.of_string (current ());
+        after = Bytes.of_string after } ]
+  in
+  (* Prepared then committed. *)
+  let t1 = Bess.Server.begin_txn server ~client:1 in
+  lock t1;
+  Alcotest.(check bool) "vote yes" true
+    (Bess.Server.prepare server ~txn:t1 ~coordinator:1 ~updates:(update "YES!") = `Vote_yes);
+  Bess.Server.commit_prepared server ~txn:t1;
+  Alcotest.(check string) "committed after decide" "YES!" (current ());
+  (* Prepared then aborted: the prepared update is rolled back. *)
+  let t2 = Bess.Server.begin_txn server ~client:1 in
+  lock t2;
+  ignore (Bess.Server.prepare server ~txn:t2 ~coordinator:1 ~updates:(update "NO!!"));
+  Bess.Server.abort_prepared server ~txn:t2;
+  Alcotest.(check string) "aborted prepare rolled back" "YES!" (current ());
+  (* Prepare without locks votes no. *)
+  let t3 = Bess.Server.begin_txn server ~client:2 in
+  Alcotest.(check bool) "no-lock prepare votes no" true
+    (Bess.Server.prepare server ~txn:t3 ~coordinator:1 ~updates:(update "HAH!") = `Vote_no)
+
+(* In-doubt transactions survive a crash between prepare and decision. *)
+let test_in_doubt_across_crash () =
+  let db = fresh_db () in
+  ignore (seed db);
+  let server = Bess.Db.server db in
+  let area = Bess.Db.default_area db in
+  let page = { Page_id.area; page = 1 } in
+  let t = Bess.Server.begin_txn server ~client:1 in
+  (match Bess.Server.lock server ~txn:t (Lock_mgr.page_resource ~area ~page:1) Lock_mode.X with
+  | `Granted -> ()
+  | _ -> Alcotest.fail "lock");
+  let before = Bytes.sub (Bess.Server.read_page server page) 400 4 in
+  ignore
+    (Bess.Server.prepare server ~txn:t ~coordinator:1
+       ~updates:[ { Bess.Server.page; offset = 400; before; after = Bytes.of_string "2PC!" } ]);
+  Bess.Server.crash server;
+  let outcome = Bess.Server.recover server in
+  Alcotest.(check (list int)) "in doubt" [ t ] outcome.in_doubt;
+  (* The coordinator's decision arrives: commit. *)
+  Bess.Server.commit_prepared server ~txn:t;
+  Alcotest.(check string) "decided commit applied" "2PC!"
+    (Bytes.sub_string (Bess.Server.read_page server page) 400 4)
+
+let test_deadlock_detection_between_sessions () =
+  let db = fresh_db () in
+  let server = Bess.Db.server db in
+  let area = Bess.Db.default_area db in
+  let r1 = Lock_mgr.page_resource ~area ~page:1 in
+  let r2 = Lock_mgr.page_resource ~area ~page:2 in
+  let t1 = Bess.Server.begin_txn server ~client:1 in
+  let t2 = Bess.Server.begin_txn server ~client:2 in
+  Alcotest.(check bool) "t1 r1" true (Bess.Server.lock server ~txn:t1 r1 Lock_mode.X = `Granted);
+  Alcotest.(check bool) "t2 r2" true (Bess.Server.lock server ~txn:t2 r2 Lock_mode.X = `Granted);
+  Alcotest.(check bool) "t1 waits" true (Bess.Server.lock server ~txn:t1 r2 Lock_mode.X = `Blocked);
+  Alcotest.(check bool) "t2 deadlocks" true (Bess.Server.lock server ~txn:t2 r1 Lock_mode.X = `Deadlock);
+  Bess.Server.abort_client server ~txn:t2;
+  (* After the victim aborts, t1 can proceed. *)
+  Alcotest.(check bool) "t1 proceeds" true (Bess.Server.lock server ~txn:t1 r2 Lock_mode.X = `Granted)
+
+let suite =
+  [
+    Alcotest.test_case "callback_invalidation" `Quick test_callback_invalidation;
+    Alcotest.test_case "intertxn_caching" `Quick test_intertxn_caching_saves_fetches;
+    Alcotest.test_case "commit_requires_locks" `Quick test_commit_requires_locks;
+    Alcotest.test_case "inplace_commit_rollback" `Quick test_inplace_txn_commit_and_rollback;
+    Alcotest.test_case "crash_recovery_full_stack" `Quick test_crash_recovery_full_stack;
+    Alcotest.test_case "checkpoint_then_recover" `Quick test_checkpoint_then_recover;
+    Alcotest.test_case "two_phase_commit_paths" `Quick test_two_phase_commit_paths;
+    Alcotest.test_case "in_doubt_across_crash" `Quick test_in_doubt_across_crash;
+    Alcotest.test_case "deadlock_between_sessions" `Quick test_deadlock_detection_between_sessions;
+  ]

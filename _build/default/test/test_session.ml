@@ -1,0 +1,262 @@
+(* End-to-end tests of the session engine: the three-wave fault scheme,
+   swizzling, write detection, commit/abort, corruption guard, OIDs. *)
+
+module Vmem = Bess_vmem.Vmem
+
+let fresh_db =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Bess.Db.create_memory ~db_id:!counter ()
+
+(* A linked-record type: 16 bytes payload, one reference at offset 0,
+   an int field at offset 8. *)
+let node_type db =
+  Bess.Type_desc.register
+    (Bess.Catalog.types (Bess.Db.catalog db))
+    ~name:"node" ~size:16 ~ref_offsets:[| 0 |]
+
+let test_create_read_write () =
+  let db = fresh_db () in
+  let s = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:2 () in
+  let obj = Bess.Session.create_object s seg ty ~size:16 in
+  let data = Bess.Session.obj_data s obj in
+  Vmem.write_i64 (Bess.Session.mem s) (data + 8) 4242;
+  Alcotest.(check int) "read back" 4242 (Vmem.read_i64 (Bess.Session.mem s) (data + 8));
+  Alcotest.(check int) "size" 16 (Bess.Session.obj_size s obj);
+  Alcotest.(check string) "type" "node" (Bess.Session.obj_type s obj).name;
+  Bess.Session.commit s
+
+let test_refs_and_traversal () =
+  let db = fresh_db () in
+  let s = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s;
+  let seg1 = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:2 () in
+  let seg2 = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:2 () in
+  let a = Bess.Session.create_object s seg1 ty ~size:16 in
+  let b = Bess.Session.create_object s seg2 ty ~size:16 in
+  let c = Bess.Session.create_object s seg1 ty ~size:16 in
+  (* a -> b -> c, crossing segments both ways *)
+  Bess.Session.write_ref s ~data_addr:(Bess.Session.obj_data s a) (Some b);
+  Bess.Session.write_ref s ~data_addr:(Bess.Session.obj_data s b) (Some c);
+  Vmem.write_i64 (Bess.Session.mem s) (Bess.Session.obj_data s c + 8) 777;
+  Bess.Session.set_root s ~name:"a" a;
+  Bess.Session.commit s;
+  (* Traverse from a fresh session: every fault fires. *)
+  let s2 = Bess.Db.session db in
+  Bess.Session.begin_txn s2;
+  let a' = Option.get (Bess.Session.root s2 "a") in
+  let b' = Option.get (Bess.Session.read_ref s2 ~data_addr:(Bess.Session.obj_data s2 a')) in
+  let c' = Option.get (Bess.Session.read_ref s2 ~data_addr:(Bess.Session.obj_data s2 b')) in
+  Alcotest.(check int) "payload through two hops" 777
+    (Vmem.read_i64 (Bess.Session.mem s2) (Bess.Session.obj_data s2 c' + 8));
+  Bess.Session.commit s2
+
+let test_commit_visibility () =
+  let db = fresh_db () in
+  let s1 = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s1;
+  let seg = Bess.Session.create_segment s1 ~slotted_pages:1 ~data_pages:1 () in
+  let obj = Bess.Session.create_object s1 seg ty ~size:16 in
+  Vmem.write_i64 (Bess.Session.mem s1) (Bess.Session.obj_data s1 obj + 8) 99;
+  Bess.Session.set_root s1 ~name:"obj" obj;
+  Bess.Session.commit s1;
+  let s2 = Bess.Db.session db in
+  Bess.Session.begin_txn s2;
+  let obj2 = Option.get (Bess.Session.root s2 "obj") in
+  Alcotest.(check int) "committed value visible" 99
+    (Vmem.read_i64 (Bess.Session.mem s2) (Bess.Session.obj_data s2 obj2 + 8));
+  Bess.Session.commit s2
+
+let test_abort_restores () =
+  let db = fresh_db () in
+  let s = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:1 () in
+  let obj = Bess.Session.create_object s seg ty ~size:16 in
+  let data = Bess.Session.obj_data s obj in
+  Vmem.write_i64 (Bess.Session.mem s) (data + 8) 1;
+  Bess.Session.set_root s ~name:"obj" obj;
+  Bess.Session.commit s;
+  Bess.Session.begin_txn s;
+  Vmem.write_i64 (Bess.Session.mem s) (data + 8) 2;
+  Alcotest.(check int) "uncommitted write visible locally" 2
+    (Vmem.read_i64 (Bess.Session.mem s) (data + 8));
+  Bess.Session.abort s;
+  Bess.Session.begin_txn s;
+  Alcotest.(check int) "abort restored the old value" 1
+    (Vmem.read_i64 (Bess.Session.mem s) (data + 8));
+  Bess.Session.commit s
+
+let test_corruption_guard () =
+  let db = fresh_db () in
+  let s = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:1 () in
+  let obj = Bess.Session.create_object s seg ty ~size:16 in
+  (* A stray store aimed at the object *header* (a control structure) is
+     trapped before it lands. *)
+  let trapped =
+    try
+      Vmem.write_i64 (Bess.Session.mem s) obj 0xDEAD;
+      false
+    with Bess.Session.Corruption _ -> true
+  in
+  Alcotest.(check bool) "stray write into slot page trapped" true trapped;
+  (* The header is unharmed: the object still reads correctly. *)
+  Alcotest.(check int) "object survives" 16 (Bess.Session.obj_size s obj);
+  Bess.Session.commit s
+
+let test_oid_roundtrip_and_staleness () =
+  let db = fresh_db () in
+  let s = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:1 () in
+  let obj = Bess.Session.create_object s seg ty ~size:16 in
+  let oid = Bess.Session.oid_of s obj in
+  Alcotest.(check bool) "by_oid resolves" true (Bess.Session.by_oid s oid = obj);
+  Bess.Session.delete_object s obj;
+  let stale = try ignore (Bess.Session.by_oid s oid); false with Bess.Session.Stale_oid _ -> true in
+  Alcotest.(check bool) "stale OID detected after delete" true stale;
+  (* Slot reuse bumps the uniquifier: the new tenant gets a distinct OID. *)
+  let obj2 = Bess.Session.create_object s seg ty ~size:16 in
+  let oid2 = Bess.Session.oid_of s obj2 in
+  Alcotest.(check bool) "same slot reused" true (Bess.Oid.(oid2.seg = oid.seg && oid2.slot = oid.slot));
+  Alcotest.(check bool) "uniquifier differs" false (Bess.Oid.equal oid oid2);
+  Bess.Session.commit s
+
+let test_roots_referential_integrity () =
+  let db = fresh_db () in
+  let s = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:1 () in
+  let obj = Bess.Session.create_object s seg ty ~size:16 in
+  Bess.Session.set_root s ~name:"it" obj;
+  Alcotest.(check bool) "root resolves" true (Bess.Session.root s "it" = Some obj);
+  (* Removing the object removes its name (section 2.5). *)
+  Bess.Session.delete_object s obj;
+  Alcotest.(check bool) "root gone with object" true
+    (Bess.Catalog.find_root (Bess.Db.catalog db) "it" = None);
+  Bess.Session.commit s
+
+let test_null_and_ref_update () =
+  let db = fresh_db () in
+  let s = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:1 () in
+  let a = Bess.Session.create_object s seg ty ~size:16 in
+  let b = Bess.Session.create_object s seg ty ~size:16 in
+  let da = Bess.Session.obj_data s a in
+  Alcotest.(check bool) "fresh ref is null" true (Bess.Session.read_ref s ~data_addr:da = None);
+  Bess.Session.write_ref s ~data_addr:da (Some b);
+  Alcotest.(check bool) "ref set" true (Bess.Session.read_ref s ~data_addr:da = Some b);
+  Bess.Session.write_ref s ~data_addr:da None;
+  Alcotest.(check bool) "ref cleared" true (Bess.Session.read_ref s ~data_addr:da = None);
+  Bess.Session.commit s
+
+let test_interdb_forward () =
+  let db1 = Bess.Db.create_memory ~db_id:71 () in
+  let db2 = Bess.Db.create_memory ~db_id:72 () in
+  let s = Bess.Db.session db1 in
+  Bess.Db.attach db2 s;
+  let ty1 = node_type db1 in
+  let ty2 = node_type db2 in
+  Bess.Session.begin_txn s;
+  let seg1 = Bess.Session.create_segment s ~db_id:71 ~slotted_pages:1 ~data_pages:1 () in
+  let seg2 = Bess.Session.create_segment s ~db_id:72 ~slotted_pages:1 ~data_pages:1 () in
+  let a = Bess.Session.create_object s seg1 ty1 ~size:16 in
+  let b = Bess.Session.create_object s seg2 ty2 ~size:16 in
+  Vmem.write_i64 (Bess.Session.mem s) (Bess.Session.obj_data s b + 8) 555;
+  (* Cross-database reference: stored through a forward object, read back
+     transparently. *)
+  Bess.Session.write_ref s ~data_addr:(Bess.Session.obj_data s a) (Some b);
+  let b' = Option.get (Bess.Session.read_ref s ~data_addr:(Bess.Session.obj_data s a)) in
+  Alcotest.(check bool) "forward chases to the target" true (b' = b);
+  Alcotest.(check int) "target payload" 555
+    (Vmem.read_i64 (Bess.Session.mem s) (Bess.Session.obj_data s b' + 8));
+  (* This was a distributed transaction: 2PC committed on both servers. *)
+  Bess.Session.commit s;
+  let s2 = Bess.Db.session db1 in
+  Bess.Db.attach db2 s2;
+  Bess.Session.begin_txn s2;
+  ignore s2
+
+let test_many_objects_many_segments () =
+  let db = fresh_db () in
+  let s = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s;
+  let segs =
+    List.init 4 (fun _ -> Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:4 ())
+  in
+  let objs =
+    List.concat_map
+      (fun seg -> List.init 50 (fun i ->
+           let o = Bess.Session.create_object s seg ty ~size:16 in
+           Vmem.write_i64 (Bess.Session.mem s) (Bess.Session.obj_data s o + 8) i;
+           o))
+      segs
+  in
+  (* Chain them all. *)
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        Bess.Session.write_ref s ~data_addr:(Bess.Session.obj_data s a) (Some b);
+        link rest
+    | _ -> ()
+  in
+  link objs;
+  Bess.Session.set_root s ~name:"head" (List.hd objs);
+  Bess.Session.commit s;
+  (* Fresh session walks the chain. *)
+  let s2 = Bess.Db.session db in
+  Bess.Session.begin_txn s2;
+  let rec walk addr n =
+    match Bess.Session.read_ref s2 ~data_addr:(Bess.Session.obj_data s2 addr) with
+    | Some next -> walk next (n + 1)
+    | None -> n + 1
+  in
+  let head = Option.get (Bess.Session.root s2 "head") in
+  Alcotest.(check int) "chain length" 200 (walk head 0);
+  Bess.Session.commit s2
+
+let test_segment_full () =
+  let db = fresh_db () in
+  let s = Bess.Db.session db in
+  let ty = node_type db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:1 () in
+  let full =
+    try
+      for _ = 1 to 10_000 do
+        ignore (Bess.Session.create_object s seg ty ~size:16)
+      done;
+      false
+    with Bess.Session.Segment_full _ -> true
+  in
+  Alcotest.(check bool) "segment fills up" true full;
+  Bess.Session.commit s
+
+let suite =
+  [
+    Alcotest.test_case "create_read_write" `Quick test_create_read_write;
+    Alcotest.test_case "refs_and_traversal" `Quick test_refs_and_traversal;
+    Alcotest.test_case "commit_visibility" `Quick test_commit_visibility;
+    Alcotest.test_case "abort_restores" `Quick test_abort_restores;
+    Alcotest.test_case "corruption_guard" `Quick test_corruption_guard;
+    Alcotest.test_case "oid_roundtrip_staleness" `Quick test_oid_roundtrip_and_staleness;
+    Alcotest.test_case "roots_referential_integrity" `Quick test_roots_referential_integrity;
+    Alcotest.test_case "null_and_ref_update" `Quick test_null_and_ref_update;
+    Alcotest.test_case "interdb_forward" `Quick test_interdb_forward;
+    Alcotest.test_case "many_objects_many_segments" `Quick test_many_objects_many_segments;
+    Alcotest.test_case "segment_full" `Quick test_segment_full;
+  ]

@@ -1,0 +1,108 @@
+(* bess_vmem: reservation, protection, fault dispatch, accounting. *)
+
+module Vmem = Bess_vmem.Vmem
+
+let test_reserve_release_reuse () =
+  let vm = Vmem.create ~page_size:256 () in
+  let a = Vmem.reserve vm 4 in
+  let b = Vmem.reserve vm 2 in
+  Alcotest.(check bool) "distinct ranges" true (a <> b);
+  Alcotest.(check int) "reserved bytes" ((4 + 2) * 256) (Vmem.reserved_bytes vm);
+  Vmem.release vm a 4;
+  Alcotest.(check int) "after release" (2 * 256) (Vmem.reserved_bytes vm);
+  let c = Vmem.reserve vm 4 in
+  Alcotest.(check int) "freed range reused" a c;
+  Alcotest.(check int) "peak sticks" ((4 + 2) * 256) (Vmem.reserved_peak_bytes vm)
+
+let test_null_page_traps () =
+  let vm = Vmem.create () in
+  let trapped = try ignore (Vmem.read_u8 vm 0); false with Vmem.Access_violation _ -> true in
+  Alcotest.(check bool) "address 0 traps" true trapped
+
+let test_protection_and_fault_handler () =
+  let vm = Vmem.create ~page_size:256 () in
+  let addr = Vmem.reserve vm 1 in
+  let frame = Bytes.make 256 '\000' in
+  let faults = ref [] in
+  Vmem.set_fault_handler vm (fun vm ~addr ~access ->
+      faults := access :: !faults;
+      if Vmem.frame_at vm addr = None then Vmem.map vm addr frame;
+      Vmem.set_prot vm addr 1
+        (match access with Vmem.Read -> Prot_read | Vmem.Write -> Prot_read_write));
+  (* Read faults once, then is free. *)
+  ignore (Vmem.read_u8 vm addr);
+  ignore (Vmem.read_u8 vm (addr + 10));
+  Alcotest.(check int) "one read fault" 1 (List.length !faults);
+  (* Write faults once more (page is read-only). *)
+  Vmem.write_u8 vm (addr + 1) 7;
+  Vmem.write_u8 vm (addr + 2) 8;
+  Alcotest.(check int) "one write fault" 2 (List.length !faults);
+  Alcotest.(check int) "store landed in frame" 7 (Char.code (Bytes.get frame 1))
+
+let test_unresolved_fault_raises () =
+  let vm = Vmem.create ~page_size:256 () in
+  let addr = Vmem.reserve vm 1 in
+  Vmem.set_fault_handler vm (fun _ ~addr:_ ~access:_ -> () (* does nothing *));
+  let trapped = try ignore (Vmem.read_u8 vm addr); false with Vmem.Access_violation _ -> true in
+  Alcotest.(check bool) "handler must resolve" true trapped
+
+let test_cross_page_access () =
+  let vm = Vmem.create ~page_size:256 () in
+  let addr = Vmem.reserve vm 2 in
+  Vmem.map vm addr (Bytes.make 256 '\000');
+  Vmem.map vm (addr + 256) (Bytes.make 256 '\000');
+  Vmem.set_prot vm addr 2 Prot_read_write;
+  (* An 8-byte value straddling the page boundary. *)
+  Vmem.write_i64 vm (addr + 252) 0x1122334455667788;
+  Alcotest.(check int) "straddling i64" 0x1122334455667788 (Vmem.read_i64 vm (addr + 252));
+  let s = "hello across the page boundary" in
+  Vmem.write_string vm (addr + 240) s;
+  Alcotest.(check string) "straddling string" s
+    (Vmem.read_string vm (addr + 240) (String.length s))
+
+let test_with_unprotected () =
+  let vm = Vmem.create ~page_size:256 () in
+  let addr = Vmem.reserve vm 1 in
+  Vmem.map vm addr (Bytes.make 256 '\000');
+  Vmem.set_prot vm addr 1 Prot_read;
+  let before = Bess_util.Stats.get (Vmem.stats vm) "vmem.protect_calls" in
+  Vmem.with_unprotected vm addr 1 (fun () -> Vmem.write_u8 vm (addr + 5) 9);
+  Alcotest.(check int) "value written" 9 (Vmem.read_u8 vm (addr + 5));
+  Alcotest.(check (module struct type t = Bess_vmem.Vmem.prot let pp = Vmem.pp_prot let equal = (=) end))
+    "protection restored" Vmem.Prot_read (Vmem.prot_at vm addr);
+  let after = Bess_util.Stats.get (Vmem.stats vm) "vmem.protect_calls" in
+  Alcotest.(check int) "two mprotect syscalls" 2 (after - before)
+
+let test_syscall_accounting () =
+  let vm = Vmem.create ~page_size:256 () in
+  let addr = Vmem.reserve vm 4 in
+  Vmem.set_prot vm addr 4 Prot_none;
+  Vmem.set_prot vm addr 2 Prot_read_write;
+  Alcotest.(check int) "protect_calls" 2
+    (Bess_util.Stats.get (Vmem.stats vm) "vmem.protect_calls")
+
+let prop_rw_roundtrip =
+  QCheck.Test.make ~name:"vmem read/write roundtrip" ~count:200
+    QCheck.(pair (int_bound 1000) (small_list (int_bound 255)))
+    (fun (off, bytes) ->
+      let vm = Vmem.create ~page_size:512 () in
+      let addr = Vmem.reserve vm 4 in
+      for i = 0 to 3 do
+        Vmem.map vm (addr + (i * 512)) (Bytes.create 512)
+      done;
+      Vmem.set_prot vm addr 4 Prot_read_write;
+      let data = Bytes.of_string (String.init (List.length bytes) (fun i -> Char.chr (List.nth bytes i))) in
+      Vmem.write_bytes vm (addr + off) data;
+      Bytes.equal (Vmem.read_bytes vm (addr + off) (Bytes.length data)) data)
+
+let suite =
+  [
+    Alcotest.test_case "reserve_release_reuse" `Quick test_reserve_release_reuse;
+    Alcotest.test_case "null_page_traps" `Quick test_null_page_traps;
+    Alcotest.test_case "protection_and_fault_handler" `Quick test_protection_and_fault_handler;
+    Alcotest.test_case "unresolved_fault_raises" `Quick test_unresolved_fault_raises;
+    Alcotest.test_case "cross_page_access" `Quick test_cross_page_access;
+    Alcotest.test_case "with_unprotected" `Quick test_with_unprotected;
+    Alcotest.test_case "syscall_accounting" `Quick test_syscall_accounting;
+    QCheck_alcotest.to_alcotest prop_rw_roundtrip;
+  ]

@@ -1,0 +1,210 @@
+(* bess_wal: record codec, log append/iterate, torn tails, ARIES
+   recovery (analysis/redo/undo), checkpoints, idempotence. *)
+
+module Log = Bess_wal.Log
+module Log_record = Bess_wal.Log_record
+module Recovery = Bess_wal.Recovery
+
+let page a p : Log_record.page_id = { area = a; page = p }
+
+(* A trivial page store: 8 pages of 64 bytes, volatile LSN table. *)
+type fake_store = { pages : Bytes.t array; lsns : (Log_record.page_id, int) Hashtbl.t }
+
+let fake_store () = { pages = Array.init 8 (fun _ -> Bytes.make 64 '\000'); lsns = Hashtbl.create 8 }
+
+let io_of (s : fake_store) : Recovery.page_io =
+  {
+    page_lsn = (fun p -> Option.value ~default:0 (Hashtbl.find_opt s.lsns p));
+    set_page_lsn = (fun p lsn -> Hashtbl.replace s.lsns p lsn);
+    write = (fun p ~offset image -> Bytes.blit image 0 s.pages.(p.page) offset (Bytes.length image));
+  }
+
+(* Log an update and apply it to the store (normal forward processing). *)
+let update log (s : fake_store) ~txn ~prev ~pg ~offset ~after =
+  let before = Bytes.sub s.pages.(pg) offset (String.length after) in
+  let lsn =
+    Log.append log
+      { prev_lsn = prev;
+        body = Update { txn; page = page 0 pg; offset; before; after = Bytes.of_string after } }
+  in
+  Bytes.blit_string after 0 s.pages.(pg) offset (String.length after);
+  Hashtbl.replace s.lsns (page 0 pg) lsn;
+  lsn
+
+let test_record_codec_roundtrip () =
+  let records : Log_record.t list =
+    [
+      { prev_lsn = 0;
+        body = Update { txn = 7; page = page 1 2; offset = 16; before = Bytes.of_string "aa";
+                        after = Bytes.of_string "bb" } };
+      { prev_lsn = 5; body = Clr { txn = 7; page = page 1 2; offset = 16;
+                                   image = Bytes.of_string "aa"; undo_next = 3 } };
+      { prev_lsn = 9; body = Commit { txn = 7 } };
+      { prev_lsn = 9; body = Abort { txn = 8 } };
+      { prev_lsn = 9; body = End { txn = 7 } };
+      { prev_lsn = 2; body = Prepare { txn = 4; coordinator = 1 } };
+      { prev_lsn = 0; body = Begin_checkpoint };
+      { prev_lsn = 0;
+        body = End_checkpoint { active = [ (1, 10); (2, 20) ]; dirty = [ (page 0 3, 5) ] } };
+    ]
+  in
+  List.iter
+    (fun r ->
+      let img = Log_record.encode r in
+      let r', next = Log_record.decode img 0 in
+      Alcotest.(check bool) "roundtrip" true (r = r');
+      Alcotest.(check int) "consumed all" (Bytes.length img) next)
+    records
+
+let test_append_iterate () =
+  let log = Log.create () in
+  let l1 = Log.append log { prev_lsn = 0; body = Commit { txn = 1 } } in
+  let l2 = Log.append log { prev_lsn = 0; body = Commit { txn = 2 } } in
+  Alcotest.(check bool) "lsns increase" true (l2 > l1);
+  let seen = ref [] in
+  Log.iter log (fun lsn r -> seen := (lsn, r) :: !seen);
+  Alcotest.(check int) "two records" 2 (List.length !seen);
+  let r1, _ = Log.read log l1 in
+  Alcotest.(check bool) "read back" true (r1.body = Commit { txn = 1 })
+
+let test_torn_tail_discarded () =
+  let log = Log.create () in
+  (* The txn id's bytes are all non-zero so a torn (zeroed) suffix is
+     guaranteed to change the payload and fail the CRC. *)
+  ignore (Log.append log { prev_lsn = 0; body = Commit { txn = 0x0A0B0C0D } });
+  Log.flush log ();
+  ignore (Log.append log { prev_lsn = 0; body = Commit { txn = 2 } });
+  (* Crash with 3 bytes of the flushed portion torn off: the scan stops
+     at the first corrupt record. *)
+  Log.crash log ~tear:3 ();
+  let count = ref 0 in
+  Log.iter log (fun _ _ -> incr count);
+  Alcotest.(check int) "torn record dropped" 0 !count
+
+let test_recovery_redo_committed () =
+  let log = Log.create () in
+  let durable = fake_store () in
+  (* Transaction commits, but its page writes never reach 'disk'. *)
+  let scratch = fake_store () in
+  let l1 = update log scratch ~txn:1 ~prev:0 ~pg:2 ~offset:0 ~after:"HELLO" in
+  let l2 = Log.append log { prev_lsn = l1; body = Commit { txn = 1 } } in
+  Log.flush log ~lsn:l2 ();
+  ignore (Log.append log { prev_lsn = l2; body = End { txn = 1 } });
+  let outcome = Recovery.recover log (io_of durable) in
+  Alcotest.(check int) "redone" 1 outcome.redone;
+  Alcotest.(check string) "page recovered" "HELLO" (Bytes.sub_string durable.pages.(2) 0 5)
+
+let test_recovery_undo_loser () =
+  let log = Log.create () in
+  let s = fake_store () in
+  Bytes.blit_string "OLD." 0 s.pages.(1) 0 4;
+  (* Uncommitted transaction whose update DID reach disk (steal). *)
+  ignore (update log s ~txn:9 ~prev:0 ~pg:1 ~offset:0 ~after:"NEW.");
+  Log.flush log ();
+  Hashtbl.reset s.lsns (* crash loses volatile lsn table *);
+  let outcome = Recovery.recover log (io_of s) in
+  Alcotest.(check (list int)) "loser rolled back" [ 9 ] outcome.losers;
+  Alcotest.(check string) "before-image restored" "OLD." (Bytes.sub_string s.pages.(1) 0 4)
+
+let test_recovery_idempotent () =
+  let log = Log.create () in
+  let s = fake_store () in
+  let l1 = update log s ~txn:1 ~prev:0 ~pg:0 ~offset:8 ~after:"alpha" in
+  ignore (update log s ~txn:2 ~prev:0 ~pg:3 ~offset:0 ~after:"beta" (* loser *));
+  let lc = Log.append log { prev_lsn = l1; body = Commit { txn = 1 } } in
+  Log.flush log ~lsn:lc ();
+  Hashtbl.reset s.lsns;
+  let o1 = Recovery.recover log (io_of s) in
+  let snapshot = Array.map Bytes.copy s.pages in
+  (* Crash again immediately: recovering a second time must be a no-op
+     on page contents (CLRs make undo idempotent). *)
+  Hashtbl.reset s.lsns;
+  let o2 = Recovery.recover log (io_of s) in
+  Array.iteri
+    (fun i p -> Alcotest.(check bytes) (Printf.sprintf "page %d stable" i) snapshot.(i) p)
+    s.pages;
+  Alcotest.(check (list int)) "no losers second time" [] o2.losers;
+  ignore o1
+
+let test_recovery_in_doubt () =
+  let log = Log.create () in
+  let s = fake_store () in
+  let l1 = update log s ~txn:5 ~prev:0 ~pg:4 ~offset:0 ~after:"2PCDATA" in
+  let lp = Log.append log { prev_lsn = l1; body = Prepare { txn = 5; coordinator = 2 } } in
+  Log.flush log ~lsn:lp ();
+  Hashtbl.reset s.lsns;
+  let outcome = Recovery.recover log (io_of s) in
+  Alcotest.(check (list int)) "prepared txn in doubt" [ 5 ] outcome.in_doubt;
+  Alcotest.(check (list int)) "not a loser" [] outcome.losers;
+  (* Its update must survive (it may yet commit). *)
+  Alcotest.(check string) "prepared data retained" "2PCDATA" (Bytes.sub_string s.pages.(4) 0 7)
+
+let test_checkpoint_shortens_analysis () =
+  let log = Log.create () in
+  let s = fake_store () in
+  let prev = ref 0 in
+  for i = 1 to 20 do
+    prev := update log s ~txn:1 ~prev:!prev ~pg:(i mod 4) ~offset:0 ~after:"XX"
+  done;
+  let lc = Log.append log { prev_lsn = !prev; body = Commit { txn = 1 } } in
+  ignore (Log.append log { prev_lsn = lc; body = End { txn = 1 } });
+  ignore (Log.append log { prev_lsn = 0; body = Begin_checkpoint });
+  ignore (Log.append log { prev_lsn = 0; body = End_checkpoint { active = []; dirty = [] } });
+  Log.flush log ();
+  Hashtbl.reset s.lsns;
+  let outcome = Recovery.recover log (io_of s) in
+  (* Everything was clean at the checkpoint: nothing to redo or undo. *)
+  Alcotest.(check int) "no redo" 0 outcome.redone;
+  Alcotest.(check int) "no undo" 0 outcome.undone
+
+let test_rollback_in_place () =
+  let log = Log.create () in
+  let s = fake_store () in
+  Bytes.blit_string "one." 0 s.pages.(6) 0 4;
+  let l1 = update log s ~txn:3 ~prev:0 ~pg:6 ~offset:0 ~after:"two." in
+  let l2 = update log s ~txn:3 ~prev:l1 ~pg:6 ~offset:4 ~after:"MORE" in
+  let undone = Recovery.rollback_txn log (io_of s) ~txn:3 ~last_lsn:l2 in
+  Alcotest.(check int) "two updates undone" 2 undone;
+  Alcotest.(check string) "restored" "one." (Bytes.sub_string s.pages.(6) 0 4)
+
+let test_file_backed_log_reopen () =
+  let path = Filename.temp_file "bess_wal" ".log" in
+  let log = Log.create ~path () in
+  let l1 = Log.append log { prev_lsn = 0; body = Commit { txn = 11 } } in
+  Log.flush log ~lsn:l1 ();
+  Log.close log;
+  let log2 = Log.open_existing path in
+  let seen = ref [] in
+  Log.iter log2 (fun _ r -> seen := r :: !seen);
+  Alcotest.(check int) "record survives process restart" 1 (List.length !seen);
+  Log.close log2;
+  Sys.remove path
+
+let prop_codec_fuzz =
+  QCheck.Test.make ~name:"update record roundtrip" ~count:200
+    QCheck.(quad small_nat small_nat small_string small_string)
+    (fun (txn, offset, before, after) ->
+      let len = Stdlib.min (String.length before) (String.length after) in
+      let r : Log_record.t =
+        { prev_lsn = 0;
+          body = Update { txn; page = page 0 1; offset;
+                          before = Bytes.of_string (String.sub before 0 len);
+                          after = Bytes.of_string (String.sub after 0 len) } }
+      in
+      let img = Log_record.encode r in
+      fst (Log_record.decode img 0) = r)
+
+let suite =
+  [
+    Alcotest.test_case "record_codec" `Quick test_record_codec_roundtrip;
+    Alcotest.test_case "append_iterate" `Quick test_append_iterate;
+    Alcotest.test_case "torn_tail" `Quick test_torn_tail_discarded;
+    Alcotest.test_case "redo_committed" `Quick test_recovery_redo_committed;
+    Alcotest.test_case "undo_loser" `Quick test_recovery_undo_loser;
+    Alcotest.test_case "recovery_idempotent" `Quick test_recovery_idempotent;
+    Alcotest.test_case "in_doubt_preserved" `Quick test_recovery_in_doubt;
+    Alcotest.test_case "checkpoint" `Quick test_checkpoint_shortens_analysis;
+    Alcotest.test_case "rollback_in_place" `Quick test_rollback_in_place;
+    Alcotest.test_case "file_backed_reopen" `Quick test_file_backed_log_reopen;
+    QCheck_alcotest.to_alcotest prop_codec_fuzz;
+  ]
