@@ -1301,7 +1301,9 @@ let () =
       if name = "micro" then micro ()
       else
         match List.assoc_opt name experiments with
-        | Some f -> f ()
+        | Some f -> Report.with_observed name f
         | None -> Printf.printf "unknown experiment %S\n" name)
     selected;
+  Report.write_json "bench_report.json";
+  Printf.printf "\nper-substrate observability report: bench_report.json\n";
   Printf.printf "\ndone.\n"

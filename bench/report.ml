@@ -49,6 +49,47 @@ let table ~id ~caption ~header rows =
 
 let note fmt = Printf.printf ("    " ^^ fmt ^^ "\n%!")
 
+(* ---- Observability report --------------------------------------------- *)
+
+(* Each experiment runs under [with_observed], which brackets it with
+   registry snapshots; the per-substrate counter deltas and histogram
+   summaries accumulate here and [write_json] dumps them at exit. *)
+
+type observed = {
+  obs_name : string;
+  obs_elapsed_ns : float;
+  obs_diff : Bess_obs.Registry.snapshot;
+}
+
+let observations : observed list ref = ref []
+
+let with_observed name f =
+  let before = Bess_obs.Registry.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let elapsed = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let after = Bess_obs.Registry.snapshot () in
+  observations :=
+    { obs_name = name;
+      obs_elapsed_ns = elapsed;
+      obs_diff = Bess_obs.Registry.diff ~before ~after }
+    :: !observations;
+  r
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "{\"workloads\":[";
+  List.iteri
+    (fun i o ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc "{\"name\":%s,\"elapsed_ns\":%.0f,\"observed\":%s}"
+        (Bess_obs.Registry.json_string o.obs_name)
+        o.obs_elapsed_ns
+        (Bess_obs.Registry.json_of_snapshot o.obs_diff))
+    (List.rev !observations);
+  output_string oc "]}\n";
+  close_out oc
+
 (* Wall-clock timing of a thunk, median of [runs]. *)
 let time_ns ?(runs = 3) f =
   let samples =

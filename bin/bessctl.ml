@@ -6,6 +6,7 @@
      bessctl scan    DIR --file NAME                   scan a file, print stats
      bessctl verify  DIR                               structural checks
      bessctl compact DIR                               compact every segment
+     bessctl stats   DIR [--json]                      live metrics registry
 
    Databases live in a directory: area_*.bess files, wal.log, and
    catalog.meta. *)
@@ -160,6 +161,45 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc:"Structural integrity checks") Term.(const run $ dir_arg)
 
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry snapshot as JSON") in
+  let run dir json =
+    with_db dir (fun db ->
+        (* Touch every segment once so the snapshot reflects a full pass
+           over the database, not an idle process. *)
+        let s = Bess.Db.session db in
+        Bess.Session.begin_txn s;
+        List.iter
+          (fun seg_id ->
+            let seg = Bess.Session.get_seg s ~db_id:(Bess.Db.db_id db) ~seg_id in
+            Bess.Session.ensure_slotted s seg)
+          (Bess.Catalog.segment_ids (Bess.Db.catalog db));
+        Bess.Session.commit s;
+        let snap = Bess_obs.Registry.snapshot () in
+        if json then print_string (Bess_obs.Registry.json_of_snapshot snap ^ "\n")
+        else begin
+          Fmt.pr "%a@." Bess_obs.Registry.pp_snapshot snap;
+          match Bess.Event.trace (Bess.Session.hooks s) with
+          | None -> ()
+          | Some tr ->
+              let entries = Bess_obs.Trace.to_list tr in
+              let n = List.length entries in
+              let tail k l =
+                let rec drop i = function
+                  | _ :: rest when i > 0 -> drop (i - 1) rest
+                  | l -> l
+                in
+                drop (Stdlib.max 0 (List.length l - k)) l
+              in
+              Fmt.pr "@.trace (%d events recorded, last %d):@." n (Stdlib.min n 10);
+              List.iter (fun e -> Fmt.pr "  %a@." Bess_obs.Trace.pp_entry e) (tail 10 entries)
+        end)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print the live metrics registry (counters, histograms, trace tail)")
+    Term.(const run $ dir_arg $ json)
+
 (* ---- compact ---- *)
 
 let compact_cmd =
@@ -181,4 +221,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bessctl" ~doc)
-          [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd ]))
+          [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd; stats_cmd ]))

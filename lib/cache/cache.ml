@@ -36,6 +36,8 @@ let create ~nslots ~page_size =
         { index; bytes = Bytes.create page_size; page = None; dirty = false; pins = 0;
           refcount = 0 })
   in
+  let stats = Bess_util.Stats.create () in
+  Bess_obs.Registry.register_stats "cache" stats;
   let t =
     {
       slots;
@@ -43,7 +45,7 @@ let create ~nslots ~page_size =
       map = Page_id.Tbl.create (2 * nslots);
       writeback = (fun _ _ -> ());
       choose_victim = (fun () -> None);
-      stats = Bess_util.Stats.create ();
+      stats;
     }
   in
   (* Default policy: first unpinned, unmapped-elsewhere slot (FIFO-ish);

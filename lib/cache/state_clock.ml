@@ -33,13 +33,15 @@ type t = {
 }
 
 let create ~n_vframes ~protect ~invalidate =
+  let stats = Bess_util.Stats.create () in
+  Bess_obs.Registry.register_stats "cache.state_clock" stats;
   {
     states = Array.make n_vframes Invalid;
     slots = Array.make n_vframes (-1);
     hand = 0;
     protect;
     invalidate;
-    stats = Bess_util.Stats.create ();
+    stats;
   }
 
 let n_vframes t = Array.length t.states

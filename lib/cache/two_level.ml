@@ -31,6 +31,8 @@ type t = {
 }
 
 let create ~n_procs ~n_vframes ~n_slots ~protect ~invalidate =
+  let stats = Bess_util.Stats.create () in
+  Bess_obs.Registry.register_stats "cache.two_level" stats;
   {
     procs =
       Array.init n_procs (fun _ ->
@@ -41,7 +43,7 @@ let create ~n_procs ~n_vframes ~n_slots ~protect ~invalidate =
     hand2 = 0;
     protect;
     invalidate;
-    stats = Bess_util.Stats.create ();
+    stats;
   }
 
 let n_procs t = Array.length t.procs

@@ -42,34 +42,59 @@ let kind = function
   | Deadlock _ -> "deadlock"
   | Protection_violation _ -> "protection_violation"
 
+(* Payload rendering for the trace ring: key=value pairs, no lookup
+   needed to replay a fault wave or deadlock sequence from the entries. *)
+let detail = function
+  | Db_open { db } | Db_close { db } -> Printf.sprintf "db=%d" db
+  | Slotted_fault { seg } | Data_fault { seg } -> Printf.sprintf "seg=%d" seg
+  | Write_fault { seg; addr } -> Printf.sprintf "seg=%d addr=%d" seg addr
+  | Segment_replacement { area; page } -> Printf.sprintf "area=%d page=%d" area page
+  | Lock_acquired { txn; resource } -> Printf.sprintf "txn=%d resource=%s" txn resource
+  | Txn_begin { txn } | Txn_commit { txn } | Txn_abort { txn } | Deadlock { txn } ->
+      Printf.sprintf "txn=%d" txn
+  | Protection_violation { addr; write } ->
+      Printf.sprintf "addr=%d access=%s" addr (if write then "write" else "read")
+
 let pp ppf e = Fmt.string ppf (kind e)
 
 type hooks = {
-  table : (string, (t -> unit) list ref) Hashtbl.t;
+  table : (string, (t -> unit) Queue.t) Hashtbl.t;
   stats : Bess_util.Stats.t;
+  mutable trace : Bess_obs.Trace.t option;
 }
 
-let hooks_create () = { table = Hashtbl.create 16; stats = Bess_util.Stats.create () }
+let hooks_create () =
+  { table = Hashtbl.create 16; stats = Bess_util.Stats.create ();
+    trace = Some Bess_obs.Trace.default }
 
-(* Register [f] for events whose {!kind} equals [event]. *)
+let set_trace h tr = h.trace <- tr
+let trace h = h.trace
+
+(* Register [f] for events whose {!kind} equals [event]. A queue keeps
+   registration order with constant-time insertion (the old [!l @ [f]]
+   was quadratic in the number of hooks on one event). *)
 let register h ~event f =
-  let l =
+  let q =
     match Hashtbl.find_opt h.table event with
-    | Some l -> l
+    | Some q -> q
     | None ->
-        let l = ref [] in
-        Hashtbl.add h.table event l;
-        l
+        let q = Queue.create () in
+        Hashtbl.add h.table event q;
+        q
   in
-  l := !l @ [ f ]
+  Queue.add f q
 
 let clear h ~event = Hashtbl.remove h.table event
 
 (* Fire an event: run every hook registered for its kind, in order. *)
 let fire h e =
-  Bess_util.Stats.incr h.stats ("event." ^ kind e);
-  match Hashtbl.find_opt h.table (kind e) with
+  let k = kind e in
+  Bess_util.Stats.incr h.stats ("event." ^ k);
+  (match h.trace with
+  | Some tr -> Bess_obs.Trace.record tr ~kind:k ~detail:(detail e)
+  | None -> ());
+  match Hashtbl.find_opt h.table k with
   | None -> ()
-  | Some l -> List.iter (fun f -> f e) !l
+  | Some q -> Queue.iter (fun f -> f e) q
 
 let stats h = h.stats

@@ -67,7 +67,10 @@ let create ?log_path ?log ?(cache_slots = 1024) ?(detect = `Graph) ~id areas =
     hooks = Event.hooks_create ();
     next_txn = 1;
     detect;
-    stats = Bess_util.Stats.create ();
+    stats =
+      (let stats = Bess_util.Stats.create () in
+       Bess_obs.Registry.register_stats "server" stats;
+       stats);
   }
 
 let store t = t.store

@@ -625,7 +625,10 @@ let create ?(pool_slots = 512) ?(page_size = 4096) ?area_ids ~db_id ~catalog ~fe
       policy = Eager;
       fetch_whole_segments = true;
       in_txn = false;
-      stats = Bess_util.Stats.create ();
+      stats =
+        (let stats = Bess_util.Stats.create () in
+         Bess_obs.Registry.register_stats "session" stats;
+         stats);
     }
   in
   install_clock t;

@@ -43,7 +43,10 @@ let create ?log_path ?log ?(cache_slots = 256) areas =
       cache;
       log = (match log with Some l -> l | None -> Bess_wal.Log.create ?path:log_path ());
       page_lsn = Page_id.Tbl.create 1024;
-      stats = Bess_util.Stats.create ();
+      stats =
+        (let stats = Bess_util.Stats.create () in
+         Bess_obs.Registry.register_stats "store" stats;
+         stats);
     }
   in
   ignore (Bess_cache.Clock.create cache);

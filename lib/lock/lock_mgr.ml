@@ -34,8 +34,12 @@ type t = {
 }
 
 let create ?(timeout = 1000) () =
-  { table = Hashtbl.create 256; held = Hashtbl.create 32; tick = 0; timeout;
-    stats = Bess_util.Stats.create () }
+  let stats = Bess_util.Stats.create () in
+  (* Eager: the wait distribution is part of every report even when no
+     request ever blocked. *)
+  ignore (Bess_util.Stats.histogram stats "lock.wait_ticks");
+  Bess_obs.Registry.register_stats "lock" stats;
+  { table = Hashtbl.create 256; held = Hashtbl.create 32; tick = 0; timeout; stats }
 
 let stats t = t.stats
 let tick t = t.tick <- t.tick + 1
@@ -124,6 +128,13 @@ type verdict = [ `Granted | `Blocked | `Deadlock ]
 
 let remove_waiter e ~txn = e.waiting <- List.filter (fun (t', _, _) -> t' <> txn) e.waiting
 
+(* A request that waited is about to be granted: record how long it sat
+   in the queue, in logical ticks. *)
+let observe_wait t e ~txn =
+  match List.find_opt (fun (t', _, _) -> t' = txn) e.waiting with
+  | Some (_, _, enqueued) -> Bess_util.Stats.observe t.stats "lock.wait_ticks" (t.tick - enqueued)
+  | None -> ()
+
 let acquire ?(detect = `Graph) t ~txn r mode : verdict =
   t.tick <- t.tick + 1;
   let e = entry t r in
@@ -132,12 +143,14 @@ let acquire ?(detect = `Graph) t ~txn r mode : verdict =
   match current with
   | Some m when Lock_mode.covers m mode ->
       Bess_util.Stats.incr t.stats "lock.regrants";
+      observe_wait t e ~txn;
       remove_waiter e ~txn;
       `Granted
   | _ ->
       let is_upgrade = current <> None in
       if (not (conflicts e ~txn want)) && (is_upgrade || not (blocked_by_queue e ~txn)) then begin
         e.granted <- (txn, want) :: List.remove_assoc txn e.granted;
+        observe_wait t e ~txn;
         remove_waiter e ~txn;
         record_held t ~txn r;
         Bess_util.Stats.incr t.stats "lock.grants";
@@ -190,11 +203,17 @@ let release_all t ~txn =
         !resources;
       Hashtbl.remove t.held txn);
   (* The transaction may be queued on resources it never acquired; those
-     ghost waiters would block later requesters (FIFO order). Purge. *)
+     ghost waiters would block later requesters (FIFO order). Purge --
+     and wake the transactions queued behind a purged ghost, who may now
+     be at the head of the queue and grantable: without a retry they
+     would stall forever, since no release on those resources is coming. *)
   let empty = ref [] in
   Hashtbl.iter
     (fun r e ->
-      remove_waiter e ~txn;
+      if List.exists (fun (t', _, _) -> t' = txn) e.waiting then begin
+        remove_waiter e ~txn;
+        List.iter (fun (w, _, _) -> if not (List.mem w !wake) then wake := w :: !wake) e.waiting
+      end;
       if e.granted = [] && e.waiting = [] then empty := r :: !empty)
     t.table;
   List.iter (Hashtbl.remove t.table) !empty;

@@ -26,6 +26,8 @@ type ('req, 'resp) t = {
 }
 
 let create ?(per_message_ns = 150_000) ?(per_byte_ns = 10) ~req_cost ~resp_cost () =
+  let stats = Bess_util.Stats.create () in
+  Bess_obs.Registry.register_stats "net" stats;
   {
     handlers = Hashtbl.create 16;
     req_cost;
@@ -33,7 +35,7 @@ let create ?(per_message_ns = 150_000) ?(per_byte_ns = 10) ~req_cost ~resp_cost 
     per_message_ns;
     per_byte_ns;
     clock_ns = 0;
-    stats = Bess_util.Stats.create ();
+    stats;
   }
 
 (* Re-registering an endpoint replaces its handler: a client that
@@ -60,7 +62,7 @@ let call t ~src ~dst req =
   | None -> raise (No_such_endpoint dst)
   | Some handler ->
       account t ~bytes:(t.req_cost req);
-      Bess_util.Stats.incr t.stats (Printf.sprintf "net.calls.%d_to_%d" src dst);
+      Bess_util.Stats.incr_labeled t.stats "net.calls" ~label:(Printf.sprintf "%d->%d" src dst);
       let resp = handler ~src req in
       account t ~bytes:(t.resp_cost resp);
       resp
@@ -72,7 +74,7 @@ let send t ~src ~dst req =
   | None -> raise (No_such_endpoint dst)
   | Some handler ->
       account t ~bytes:(t.req_cost req);
-      Bess_util.Stats.incr t.stats (Printf.sprintf "net.sends.%d_to_%d" src dst);
+      Bess_util.Stats.incr_labeled t.stats "net.sends" ~label:(Printf.sprintf "%d->%d" src dst);
       ignore (handler ~src req)
 
 let messages t = Bess_util.Stats.get t.stats "net.messages"

@@ -1,0 +1,177 @@
+(* The process-wide metrics registry.
+
+   Every substrate registers its {!Bess_util.Stats.t} (and any standalone
+   {!Bess_util.Histogram.t}) under a namespaced key -- "vmem", "cache",
+   "wal", "lock", "net", "session", ... -- so a snapshot of the whole
+   system's counters can be taken at any point and diffed against another:
+   the experiments argue from *counts* (faults taken, protection changes,
+   log forces, messages sent), and a before/after delta is what ties a
+   workload to the counters it moved.
+
+   Registration replaces an existing binding for the same key: substrates
+   register at construction time, so the registry always reflects the most
+   recently created instance of each namespace. Keys in a snapshot are
+   flattened as [<reg key>.<counter name>], except that a counter already
+   carrying its namespace prefix (most do: "vmem.reserve_calls" under
+   "vmem") is kept as-is rather than doubled. *)
+
+type source = Stats of Bess_util.Stats.t | Hist of Bess_util.Histogram.t
+
+type t = { sources : (string, source) Hashtbl.t }
+
+let create () = { sources = Hashtbl.create 16 }
+
+(* The default, process-wide registry that substrates register into. *)
+let default = create ()
+
+let register_stats ?(registry = default) key stats =
+  Hashtbl.replace registry.sources key (Stats stats)
+
+let register_histogram ?(registry = default) key hist =
+  Hashtbl.replace registry.sources key (Hist hist)
+
+let unregister ?(registry = default) key = Hashtbl.remove registry.sources key
+
+let keys ?(registry = default) () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry.sources [] |> List.sort String.compare
+
+(* ---- Snapshots ----------------------------------------------------------- *)
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_mean : float;
+  h_p50 : int;
+  h_p90 : int;
+  h_p99 : int;
+}
+
+type snapshot = {
+  counters : (string * int) list; (* sorted by name *)
+  hists : (string * hist_summary) list; (* sorted by name *)
+}
+
+let counters s = s.counters
+let histograms s = s.hists
+
+let flatten_key key name =
+  let prefix = key ^ "." in
+  if String.length name >= String.length prefix
+     && String.sub name 0 (String.length prefix) = prefix
+  then name
+  else prefix ^ name
+
+let summarize h =
+  {
+    h_count = Bess_util.Histogram.count h;
+    h_sum = Bess_util.Histogram.sum h;
+    h_min = Bess_util.Histogram.min h;
+    h_max = Bess_util.Histogram.max h;
+    h_mean = Bess_util.Histogram.mean h;
+    h_p50 = Bess_util.Histogram.percentile h 50.0;
+    h_p90 = Bess_util.Histogram.percentile h 90.0;
+    h_p99 = Bess_util.Histogram.percentile h 99.0;
+  }
+
+let snapshot ?(registry = default) () =
+  let counters = ref [] and hists = ref [] in
+  Hashtbl.iter
+    (fun key source ->
+      match source with
+      | Stats st ->
+          List.iter
+            (fun (name, v) -> counters := (flatten_key key name, v) :: !counters)
+            (Bess_util.Stats.to_list st);
+          List.iter
+            (fun (name, h) -> hists := (flatten_key key name, summarize h) :: !hists)
+            (Bess_util.Stats.histograms st)
+      | Hist h -> hists := (key, summarize h) :: !hists)
+    registry.sources;
+  {
+    counters = List.sort (fun (a, _) (b, _) -> String.compare a b) !counters;
+    hists = List.sort (fun (a, _) (b, _) -> String.compare a b) !hists;
+  }
+
+(* [diff ~before ~after] is the per-counter delta (counters absent from
+   [before] count from 0; zero deltas are dropped). Histogram count/sum
+   are diffed the same way; min/max/mean/percentiles are reported from
+   [after] -- the power-of-two buckets cannot be "subtracted" into exact
+   interval percentiles, and the shape of the whole run is what the
+   reports compare. A counter that shrank (its substrate was re-created
+   mid-window) yields a negative delta rather than being hidden. *)
+let diff ~before ~after =
+  let base = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace base k v) before.counters;
+  let counters =
+    List.filter_map
+      (fun (k, v) ->
+        let d = v - Option.value ~default:0 (Hashtbl.find_opt base k) in
+        if d = 0 then None else Some (k, d))
+      after.counters
+  in
+  let hbase = Hashtbl.create 16 in
+  List.iter (fun (k, h) -> Hashtbl.replace hbase k h) before.hists;
+  let hists =
+    List.map
+      (fun (k, h) ->
+        match Hashtbl.find_opt hbase k with
+        | None -> (k, h)
+        | Some h0 when h.h_count >= h0.h_count ->
+            (k, { h with h_count = h.h_count - h0.h_count; h_sum = h.h_sum - h0.h_sum })
+        (* count shrank: the substrate was re-created mid-window, so a
+           delta against the dead instance is meaningless -- report the
+           new instance whole. *)
+        | Some _ -> (k, h))
+      after.hists
+  in
+  { counters; hists }
+
+(* ---- Rendering ------------------------------------------------------------ *)
+
+let pp_hist_summary ppf h =
+  Fmt.pf ppf "n=%d sum=%d mean=%.1f min=%d p50=%d p90=%d p99=%d max=%d" h.h_count h.h_sum
+    h.h_mean h.h_min h.h_p50 h.h_p90 h.h_p99 h.h_max
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (k, v) -> Fmt.pf ppf "%-40s %d" k v))
+    s.counters;
+  List.iter (fun (k, h) -> Fmt.pf ppf "@,%-40s %a" k pp_hist_summary h) s.hists
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_of_snapshot s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape k) v))
+    s.counters;
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i (k, h) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%.3f,\"p50\":%d,\"p90\":%d,\"p99\":%d}"
+           (json_escape k) h.h_count h.h_sum h.h_min h.h_max h.h_mean h.h_p50 h.h_p90 h.h_p99))
+    s.hists;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

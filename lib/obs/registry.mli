@@ -1,0 +1,60 @@
+(** The process-wide metrics registry.
+
+    Substrates register their {!Bess_util.Stats.t} (or a standalone
+    {!Bess_util.Histogram.t}) under a namespaced key at construction time;
+    [snapshot]/[diff] then turn the whole system's counters into
+    before/after deltas for a workload. Registering an existing key
+    replaces the binding, so the registry reflects the most recently
+    created instance of each namespace. *)
+
+type t
+
+val create : unit -> t
+
+(** The default, process-wide registry that substrates register into. *)
+val default : t
+
+(** [register_stats key stats] binds every counter and histogram of
+    [stats] under [key]. Snapshot names flatten as [key ^ "." ^ counter]
+    unless the counter already carries the [key ^ "."] prefix. *)
+val register_stats : ?registry:t -> string -> Bess_util.Stats.t -> unit
+
+val register_histogram : ?registry:t -> string -> Bess_util.Histogram.t -> unit
+val unregister : ?registry:t -> string -> unit
+val keys : ?registry:t -> unit -> string list
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_mean : float;
+  h_p50 : int;
+  h_p90 : int;
+  h_p99 : int;
+}
+
+type snapshot
+
+(** Sorted [(flattened name, value)] counters of a snapshot. *)
+val counters : snapshot -> (string * int) list
+
+val histograms : snapshot -> (string * hist_summary) list
+val snapshot : ?registry:t -> unit -> snapshot
+
+(** Per-counter deltas, [after - before] (zero deltas dropped; missing
+    counters count from 0; shrunken counters yield negative deltas).
+    Histogram count/sum are deltas (or the [after] instance whole when
+    its count shrank, i.e. the substrate was re-created mid-window); the
+    remaining summary fields are reported from [after]. *)
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+val pp_hist_summary : Format.formatter -> hist_summary -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** Render a snapshot as one JSON object:
+    [{"counters":{...},"histograms":{...}}]. *)
+val json_of_snapshot : snapshot -> string
+
+(** Escape and quote a string as a JSON string literal. *)
+val json_string : string -> string

@@ -1,0 +1,77 @@
+(* The bounded trace ring.
+
+   {!Core.Event.fire} feeds every primitive event into a ring of the last
+   N entries, stamped with a logical clock, so a fault wave or a
+   lock/deadlock sequence can be replayed in tests and post-mortems
+   without unbounded memory. The clock advances on every [record] call --
+   including ones a filter drops -- so surviving entries keep their true
+   relative order even under filtering.
+
+   Filters are per-kind allow-lists: [set_filter t (Some ["deadlock";
+   "txn_abort"])] keeps only those kinds; [None] keeps everything. *)
+
+type entry = { seq : int; clock : int; kind : string; detail : string }
+
+type t = {
+  ring : entry option array;
+  mutable head : int; (* next write position *)
+  mutable length : int;
+  mutable clock : int;
+  mutable next_seq : int;
+  mutable filter : (string, unit) Hashtbl.t option; (* None = record all kinds *)
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; head = 0; length = 0; clock = 0; next_seq = 0;
+    filter = None }
+
+(* The default, process-wide ring that freshly created hook tables feed. *)
+let default = create ~capacity:4096 ()
+
+let capacity t = Array.length t.ring
+let length t = t.length
+let clock t = t.clock
+
+let set_filter t kinds =
+  t.filter <-
+    Option.map
+      (fun ks ->
+        let h = Hashtbl.create (List.length ks) in
+        List.iter (fun k -> Hashtbl.replace h k ()) ks;
+        h)
+      kinds
+
+let accepts t kind =
+  match t.filter with None -> true | Some h -> Hashtbl.mem h kind
+
+let record t ~kind ~detail =
+  t.clock <- t.clock + 1;
+  if accepts t kind then begin
+    let e = { seq = t.next_seq; clock = t.clock; kind; detail } in
+    t.next_seq <- t.next_seq + 1;
+    t.ring.(t.head) <- Some e;
+    t.head <- (t.head + 1) mod Array.length t.ring;
+    if t.length < Array.length t.ring then t.length <- t.length + 1
+  end
+
+(* Oldest first. *)
+let to_list t =
+  let cap = Array.length t.ring in
+  let first = (t.head - t.length + cap) mod cap in
+  List.init t.length (fun i ->
+      match t.ring.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let find t ~kind = List.filter (fun e -> e.kind = kind) (to_list t)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.head <- 0;
+  t.length <- 0
+
+let pp_entry ppf e = Fmt.pf ppf "[%d @%d] %s %s" e.seq e.clock e.kind e.detail
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_entry) (to_list t)

@@ -1,0 +1,37 @@
+(** A bounded ring of trace entries with logical-clock timestamps.
+
+    {!Core.Event.fire} feeds primitive events here so fault waves and
+    lock/deadlock sequences can be replayed in tests. The ring keeps the
+    last [capacity] accepted entries; the logical clock advances on every
+    [record] call, filtered or not. *)
+
+type entry = { seq : int; clock : int; kind : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** The default, process-wide ring that freshly created hook tables feed. *)
+val default : t
+
+val capacity : t -> int
+val length : t -> int
+
+(** Current logical time: the number of [record] calls so far. *)
+val clock : t -> int
+
+(** [set_filter t (Some kinds)] records only the listed event kinds;
+    [set_filter t None] (the initial state) records everything. *)
+val set_filter : t -> string list option -> unit
+
+val record : t -> kind:string -> detail:string -> unit
+
+(** Retained entries, oldest first. *)
+val to_list : t -> entry list
+
+(** Retained entries of one kind, oldest first. *)
+val find : t -> kind:string -> entry list
+
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -55,6 +55,16 @@ let percentile t p =
     !result
   end
 
+(* Bucketwise sum: exact because both sides share the same boundaries. *)
+let merge_into ~dst src =
+  Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.count > 0 then begin
+    if src.min < dst.min then dst.min <- src.min;
+    if src.max > dst.max then dst.max <- src.max
+  end
+
 let reset t =
   Array.fill t.buckets 0 (Array.length t.buckets) 0;
   t.count <- 0;

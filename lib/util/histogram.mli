@@ -17,5 +17,8 @@ val mean : t -> float
     percentile, [p] in (0, 100]. *)
 val percentile : t -> float -> int
 
+(** Bucketwise sum of [src] into [dst] (exact: shared boundaries). *)
+val merge_into : dst:t -> t -> unit
+
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit

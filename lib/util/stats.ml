@@ -3,11 +3,20 @@
    Every substrate (vmem, cache, lock manager, transport, ...) exposes a
    [Stats.t] so experiments can report *why* a configuration is faster —
    faults taken, protection changes, messages sent, pages read — not just
-   elapsed time. Counters are plain ints; the simulation is single-domain. *)
+   elapsed time. Counters are plain ints; the simulation is single-domain.
 
-type t = { counters : (string, int ref) Hashtbl.t }
+   Two extensions serve the observability registry ({!Bess_obs.Registry}):
+   labeled counters, which keep one logical counter per label value
+   (rendered as [name{label}], prometheus-style), and histograms, which
+   record full latency/size distributions next to the counters so a
+   substrate needs to carry only one stats handle. *)
 
-let create () = { counters = Hashtbl.create 32 }
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; hists = Hashtbl.create 4 }
 
 let find t name =
   match Hashtbl.find_opt t.counters name with
@@ -21,7 +30,33 @@ let incr t name = incr (find t name)
 let add t name n = find t name := !(find t name) + n
 let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 let set t name v = find t name := v
-let reset t = Hashtbl.iter (fun _ r -> r := 0) t.counters
+
+(* Labeled counters: one counter per (name, label) pair. *)
+let labeled_key name label = name ^ "{" ^ label ^ "}"
+let incr_labeled t name ~label = incr t (labeled_key name label)
+let add_labeled t name ~label n = add t (labeled_key name label) n
+let get_labeled t name ~label = get t (labeled_key name label)
+
+(* Histograms: created on first touch, so [histogram t name] both creates
+   an (empty) distribution eagerly and fetches an existing one. *)
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add t.hists name h;
+      h
+
+let observe t name v = Histogram.observe (histogram t name) v
+let find_histogram t name = Hashtbl.find_opt t.hists name
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) t.hists
 
 let to_list t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
@@ -30,7 +65,12 @@ let to_list t =
 let pp ppf t =
   Fmt.pf ppf "@[<v>%a@]"
     (Fmt.list ~sep:Fmt.cut (fun ppf (k, v) -> Fmt.pf ppf "%-32s %d" k v))
-    (to_list t)
+    (to_list t);
+  List.iter
+    (fun (name, h) -> Fmt.pf ppf "@,%-32s %a" name Histogram.pp h)
+    (histograms t)
 
 (* Merge [src] into [dst] by summing, used to aggregate per-client stats. *)
-let merge_into ~dst src = List.iter (fun (k, v) -> add dst k v) (to_list src)
+let merge_into ~dst src =
+  List.iter (fun (k, v) -> add dst k v) (to_list src);
+  List.iter (fun (k, h) -> Histogram.merge_into ~dst:(histogram dst k) h) (histograms src)

@@ -10,12 +10,34 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 
 val set : t -> string -> int -> unit
+
+(** Labeled counters: one counter per (name, label) pair, stored under
+    the prometheus-style key [name{label}]. *)
+val incr_labeled : t -> string -> label:string -> unit
+
+val add_labeled : t -> string -> label:string -> int -> unit
+val get_labeled : t -> string -> label:string -> int
+
+(** [histogram t name] is the named distribution, created empty on first
+    use (call it at construction time to make the histogram visible in
+    snapshots before any sample arrives). *)
+val histogram : t -> string -> Histogram.t
+
+(** [observe t name v] records one sample into the named histogram. *)
+val observe : t -> string -> int -> unit
+
+val find_histogram : t -> string -> Histogram.t option
+
+(** Sorted [(name, histogram)] list. *)
+val histograms : t -> (string * Histogram.t) list
+
+(** Reset all counters to 0 and empty all histograms. *)
 val reset : t -> unit
 
-(** Sorted [(name, value)] snapshot. *)
+(** Sorted [(name, value)] snapshot of the counters. *)
 val to_list : t -> (string * int) list
 
 val pp : Format.formatter -> t -> unit
 
-(** Sum all counters of [src] into [dst]. *)
+(** Sum all counters and merge all histograms of [src] into [dst]. *)
 val merge_into : dst:t -> t -> unit

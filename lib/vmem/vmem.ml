@@ -55,6 +55,9 @@ let pp_prot ppf = function
 
 let create ?(page_size = 4096) () =
   if page_size < 64 then invalid_arg "Vmem.create: page_size too small";
+  let stats = Bess_util.Stats.create () in
+  ignore (Bess_util.Stats.histogram stats "vmem.fault_work");
+  Bess_obs.Registry.register_stats "vmem" stats;
   {
     page_size;
     pages = Array.make 1024 None;
@@ -65,7 +68,7 @@ let create ?(page_size = 4096) () =
     reserved_now = 0;
     reserved_peak = 0;
     mapped_now = 0;
-    stats = Bess_util.Stats.create ();
+    stats;
   }
 
 let page_size t = t.page_size
@@ -202,10 +205,19 @@ let resolve t addr access =
       | None -> violation "no fault handler installed"
       | Some _ when t.in_handler -> violation "recursive fault in handler"
       | Some h ->
+          (* "System calls" issued while resolving this fault: the work a
+             real SIGSEGV handler would spend in mmap/mprotect. *)
+          let syscalls () =
+            Bess_util.Stats.get t.stats "vmem.reserve_calls"
+            + Bess_util.Stats.get t.stats "vmem.protect_calls"
+            + Bess_util.Stats.get t.stats "vmem.map_calls"
+          in
+          let before = syscalls () in
           t.in_handler <- true;
           Fun.protect
             ~finally:(fun () -> t.in_handler <- false)
             (fun () -> h t ~addr ~access);
+          Bess_util.Stats.observe t.stats "vmem.fault_work" (syscalls () - before);
           (match check () with
           | Some frame -> frame
           | None -> violation "fault handler did not resolve access"))

@@ -17,12 +17,20 @@ type t = {
 
 let base = 1 (* first LSN *)
 
+let make_stats () =
+  let stats = Bess_util.Stats.create () in
+  (* Eager: the append-size distribution is part of every report even
+     before the first record. *)
+  ignore (Bess_util.Stats.histogram stats "log.append_bytes");
+  Bess_obs.Registry.register_stats "wal" stats;
+  stats
+
 let create ?path () =
   let backing =
     Option.map (fun p -> Unix.openfile p [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644) path
   in
   { buf = Bytes.create 4096; used = 0; flushed = 0; last_lsn = 0; backing;
-    stats = Bess_util.Stats.create () }
+    stats = make_stats () }
 
 let stats t = t.stats
 let last_lsn t = t.last_lsn
@@ -47,6 +55,7 @@ let append t (record : Log_record.t) =
   t.last_lsn <- lsn;
   Bess_util.Stats.incr t.stats "log.appends";
   Bess_util.Stats.add t.stats "log.bytes" (Bytes.length image);
+  Bess_util.Stats.observe t.stats "log.append_bytes" (Bytes.length image);
   lsn
 
 (* Force the log through [lsn]. A no-op if already durable -- that is what
@@ -126,7 +135,7 @@ let open_existing path =
   read_all 0;
   let t =
     { buf; used = len; flushed = len; last_lsn = 0; backing = Some fd;
-      stats = Bess_util.Stats.create () }
+      stats = make_stats () }
   in
   (* Find the valid prefix. *)
   let valid = ref 0 in
@@ -137,4 +146,13 @@ let open_existing path =
    with _ -> ());
   t.used <- !valid;
   t.flushed <- !valid;
+  (* Torn bytes past the valid prefix must not survive on disk: a later
+     append that flushes fewer bytes than the tear would leave stale
+     record fragments beyond the new tail, and a second crash could
+     resurrect them as phantom records. Truncate file and buffer alike. *)
+  if !valid < len then begin
+    Unix.ftruncate fd !valid;
+    Bytes.fill buf !valid (Bytes.length buf - !valid) '\000';
+    Bess_util.Stats.incr t.stats "log.reopen_truncations"
+  end;
   t

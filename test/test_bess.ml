@@ -3,6 +3,7 @@ let () =
   Alcotest.run "bess"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("vmem", Test_vmem.suite);
       ("buddy", Test_buddy.suite);
       ("storage", Test_storage.suite);

@@ -91,6 +91,25 @@ let test_regrant_is_cheap () =
   Alcotest.(check int) "regrants counted" 2
     (Bess_util.Stats.get (Lock_mgr.stats m) "lock.regrants")
 
+(* Regression: a transaction that aborts while queued on a resource it
+   never acquired (a "ghost waiter") is purged by release_all -- but the
+   transactions queued *behind* it must land on the wake list. t1 holds S;
+   t2's X request queues; t3's S request queues behind the writer (FIFO).
+   When t2 aborts, t3 is now head of the queue and compatible with t1's S:
+   without a retry signal it stalls forever, because t2 held nothing on r1
+   and so no future release on r1 is coming. *)
+let test_ghost_waiter_followers_woken () =
+  let m = Lock_mgr.create () in
+  Alcotest.(check bool) "t1 holds S" true (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.S = `Granted);
+  Alcotest.(check bool) "t2 X queues" true (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X = `Blocked);
+  Alcotest.(check bool) "t3 S queues behind writer" true
+    (Lock_mgr.acquire m ~txn:3 r1 Lock_mode.S = `Blocked);
+  (* t2 aborts holding nothing: only the ghost-purge pass touches r1. *)
+  let woken = Lock_mgr.release_all m ~txn:2 in
+  Alcotest.(check bool) "t3 is on the wake list" true (List.mem 3 woken);
+  Alcotest.(check bool) "t3's retry is granted" true
+    (Lock_mgr.acquire m ~txn:3 r1 Lock_mode.S = `Granted)
+
 let test_callback_registry () =
   let cb = Callback.create () in
   (* Two clients cache the page in S. *)
@@ -193,6 +212,7 @@ let suite =
     Alcotest.test_case "deadlock_timeout" `Quick test_deadlock_timeout;
     Alcotest.test_case "namespaces_disjoint" `Quick test_object_and_page_namespaces_disjoint;
     Alcotest.test_case "regrant_cheap" `Quick test_regrant_is_cheap;
+    Alcotest.test_case "ghost_waiter_followers_woken" `Quick test_ghost_waiter_followers_woken;
     Alcotest.test_case "callback_registry" `Quick test_callback_registry;
     Alcotest.test_case "callback_downgrade_forget" `Quick test_callback_downgrade_and_forget;
     QCheck_alcotest.to_alcotest prop_sup_is_lub;

@@ -1,0 +1,152 @@
+(* bess_obs: the metrics registry (snapshot/diff, key flattening, JSON)
+   and the bounded trace ring, plus the Stats extensions they rely on and
+   the event-hook ordering regression. *)
+
+module Registry = Bess_obs.Registry
+module Trace = Bess_obs.Trace
+module Stats = Bess_util.Stats
+
+let test_registry_snapshot_diff () =
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Registry.register_stats ~registry:reg "wal" st;
+  Stats.incr st "log.appends";
+  Stats.add st "forces" 3;
+  let before = Registry.snapshot ~registry:reg () in
+  Alcotest.(check (list (pair string int)))
+    "flattened keys: namespaced kept, bare prefixed"
+    [ ("wal.forces", 3); ("wal.log.appends", 1) ]
+    (Registry.counters before);
+  Stats.incr st "log.appends";
+  Stats.incr st "log.appends";
+  let after = Registry.snapshot ~registry:reg () in
+  let d = Registry.diff ~before ~after in
+  Alcotest.(check (list (pair string int)))
+    "diff keeps moved counters only" [ ("wal.log.appends", 2) ]
+    (Registry.counters d)
+
+let test_registry_replace_and_histograms () =
+  let reg = Registry.create () in
+  let st1 = Stats.create () in
+  Stats.incr st1 "c";
+  Registry.register_stats ~registry:reg "lock" st1;
+  (* A re-created substrate re-registers: latest instance wins. *)
+  let st2 = Stats.create () in
+  Stats.observe st2 "lock.wait_ticks" 4;
+  Stats.observe st2 "lock.wait_ticks" 8;
+  Registry.register_stats ~registry:reg "lock" st2;
+  let snap = Registry.snapshot ~registry:reg () in
+  Alcotest.(check (list (pair string int))) "old instance gone" [] (Registry.counters snap);
+  (match Registry.histograms snap with
+  | [ (name, h) ] ->
+      Alcotest.(check string) "histogram key" "lock.wait_ticks" name;
+      Alcotest.(check int) "count" 2 h.Registry.h_count;
+      Alcotest.(check int) "sum" 12 h.Registry.h_sum
+  | l -> Alcotest.fail (Printf.sprintf "expected one histogram, got %d" (List.length l)));
+  let json = Registry.json_of_snapshot snap in
+  Alcotest.(check bool) "json has histogram" true
+    (let needle = "\"lock.wait_ticks\"" in
+     let rec search i =
+       i + String.length needle <= String.length json
+       && (String.sub json i (String.length needle) = needle || search (i + 1))
+     in
+     search 0)
+
+let test_labeled_counters () =
+  let st = Stats.create () in
+  Stats.incr_labeled st "net.calls" ~label:"1->2";
+  Stats.incr_labeled st "net.calls" ~label:"1->2";
+  Stats.incr_labeled st "net.calls" ~label:"2->1";
+  Alcotest.(check int) "per-label" 2 (Stats.get_labeled st "net.calls" ~label:"1->2");
+  Alcotest.(check int) "other label" 1 (Stats.get_labeled st "net.calls" ~label:"2->1");
+  Alcotest.(check int) "unseen label" 0 (Stats.get_labeled st "net.calls" ~label:"9->9")
+
+let test_stats_observe () =
+  let st = Stats.create () in
+  ignore (Stats.histogram st "bytes") (* eager: visible before samples *);
+  Alcotest.(check int) "eager histogram listed" 1 (List.length (Stats.histograms st));
+  List.iter (Stats.observe st "bytes") [ 1; 2; 4; 100 ];
+  let h = Option.get (Stats.find_histogram st "bytes") in
+  Alcotest.(check int) "count" 4 (Bess_util.Histogram.count h);
+  Alcotest.(check int) "sum" 107 (Bess_util.Histogram.sum h);
+  Stats.reset st;
+  Alcotest.(check int) "reset empties histograms" 0
+    (Bess_util.Histogram.count (Option.get (Stats.find_histogram st "bytes")))
+
+let test_trace_bounded_eviction () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record tr ~kind:"k" ~detail:(string_of_int i)
+  done;
+  Alcotest.(check int) "length capped" 4 (Trace.length tr);
+  Alcotest.(check int) "clock counts everything" 10 (Trace.clock tr);
+  Alcotest.(check (list string)) "oldest evicted, order kept" [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.detail) (Trace.to_list tr))
+
+let test_trace_filter () =
+  let tr = Trace.create ~capacity:16 () in
+  Trace.set_filter tr (Some [ "txn_commit" ]);
+  Trace.record tr ~kind:"data_fault" ~detail:"seg=1";
+  Trace.record tr ~kind:"txn_commit" ~detail:"txn=1";
+  Trace.record tr ~kind:"data_fault" ~detail:"seg=2";
+  Alcotest.(check int) "only allowed kinds stored" 1 (Trace.length tr);
+  Alcotest.(check int) "clock advances even when filtered" 3 (Trace.clock tr);
+  (match Trace.to_list tr with
+  | [ e ] -> Alcotest.(check int) "clock stamp is record time" 2 e.Trace.clock
+  | _ -> Alcotest.fail "one entry expected");
+  Trace.set_filter tr None;
+  Trace.record tr ~kind:"data_fault" ~detail:"seg=3";
+  Alcotest.(check int) "filter cleared" 2 (Trace.length tr)
+
+let test_event_feeds_trace () =
+  let h = Bess.Event.hooks_create () in
+  let tr = Trace.create ~capacity:8 () in
+  Bess.Event.set_trace h (Some tr);
+  Bess.Event.fire h (Bess.Event.Txn_commit { txn = 7 });
+  Bess.Event.fire h (Bess.Event.Data_fault { seg = 3 });
+  (match Trace.find tr ~kind:"txn_commit" with
+  | [ e ] -> Alcotest.(check string) "payload rendered" "txn=7" e.Trace.detail
+  | _ -> Alcotest.fail "commit not traced");
+  Alcotest.(check int) "both events recorded" 2 (Trace.length tr)
+
+(* Regression: hooks must run in registration order even when many are
+   attached to one event (the old list-append registration was quadratic
+   and a natural "fix" -- prepending -- would reverse execution order). *)
+let test_hook_order_preserved () =
+  let h = Bess.Event.hooks_create () in
+  Bess.Event.set_trace h None;
+  let n = 500 in
+  let ran = ref [] in
+  for i = 1 to n do
+    Bess.Event.register h ~event:"txn_begin" (fun _ -> ran := i :: !ran)
+  done;
+  Bess.Event.fire h (Bess.Event.Txn_begin { txn = 1 });
+  Alcotest.(check (list int)) "registration order" (List.init n (fun i -> i + 1))
+    (List.rev !ran)
+
+(* Hygiene: build artifacts must not be tracked. Skips when git (or the
+   .git directory) is unavailable in the test environment. *)
+let test_no_build_artifacts_tracked () =
+  (* [:(top)] anchors the pathspec at the repo root: the test binary runs
+     from inside the dune sandbox. *)
+  let ic = Unix.open_process_in "git ls-files ':(top)_build' 2>/dev/null | head -1" in
+  let line = try Some (input_line ic) with End_of_file -> None in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 ->
+      (match line with
+      | Some f -> Alcotest.failf "_build artifacts are tracked by git (e.g. %s)" f
+      | None -> ())
+  | _ -> () (* git unavailable: nothing to check *)
+
+let suite =
+  [
+    Alcotest.test_case "registry_snapshot_diff" `Quick test_registry_snapshot_diff;
+    Alcotest.test_case "registry_replace_histograms" `Quick test_registry_replace_and_histograms;
+    Alcotest.test_case "labeled_counters" `Quick test_labeled_counters;
+    Alcotest.test_case "stats_observe" `Quick test_stats_observe;
+    Alcotest.test_case "trace_bounded_eviction" `Quick test_trace_bounded_eviction;
+    Alcotest.test_case "trace_filter" `Quick test_trace_filter;
+    Alcotest.test_case "event_feeds_trace" `Quick test_event_feeds_trace;
+    Alcotest.test_case "hook_order_preserved" `Quick test_hook_order_preserved;
+    Alcotest.test_case "no_build_artifacts_tracked" `Quick test_no_build_artifacts_tracked;
+  ]

@@ -180,6 +180,65 @@ let test_file_backed_log_reopen () =
   Log.close log2;
   Sys.remove path
 
+(* Regression: open_existing must truncate the torn suffix off the *file*,
+   not just drop it from the in-memory tail. If the torn bytes survive on
+   disk, an append after reopen that is shorter than the tear leaves stale
+   fragments beyond the new tail -- and a second reopen can resurrect them
+   as phantom records. Constructed worst case: the torn record's payload
+   embeds a complete, CRC-valid commit record, and the post-reopen append
+   ends exactly where that embedded record begins. *)
+let test_reopen_truncates_file () =
+  let find_sub hay needle =
+    let nh = Bytes.length hay and nn = Bytes.length needle in
+    let rec go i =
+      if i + nn > nh then -1
+      else if Bytes.sub hay i nn = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let path = Filename.temp_file "bess_wal_torn" ".log" in
+  let log = Log.create ~path () in
+  ignore (Log.append log { prev_lsn = 0; body = Commit { txn = 0x0A0B0C0D } });
+  let phantom = Log_record.encode { prev_lsn = 0; body = Commit { txn = 0x0B0E55 } } in
+  let torn : Log_record.t =
+    { prev_lsn = 0;
+      body = Update { txn = 2; page = page 0 1; offset = 0; before = Bytes.create 0;
+                      after = Bytes.cat phantom (Bytes.make 32 'Z') } }
+  in
+  ignore (Log.append log torn);
+  Log.flush log ();
+  Log.close log;
+  (* Partial sector write: the update's last 3 bytes never hit disk. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  Unix.ftruncate fd (len - 3);
+  Unix.close fd;
+  (* First restart: the torn update is dropped from file and memory. *)
+  let log1 = Log.open_existing path in
+  Alcotest.(check int) "only the commit survives" 1 (Log.fold log1 (fun n _ _ -> n + 1) 0);
+  Alcotest.(check int) "file truncated to the valid prefix" (Log.size_bytes log1)
+    (Unix.stat path).Unix.st_size;
+  (* An empty update is exactly as long as the embedded record's offset
+     inside the torn update, so its end lines up with the phantom. *)
+  let filler : Log_record.t =
+    { prev_lsn = 0;
+      body = Update { txn = 3; page = page 0 1; offset = 0; before = Bytes.create 0;
+                      after = Bytes.create 0 } }
+  in
+  Alcotest.(check int) "filler ends where the phantom began"
+    (find_sub (Log_record.encode torn) phantom)
+    (Bytes.length (Log_record.encode filler));
+  ignore (Log.append log1 filler);
+  Log.flush log1 ();
+  Log.close log1;
+  (* Second restart: without the first reopen's ftruncate the scan would
+     run off the filler straight into the stale embedded commit. *)
+  let log2 = Log.open_existing path in
+  Alcotest.(check int) "no phantom record" 2 (Log.fold log2 (fun n _ _ -> n + 1) 0);
+  Log.close log2;
+  Sys.remove path
+
 let prop_codec_fuzz =
   QCheck.Test.make ~name:"update record roundtrip" ~count:200
     QCheck.(quad small_nat small_nat small_string small_string)
@@ -206,5 +265,6 @@ let suite =
     Alcotest.test_case "checkpoint" `Quick test_checkpoint_shortens_analysis;
     Alcotest.test_case "rollback_in_place" `Quick test_rollback_in_place;
     Alcotest.test_case "file_backed_reopen" `Quick test_file_backed_log_reopen;
+    Alcotest.test_case "reopen_truncates_file" `Quick test_reopen_truncates_file;
     QCheck_alcotest.to_alcotest prop_codec_fuzz;
   ]
