@@ -1277,23 +1277,114 @@ let micro () =
     results;
   Bess.Session.commit s
 
+(* ---- T1: causal tracing demo ---------------------------------------------- *)
+
+(* A single workload that exercises every traced substrate: remote
+   write transactions (net.rpc, vmem.fault, cache.miss, wal.append,
+   wal.force) plus a direct lock race between two clients so a genuine
+   lock.wait is enqueued in the lock table. Session-path conflicts are
+   resolved by callbacks without ever blocking there, so the race uses
+   [Server.lock]/[Server.commit_client] directly. *)
+let t1 () =
+  let db = Workloads.fresh_db () in
+  let net = Bess.Remote.network () in
+  Bess.Remote.serve net (Bess.Db.server db);
+  let s = Bess.Remote.session net ~client_id:9001 db in
+  let ty = Workloads.node_type db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:4 ~data_pages:8 () in
+  let objs = Array.init 32 (fun _ -> Bess.Session.create_object s seg ty ~size:32) in
+  Bess.Session.commit s;
+  let prng = Prng.create 11 in
+  for _ = 1 to 8 do
+    Bess.Session.begin_txn s;
+    for _ = 1 to 4 do
+      let o = objs.(Prng.int prng 32) in
+      Vmem.write_i64 (Bess.Session.mem s) (Bess.Session.obj_data s o + 8) (Prng.next_int prng)
+    done;
+    Bess.Session.commit s
+  done;
+  (* Cold restart of the client cache: the next dereference runs the
+     fault waves from a trap, so the timeline shows session.fault spans
+     nested under vmem.fault. *)
+  Bess.Session.begin_txn s;
+  Bess.Session.set_root s ~name:"t1" objs.(0);
+  Bess.Session.commit s;
+  Bess.Session.drop_all_cached s;
+  Bess.Session.begin_txn s;
+  let o = Option.get (Bess.Session.root s "t1") in
+  ignore (Vmem.read_i64 (Bess.Session.mem s) (Bess.Session.obj_data s o + 8));
+  Bess.Session.commit s;
+  let server = Bess.Db.server db in
+  let a = Bess.Server.begin_txn server ~client:1 in
+  let b = Bess.Server.begin_txn server ~client:2 in
+  let r = Bess_lock.Lock_mgr.page_resource ~area:0 ~page:4095 in
+  (match Bess.Server.lock server ~txn:a r Bess_lock.Lock_mode.X with
+  | `Granted -> ()
+  | _ -> failwith "t1: first lock should be granted");
+  (match Bess.Server.lock server ~txn:b r Bess_lock.Lock_mode.X with
+  | `Blocked -> ()
+  | _ -> failwith "t1: second lock should block");
+  (match Bess.Server.commit_client server ~txn:a ~updates:[] with
+  | `Committed -> ()
+  | `Lock_violation -> failwith "t1: empty commit rejected");
+  (match Bess.Server.lock server ~txn:b r Bess_lock.Lock_mode.X with
+  | `Granted -> ()
+  | _ -> failwith "t1: retried lock should be granted");
+  (match Bess.Server.commit_client server ~txn:b ~updates:[] with
+  | `Committed -> ()
+  | `Lock_violation -> failwith "t1: empty commit rejected");
+  Report.note "t1: traced %d remote txns and one lock race" 9
+
 (* ---- Dispatcher ------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4);
-    ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1);
+    ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("t1", t1);
   ]
 
 let () =
-  let args =
-    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> not (String.length a > 1 && a.[0] = '-'))
+  (* Flag parsing: --quick is consumed globally (see [quick] above);
+     --out/--chrome take a value; --trace enables span collection. *)
+  let out = ref "bench_report.json" in
+  let chrome = ref None in
+  let trace = ref false in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest -> parse rest
+    | "--trace" :: rest ->
+        trace := true;
+        parse rest
+    | "--out" :: path :: rest ->
+        out := path;
+        parse rest
+    | "--chrome" :: path :: rest ->
+        trace := true;
+        chrome := Some path;
+        parse rest
+    | a :: rest when String.length a > 1 && a.[0] = '-' ->
+        Printf.printf "unknown flag %S (ignored)\n" a;
+        parse rest
+    | a :: rest ->
+        names := a :: !names;
+        parse rest
   in
+  parse (List.tl (Array.to_list Sys.argv));
   let selected =
-    match args with
+    match List.rev !names with
     | [] -> List.map fst experiments
     | l -> l
+  in
+  let collector =
+    if !trace then begin
+      let c = Bess_obs.Span.create ~capacity:(1 lsl 18) () in
+      Bess_obs.Span.install (Some c);
+      Some c
+    end
+    else None
   in
   Printf.printf "BeSS experiment harness (%s scale)\n" (if quick then "quick" else "full");
   List.iter
@@ -1304,6 +1395,20 @@ let () =
         | Some f -> Report.with_observed name f
         | None -> Printf.printf "unknown experiment %S\n" name)
     selected;
-  Report.write_json "bench_report.json";
-  Printf.printf "\nper-substrate observability report: bench_report.json\n";
+  Option.iter Bess_obs.Span.finish_all collector;
+  Report.write_json !out;
+  Printf.printf "\nper-substrate observability report: %s\n" !out;
+  Option.iter
+    (fun c ->
+      (match Bess_obs.Span.slowest c with
+      | Some root ->
+          Printf.printf "\nslowest transaction timeline (simulated ns):\n";
+          Fmt.pr "%a@." (Bess_obs.Span.pp_tree c) root
+      | None -> Printf.printf "\nno spans collected.\n");
+      let path = Option.value ~default:"bench_trace.json" !chrome in
+      let oc = open_out path in
+      output_string oc (Bess_obs.Span.to_chrome_json c);
+      close_out oc;
+      Printf.printf "chrome trace (chrome://tracing, about:tracing or ui.perfetto.dev): %s\n" path)
+    collector;
   Printf.printf "\ndone.\n"

@@ -66,7 +66,9 @@ let observations : observed list ref = ref []
 let with_observed name f =
   let before = Bess_obs.Registry.snapshot () in
   let t0 = Unix.gettimeofday () in
-  let r = f () in
+  let r =
+    Bess_obs.Span.with_span ~kind:"bench.workload" ~attrs:[ ("name", name) ] f
+  in
   let elapsed = (Unix.gettimeofday () -. t0) *. 1e9 in
   let after = Bess_obs.Registry.snapshot () in
   observations :=
@@ -75,6 +77,38 @@ let with_observed name f =
       obs_diff = Bess_obs.Registry.diff ~before ~after }
     :: !observations;
   r
+
+(* Per-span-kind latency summary from the installed collector's
+   histograms ("span.<kind>" under the registry's "span" prefix), in
+   simulated nanoseconds. Empty when tracing is off. *)
+let span_breakdown_json () =
+  match Bess_obs.Span.installed () with
+  | None -> None
+  | Some c ->
+      let h = Bess_util.Stats.histograms (Bess_obs.Span.stats c) in
+      let entries =
+        List.filter_map
+          (fun (name, hist) ->
+            if Bess_util.Histogram.count hist = 0 then None
+            else
+              let kind =
+                if String.length name > 5 && String.sub name 0 5 = "span." then
+                  String.sub name 5 (String.length name - 5)
+                else name
+              in
+              let p q = Bess_util.Histogram.percentile hist q in
+              Some
+                (Printf.sprintf
+                   "%s:{\"count\":%d,\"sum_ns\":%d,\"mean_ns\":%.1f,\"p50_ns\":%d,\"p90_ns\":%d,\"p99_ns\":%d,\"max_ns\":%d}"
+                   (Bess_obs.Registry.json_string kind)
+                   (Bess_util.Histogram.count hist)
+                   (Bess_util.Histogram.sum hist)
+                   (Bess_util.Histogram.mean hist)
+                   (p 50.0) (p 90.0) (p 99.0)
+                   (Bess_util.Histogram.max hist)))
+          (List.sort compare h)
+      in
+      Some (Printf.sprintf "{%s}" (String.concat "," entries))
 
 let write_json path =
   let oc = open_out path in
@@ -87,7 +121,11 @@ let write_json path =
         o.obs_elapsed_ns
         (Bess_obs.Registry.json_of_snapshot o.obs_diff))
     (List.rev !observations);
-  output_string oc "]}\n";
+  output_string oc "]";
+  (match span_breakdown_json () with
+  | Some b -> Printf.fprintf oc ",\"span_breakdown\":%s" b
+  | None -> ());
+  output_string oc "}\n";
   close_out oc
 
 (* Wall-clock timing of a thunk, median of [runs]. *)

@@ -7,6 +7,7 @@
      bessctl verify  DIR                               structural checks
      bessctl compact DIR                               compact every segment
      bessctl stats   DIR [--json]                      live metrics registry
+     bessctl trace   DIR [--spans] [--chrome FILE]     causal span timeline
 
    Databases live in a directory: area_*.bess files, wal.log, and
    catalog.meta. *)
@@ -200,6 +201,51 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Print the live metrics registry (counters, histograms, trace tail)")
     Term.(const run $ dir_arg $ json)
 
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let spans =
+    Arg.(value & flag & info [ "spans" ] ~doc:"Print the slowest transaction's span tree")
+  in
+  let chrome =
+    Arg.(value & opt (some string) None
+         & info [ "chrome" ] ~docv:"FILE"
+             ~doc:"Write the collected spans as Chrome trace_event JSON to $(docv)")
+  in
+  let run dir spans chrome =
+    let c = Bess_obs.Span.create () in
+    Bess_obs.Span.install (Some c);
+    Fun.protect ~finally:(fun () -> Bess_obs.Span.install None) (fun () ->
+        with_db dir (fun db ->
+            (* One traced transaction touching every segment: the same
+               full pass `bessctl stats` makes, but timed on the span
+               clock instead of counted. *)
+            let s = Bess.Db.session db in
+            Bess.Session.begin_txn s;
+            List.iter
+              (fun seg_id ->
+                let seg = Bess.Session.get_seg s ~db_id:(Bess.Db.db_id db) ~seg_id in
+                Bess.Session.ensure_slotted s seg)
+              (Bess.Catalog.segment_ids (Bess.Db.catalog db));
+            Bess.Session.commit s);
+        Bess_obs.Span.finish_all c;
+        (match chrome with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Bess_obs.Span.to_chrome_json c);
+            close_out oc;
+            Printf.printf "wrote %d spans to %s\n" (List.length (Bess_obs.Span.to_list c)) path
+        | None -> ());
+        if spans || chrome = None then
+          match Bess_obs.Span.slowest c with
+          | Some root -> Fmt.pr "%a@." (Bess_obs.Span.pp_tree c) root
+          | None -> Printf.printf "no spans collected\n")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace one full pass over the database as a causal span timeline")
+    Term.(const run $ dir_arg $ spans $ chrome)
+
 (* ---- compact ---- *)
 
 let compact_cmd =
@@ -221,4 +267,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bessctl" ~doc)
-          [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd; stats_cmd ]))
+          [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd; stats_cmd;
+            trace_cmd ]))

@@ -11,6 +11,8 @@
    the processes that currently have the slot mapped accessible/protected
    (section 4.2: "BeSS associates a counter with each cache slot"). *)
 
+module Span = Bess_obs.Span
+
 type slot = {
   index : int;
   bytes : Bytes.t;
@@ -90,21 +92,22 @@ let evict_one t =
   match t.choose_victim () with
   | None -> raise Cache_full
   | Some i ->
-      let s = t.slots.(i) in
-      if s.pins > 0 then invalid_arg "Cache: policy chose a pinned slot";
-      (match s.page with
-      | Some page ->
-          if s.dirty then begin
-            t.writeback page s.bytes;
-            Bess_util.Stats.incr t.stats "cache.dirty_writebacks"
-          end;
-          Page_id.Tbl.remove t.map page;
-          Bess_util.Stats.incr t.stats "cache.evictions"
-      | None -> ());
-      s.page <- None;
-      s.dirty <- false;
-      s.refcount <- 0;
-      s
+      Span.with_span ~kind:"cache.evict" (fun () ->
+          let s = t.slots.(i) in
+          if s.pins > 0 then invalid_arg "Cache: policy chose a pinned slot";
+          (match s.page with
+          | Some page ->
+              if s.dirty then begin
+                t.writeback page s.bytes;
+                Bess_util.Stats.incr t.stats "cache.dirty_writebacks"
+              end;
+              Page_id.Tbl.remove t.map page;
+              Bess_util.Stats.incr t.stats "cache.evictions"
+          | None -> ());
+          s.page <- None;
+          s.dirty <- false;
+          s.refcount <- 0;
+          s)
 
 (* Find a free slot, evicting if necessary. *)
 let free_slot t =
@@ -124,13 +127,19 @@ let load t page ~fill =
       s.pins <- s.pins + 1;
       s
   | None ->
-      let s = free_slot t in
-      fill s.bytes;
-      Bess_util.Stats.incr t.stats "cache.loads";
-      s.page <- Some page;
-      s.pins <- s.pins + 1;
-      Page_id.Tbl.replace t.map page s.index;
-      s
+      Span.with_span ~kind:"cache.miss"
+        ~attrs:
+          (if Span.enabled () then
+             [ ("page", Printf.sprintf "%d:%d" page.Page_id.area page.Page_id.page) ]
+           else [])
+        (fun () ->
+          let s = free_slot t in
+          fill s.bytes;
+          Bess_util.Stats.incr t.stats "cache.loads";
+          s.page <- Some page;
+          s.pins <- s.pins + 1;
+          Page_id.Tbl.replace t.map page s.index;
+          s)
 
 let unpin _t s =
   if s.pins <= 0 then invalid_arg "Cache.unpin: slot not pinned";

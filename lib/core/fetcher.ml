@@ -42,32 +42,44 @@ let verdict_or_raise = function
   | `Blocked -> raise Would_block
   | `Deadlock -> raise Deadlock_abort
 
-(* Direct, same-machine embedding. *)
+(* Direct, same-machine embedding. Each operation still opens a
+   client.request span — the co-located analogue of the net.rpc span a
+   remote fetcher gets from the transport — so timelines have the same
+   shape in both modes. *)
 let direct ~client_id (server : Server.t) : t =
+  let span op f = Bess_obs.Span.with_span ~kind:"client.request" ~attrs:[ ("op", op) ] f in
   {
     client_id;
-    f_begin = (fun () -> Server.begin_txn server ~client:client_id);
-    f_lock = (fun ~txn r mode -> verdict_or_raise (Server.lock server ~txn r mode));
+    f_begin = (fun () -> span "begin" @@ fun () -> Server.begin_txn server ~client:client_id);
+    f_lock =
+      (fun ~txn r mode ->
+        span "lock" @@ fun () -> verdict_or_raise (Server.lock server ~txn r mode));
     f_fetch_segment =
       (fun ~txn seg ~mode ->
+        span "fetch_segment" @@ fun () ->
         match Server.fetch_segment server ~txn seg ~mode with
         | `Pages pages -> pages
         | `Blocked -> raise Would_block
         | `Deadlock -> raise Deadlock_abort);
     f_fetch_page =
       (fun ~txn page ~mode ->
+        span "fetch_page" @@ fun () ->
         verdict_or_raise
           (Server.lock server ~txn (Lock_mgr.page_resource ~area:page.area ~page:page.page) mode);
         Server.read_page server page);
     f_commit =
       (fun ~txn updates ->
+        span "commit" @@ fun () ->
         match Server.commit_client server ~txn ~updates with
         | `Committed -> ()
         | `Lock_violation -> failwith "commit rejected: lock violation");
-    f_abort = (fun ~txn -> Server.abort_client server ~txn);
-    f_prepare = (fun ~txn ~coordinator updates -> Server.prepare server ~txn ~coordinator ~updates);
+    f_abort = (fun ~txn -> span "abort" @@ fun () -> Server.abort_client server ~txn);
+    f_prepare =
+      (fun ~txn ~coordinator updates ->
+        span "prepare" @@ fun () -> Server.prepare server ~txn ~coordinator ~updates);
     f_decide =
       (fun ~txn decision ->
+        span "decide" @@ fun () ->
         match decision with
         | `Commit -> Server.commit_prepared server ~txn
         | `Abort -> Server.abort_prepared server ~txn);

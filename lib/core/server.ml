@@ -30,6 +30,11 @@ module Lock_mgr = Bess_lock.Lock_mgr
 module Lock_mode = Bess_lock.Lock_mode
 module Callback = Bess_lock.Callback
 
+(* One server.request span per public operation, so client/net spans
+   above and lock/store spans below hang off a common parent. *)
+let in_request op f =
+  Bess_obs.Span.with_span ~kind:"server.request" ~attrs:[ ("op", op) ] f
+
 type update = { page : Page_id.t; offset : int; before : Bytes.t; after : Bytes.t }
 
 type txn_status = Active | Prepared | Ended
@@ -92,6 +97,7 @@ let disconnect_client t ~client =
 (* ---- Transactions ---- *)
 
 let begin_txn t ~client =
+  in_request "begin" @@ fun () ->
   let txn_id = t.next_txn in
   t.next_txn <- txn_id + 1;
   Hashtbl.replace t.txns txn_id { txn_id; client; last_lsn = 0; status = Active };
@@ -138,6 +144,7 @@ let run_callbacks t ~requester r mode =
       else `Blocked
 
 let lock t ~txn:txn_id r mode =
+  in_request "lock" @@ fun () ->
   let ts = txn t txn_id in
   if ts.status <> Active then invalid_arg "Server.lock: transaction not active";
   match run_callbacks t ~requester:ts.client r mode with
@@ -160,6 +167,7 @@ let read_page t page = Store.read_page t.store page
 (* Fetch a whole disk segment, S-locking each page for the transaction.
    Fails with [`Blocked]/[`Deadlock] if any page lock cannot be granted. *)
 let fetch_segment t ~txn:txn_id (seg : Bess_storage.Seg_addr.t) ~mode =
+  in_request "fetch_segment" @@ fun () ->
   let rec lock_pages i =
     if i >= seg.npages then `Ok
     else
@@ -190,6 +198,7 @@ let release_locks_keep_cached t ts =
   ignore (Lock_mgr.release_all t.locks ~txn:ts.txn_id)
 
 let commit_client t ~txn:txn_id ~(updates : update list) =
+  in_request "commit" @@ fun () ->
   let ts = txn t txn_id in
   if ts.status <> Active then invalid_arg "Server.commit_client: transaction not active";
   (* Verify the client actually holds X locks covering its updates --
@@ -220,6 +229,7 @@ let commit_client t ~txn:txn_id ~(updates : update list) =
   end
 
 let abort_client t ~txn:txn_id =
+  in_request "abort" @@ fun () ->
   let ts = txn t txn_id in
   (* Nothing was applied server-side before commit, so abort only
      releases locks. The client discards its dirty copies. *)
@@ -277,6 +287,7 @@ let abort_inplace t ~txn:txn_id =
 (* Phase 1: make the transaction durable-but-undecided. For client-cached
    transactions the updates arrive with the prepare. *)
 let prepare t ~txn:txn_id ~coordinator ~(updates : update list) =
+  in_request "prepare" @@ fun () ->
   let ts = txn t txn_id in
   if ts.status <> Active then invalid_arg "Server.prepare: transaction not active";
   let covered =
@@ -303,6 +314,7 @@ let prepare t ~txn:txn_id ~coordinator ~(updates : update list) =
 
 (* Phase 2 decisions. *)
 let commit_prepared t ~txn:txn_id =
+  in_request "decide" @@ fun () ->
   let ts = txn t txn_id in
   if ts.status <> Prepared then invalid_arg "Server.commit_prepared: not prepared";
   ignore (Store.log_commit t.store ~txn:txn_id ~prev_lsn:ts.last_lsn);
@@ -312,6 +324,7 @@ let commit_prepared t ~txn:txn_id =
   Bess_util.Stats.incr t.stats "server.commits"
 
 let abort_prepared t ~txn:txn_id =
+  in_request "decide" @@ fun () ->
   let ts = txn t txn_id in
   if ts.status <> Prepared then invalid_arg "Server.abort_prepared: not prepared";
   ignore (Store.rollback t.store ~txn:txn_id ~last_lsn:ts.last_lsn);

@@ -39,6 +39,7 @@ module State_clock = Bess_cache.State_clock
 module Lock_mgr = Bess_lock.Lock_mgr
 module Lock_mode = Bess_lock.Lock_mode
 module Seg_addr = Bess_storage.Seg_addr
+module Span = Bess_obs.Span
 
 exception Corruption of { addr : int }
 exception Stale_oid of Oid.t
@@ -93,6 +94,7 @@ type t = {
   mutable policy : swizzle_policy;
   mutable fetch_whole_segments : bool;
   mutable in_txn : bool;
+  mutable txn_span : Span.handle; (* session.txn: open from begin to commit/abort *)
   stats : Bess_util.Stats.t;
 }
 
@@ -322,6 +324,16 @@ let raw_write_i64 pages ~page_size ~off v =
 
 (* ---- Wave 2: slotted-segment fault ---- *)
 
+(* One span per fault wave, nested under the ambient vmem.fault span
+   when the wave was trap-driven (waves may also run eagerly, e.g. from
+   [ensure_slotted] at segment creation — then they parent wherever the
+   caller is). *)
+let fault_span wave seg f =
+  Span.with_span ~kind:"session.fault"
+    ~attrs:
+      (if Span.enabled () then [ ("wave", wave); ("seg", string_of_int seg.seg_id) ] else [])
+    f
+
 let ensure_data_range t seg =
   if seg.data_base = 0 && seg.data_disk.npages > 0 then begin
     seg.data_base <- Vmem.reserve t.vmem seg.data_disk.npages;
@@ -330,6 +342,7 @@ let ensure_data_range t seg =
   end
 
 let slotted_fault t seg =
+  fault_span "slotted" seg @@ fun () ->
   let b = binding t seg.db_id in
   let txn = txn_for t b in
   let pages = b.b_fetcher.f_fetch_segment ~txn seg.slotted_disk ~mode:Lock_mode.S in
@@ -486,6 +499,7 @@ let unswizzle_page_image t region vm_page_addr =
 (* Fetch one data page (or, under the whole-segment policy, every
    still-unmapped page of the data segment). *)
 let data_fault t seg faulting_page_idx =
+  fault_span "data" seg @@ fun () ->
   ensure_slotted t seg;
   let b = binding t seg.db_id in
   let txn = txn_for t b in
@@ -508,6 +522,7 @@ let data_fault t seg faulting_page_idx =
 
 (* Large-object page fault: fetch from the object's own disk segment. *)
 let large_fault t seg slot page_idx =
+  fault_span "large" seg @@ fun () ->
   let b = binding t seg.db_id in
   let txn = txn_for t b in
   let disk = Hashtbl.find seg.large_disks slot in
@@ -625,6 +640,7 @@ let create ?(pool_slots = 512) ?(page_size = 4096) ?area_ids ~db_id ~catalog ~fe
       policy = Eager;
       fetch_whole_segments = true;
       in_txn = false;
+      txn_span = Span.none;
       stats =
         (let stats = Bess_util.Stats.create () in
          Bess_obs.Registry.register_stats "session" stats;
@@ -725,6 +741,7 @@ let read_header_u32 t seg ~field = Vmem.read_u32 t.vmem (seg.slotted_base + fiel
 let begin_txn t =
   if t.in_txn then invalid_arg "Session.begin_txn: transaction already open";
   t.in_txn <- true;
+  t.txn_span <- Span.enter ~kind:"session.txn" ();
   (* The primary database's transaction starts eagerly; others start on
      first touch. The primary's server coordinates a distributed commit
      (the paper: "distributed transaction processing ... is performed by
@@ -811,11 +828,15 @@ let commit t =
         Hashtbl.iter (fun _ b -> b.b_txn <- None) t.dbs;
         t.in_txn <- false;
         finish_write_set t ~keep_frames:true;
+        Span.finish ~attrs:[ ("outcome", "abort") ] t.txn_span;
+        t.txn_span <- Span.none;
         raise Distributed_abort
       end);
   Hashtbl.iter (fun _ b -> b.b_txn <- None) t.dbs;
   t.in_txn <- false;
   finish_write_set t ~keep_frames:true;
+  Span.finish ~attrs:[ ("outcome", "commit") ] t.txn_span;
+  t.txn_span <- Span.none;
   Event.fire t.hooks (Txn_commit { txn = 0 });
   Bess_util.Stats.incr t.stats "session.commits"
 
@@ -873,6 +894,8 @@ let abort t =
     t.dbs;
   t.in_txn <- false;
   finish_write_set t ~keep_frames:true;
+  Span.finish ~attrs:[ ("outcome", "abort") ] t.txn_span;
+  t.txn_span <- Span.none;
   Event.fire t.hooks (Txn_abort { txn = 0 });
   Bess_util.Stats.incr t.stats "session.aborts"
 

@@ -10,6 +10,8 @@
    Resources are small integer triples so page, file and object locks all
    fit one table: [space] names the namespace (see {!resource}). *)
 
+module Span = Bess_obs.Span
+
 type resource = { space : int; a : int; b : int }
 
 let page_resource ~area ~page = { space = 0; a = area; b = page }
@@ -31,6 +33,10 @@ type t = {
   mutable tick : int;
   timeout : int; (* ticks a request may wait before being declared deadlocked *)
   stats : Bess_util.Stats.t;
+  (* A wait crosses acquire calls (enqueue in one, grant or purge in
+     another), so its span cannot live on the stack: it is opened as a
+     root span at enqueue and parked here until the wait resolves. *)
+  wait_spans : (int * resource, Span.handle) Hashtbl.t;
 }
 
 let create ?(timeout = 1000) () =
@@ -39,7 +45,8 @@ let create ?(timeout = 1000) () =
      request ever blocked. *)
   ignore (Bess_util.Stats.histogram stats "lock.wait_ticks");
   Bess_obs.Registry.register_stats "lock" stats;
-  { table = Hashtbl.create 256; held = Hashtbl.create 32; tick = 0; timeout; stats }
+  { table = Hashtbl.create 256; held = Hashtbl.create 32; tick = 0; timeout; stats;
+    wait_spans = Hashtbl.create 16 }
 
 let stats t = t.stats
 let tick t = t.tick <- t.tick + 1
@@ -135,53 +142,85 @@ let observe_wait t e ~txn =
   | Some (_, _, enqueued) -> Bess_util.Stats.observe t.stats "lock.wait_ticks" (t.tick - enqueued)
   | None -> ()
 
+(* Open the parked wait span for a newly enqueued request. Root span:
+   the wait resolves in a different call (possibly a different client's),
+   so it cannot nest under whatever span is ambient right now. *)
+let begin_wait t ~txn r ~mode =
+  if Span.enabled () && not (Hashtbl.mem t.wait_spans (txn, r)) then
+    Hashtbl.replace t.wait_spans (txn, r)
+      (Span.start ~root:true
+         ~attrs:
+           [ ("txn", string_of_int txn); ("resource", Fmt.str "%a" pp_resource r);
+             ("mode", Lock_mode.to_string mode) ]
+         ~kind:"lock.wait" ())
+
+let end_wait t ~txn r ~outcome =
+  match Hashtbl.find_opt t.wait_spans (txn, r) with
+  | None -> ()
+  | Some h ->
+      Hashtbl.remove t.wait_spans (txn, r);
+      Span.finish ~attrs:[ ("outcome", outcome) ] h
+
 let acquire ?(detect = `Graph) t ~txn r mode : verdict =
   t.tick <- t.tick + 1;
   let e = entry t r in
   let current = List.assoc_opt txn e.granted in
   let want = match current with Some m -> Lock_mode.sup m mode | None -> mode in
-  match current with
-  | Some m when Lock_mode.covers m mode ->
-      Bess_util.Stats.incr t.stats "lock.regrants";
-      observe_wait t e ~txn;
-      remove_waiter e ~txn;
-      `Granted
-  | _ ->
-      let is_upgrade = current <> None in
-      if (not (conflicts e ~txn want)) && (is_upgrade || not (blocked_by_queue e ~txn)) then begin
-        e.granted <- (txn, want) :: List.remove_assoc txn e.granted;
-        observe_wait t e ~txn;
-        remove_waiter e ~txn;
-        record_held t ~txn r;
-        Bess_util.Stats.incr t.stats "lock.grants";
-        `Granted
-      end
-      else begin
-        if not (List.exists (fun (t', _, _) -> t' = txn) e.waiting) then begin
-          e.waiting <- e.waiting @ [ (txn, want, t.tick) ];
-          Bess_util.Stats.incr t.stats "lock.blocks"
-        end;
-        match detect with
-        | `Graph ->
-            if creates_cycle t ~txn then begin
-              remove_waiter e ~txn;
-              Bess_util.Stats.incr t.stats "lock.deadlocks";
-              `Deadlock
-            end
-            else `Blocked
-        | `Timeout ->
-            let enqueue_tick =
-              match List.find_opt (fun (t', _, _) -> t' = txn) e.waiting with
-              | Some (_, _, tk) -> tk
-              | None -> t.tick
-            in
-            if t.tick - enqueue_tick > t.timeout then begin
-              remove_waiter e ~txn;
-              Bess_util.Stats.incr t.stats "lock.timeouts";
-              `Deadlock
-            end
-            else `Blocked
-      end
+  let attrs () =
+    if Span.enabled () then
+      [ ("txn", string_of_int txn); ("resource", Fmt.str "%a" pp_resource r);
+        ("mode", Lock_mode.to_string mode) ]
+    else []
+  in
+  Span.with_span ~attrs:(attrs ()) ~kind:"lock.acquire" (fun () ->
+      match current with
+      | Some m when Lock_mode.covers m mode ->
+          Bess_util.Stats.incr t.stats "lock.regrants";
+          observe_wait t e ~txn;
+          remove_waiter e ~txn;
+          end_wait t ~txn r ~outcome:"granted";
+          `Granted
+      | _ ->
+          let is_upgrade = current <> None in
+          if (not (conflicts e ~txn want)) && (is_upgrade || not (blocked_by_queue e ~txn))
+          then begin
+            e.granted <- (txn, want) :: List.remove_assoc txn e.granted;
+            observe_wait t e ~txn;
+            remove_waiter e ~txn;
+            end_wait t ~txn r ~outcome:"granted";
+            record_held t ~txn r;
+            Bess_util.Stats.incr t.stats "lock.grants";
+            `Granted
+          end
+          else begin
+            if not (List.exists (fun (t', _, _) -> t' = txn) e.waiting) then begin
+              e.waiting <- e.waiting @ [ (txn, want, t.tick) ];
+              Bess_util.Stats.incr t.stats "lock.blocks";
+              begin_wait t ~txn r ~mode:want
+            end;
+            match detect with
+            | `Graph ->
+                if creates_cycle t ~txn then begin
+                  remove_waiter e ~txn;
+                  end_wait t ~txn r ~outcome:"deadlock";
+                  Bess_util.Stats.incr t.stats "lock.deadlocks";
+                  `Deadlock
+                end
+                else `Blocked
+            | `Timeout ->
+                let enqueue_tick =
+                  match List.find_opt (fun (t', _, _) -> t' = txn) e.waiting with
+                  | Some (_, _, tk) -> tk
+                  | None -> t.tick
+                in
+                if t.tick - enqueue_tick > t.timeout then begin
+                  remove_waiter e ~txn;
+                  end_wait t ~txn r ~outcome:"timeout";
+                  Bess_util.Stats.incr t.stats "lock.timeouts";
+                  `Deadlock
+                end
+                else `Blocked
+          end)
 
 (* Release everything held by [txn] (strict 2PL: only at commit/abort).
    Returns the transactions that may now be grantable, for the scheduler
@@ -198,6 +237,7 @@ let release_all t ~txn =
           | Some e ->
               e.granted <- List.remove_assoc txn e.granted;
               remove_waiter e ~txn;
+              end_wait t ~txn r ~outcome:"released";
               List.iter (fun (w, _, _) -> if not (List.mem w !wake) then wake := w :: !wake) e.waiting;
               if e.granted = [] && e.waiting = [] then Hashtbl.remove t.table r)
         !resources;
@@ -212,6 +252,7 @@ let release_all t ~txn =
     (fun r e ->
       if List.exists (fun (t', _, _) -> t' = txn) e.waiting then begin
         remove_waiter e ~txn;
+        end_wait t ~txn r ~outcome:"released";
         List.iter (fun (w, _, _) -> if not (List.mem w !wake) then wake := w :: !wake) e.waiting
       end;
       if e.granted = [] && e.waiting = [] then empty := r :: !empty)

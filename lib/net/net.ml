@@ -13,6 +13,8 @@
    Cost parameters default to a LAN-ish ratio: crossing processes is three
    orders of magnitude more expensive than a function call. *)
 
+module Span = Bess_obs.Span
+
 type ('req, 'resp) handler = src:int -> 'req -> 'resp
 
 type ('req, 'resp) t = {
@@ -52,20 +54,30 @@ let reset_clock t = t.clock_ns <- 0
 exception No_such_endpoint of int
 
 let account t ~bytes =
-  t.clock_ns <- t.clock_ns + t.per_message_ns + (bytes * t.per_byte_ns);
+  let cost = t.per_message_ns + (bytes * t.per_byte_ns) in
+  t.clock_ns <- t.clock_ns + cost;
+  (* Wire time is the dominant cost model, so it also drives the
+     process-wide span clock: net.wire spans get their true width. *)
+  Span.advance_ns cost;
   Bess_util.Stats.incr t.stats "net.messages";
   Bess_util.Stats.add t.stats "net.bytes" bytes
 
-(* Synchronous RPC: one request message, one reply message. *)
+let route_attrs src dst =
+  if Span.enabled () then [ ("src", string_of_int src); ("dst", string_of_int dst) ] else []
+
+(* Synchronous RPC: one request message, one reply message. The call
+   stamps the outgoing request with a net.rpc span whose net.wire
+   children separate wire time from the handler's own time. *)
 let call t ~src ~dst req =
   match Hashtbl.find_opt t.handlers dst with
   | None -> raise (No_such_endpoint dst)
   | Some handler ->
-      account t ~bytes:(t.req_cost req);
-      Bess_util.Stats.incr_labeled t.stats "net.calls" ~label:(Printf.sprintf "%d->%d" src dst);
-      let resp = handler ~src req in
-      account t ~bytes:(t.resp_cost resp);
-      resp
+      Span.with_span ~attrs:(route_attrs src dst) ~kind:"net.rpc" (fun () ->
+          Span.with_span ~kind:"net.wire" (fun () -> account t ~bytes:(t.req_cost req));
+          Bess_util.Stats.incr_labeled t.stats "net.calls" ~label:(Printf.sprintf "%d->%d" src dst);
+          let resp = Span.with_span ~kind:"net.handler" (fun () -> handler ~src req) in
+          Span.with_span ~kind:"net.wire" (fun () -> account t ~bytes:(t.resp_cost resp));
+          resp)
 
 (* One-way message (server-initiated callbacks): still executes the
    handler synchronously, but only one message is accounted. *)
@@ -73,9 +85,10 @@ let send t ~src ~dst req =
   match Hashtbl.find_opt t.handlers dst with
   | None -> raise (No_such_endpoint dst)
   | Some handler ->
-      account t ~bytes:(t.req_cost req);
-      Bess_util.Stats.incr_labeled t.stats "net.sends" ~label:(Printf.sprintf "%d->%d" src dst);
-      ignore (handler ~src req)
+      Span.with_span ~attrs:(route_attrs src dst) ~kind:"net.send" (fun () ->
+          Span.with_span ~kind:"net.wire" (fun () -> account t ~bytes:(t.req_cost req));
+          Bess_util.Stats.incr_labeled t.stats "net.sends" ~label:(Printf.sprintf "%d->%d" src dst);
+          ignore (Span.with_span ~kind:"net.handler" (fun () -> handler ~src req)))
 
 let messages t = Bess_util.Stats.get t.stats "net.messages"
 let bytes t = Bess_util.Stats.get t.stats "net.bytes"

@@ -35,6 +35,19 @@ let unregister ?(registry = default) key = Hashtbl.remove registry.sources key
 let keys ?(registry = default) () =
   Hashtbl.fold (fun k _ acc -> k :: acc) registry.sources [] |> List.sort String.compare
 
+(* Scoped reset: the registry is process-global mutable state, so tests
+   and bench workloads that build substrates would otherwise leak
+   registrations into each other. [f] runs against an emptied registry;
+   the previous bindings are restored afterwards, exceptions included. *)
+let with_fresh ?(registry = default) f =
+  let saved = Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry.sources [] in
+  Hashtbl.reset registry.sources;
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.reset registry.sources;
+      List.iter (fun (k, v) -> Hashtbl.replace registry.sources k v) saved)
+    f
+
 (* ---- Snapshots ----------------------------------------------------------- *)
 
 type hist_summary = {

@@ -23,6 +23,12 @@ val register_histogram : ?registry:t -> string -> Bess_util.Histogram.t -> unit
 val unregister : ?registry:t -> string -> unit
 val keys : ?registry:t -> unit -> string list
 
+(** [with_fresh f] empties the registry (default: the process-wide one)
+    for the duration of [f] and restores the previous bindings on the
+    way out, exceptions included — scoped isolation for tests and bench
+    workloads that register substrates of their own. *)
+val with_fresh : ?registry:t -> (unit -> 'a) -> 'a
+
 type hist_summary = {
   h_count : int;
   h_sum : int;

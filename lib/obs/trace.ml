@@ -71,6 +71,31 @@ let clear t =
   t.head <- 0;
   t.length <- 0
 
+(* Scoped reset: the default ring is process-global, so a test that
+   wants a clean replay window must not destroy what earlier code
+   recorded. [f] runs against a zeroed ring (clock, seq and filter
+   included); the prior contents are restored afterwards. *)
+let with_fresh ?(trace = default) f =
+  let saved_ring = Array.copy trace.ring in
+  let saved_head = trace.head and saved_length = trace.length in
+  let saved_clock = trace.clock and saved_seq = trace.next_seq in
+  let saved_filter = trace.filter in
+  Array.fill trace.ring 0 (Array.length trace.ring) None;
+  trace.head <- 0;
+  trace.length <- 0;
+  trace.clock <- 0;
+  trace.next_seq <- 0;
+  trace.filter <- None;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.blit saved_ring 0 trace.ring 0 (Array.length trace.ring);
+      trace.head <- saved_head;
+      trace.length <- saved_length;
+      trace.clock <- saved_clock;
+      trace.next_seq <- saved_seq;
+      trace.filter <- saved_filter)
+    f
+
 let pp_entry ppf e = Fmt.pf ppf "[%d @%d] %s %s" e.seq e.clock e.kind e.detail
 
 let pp ppf t =

@@ -33,5 +33,11 @@ val to_list : t -> entry list
 val find : t -> kind:string -> entry list
 
 val clear : t -> unit
+
+(** [with_fresh f] zeroes the ring (default: the process-wide one) —
+    entries, clock, sequence numbers and filter — for the duration of
+    [f], restoring the previous state on the way out, exceptions
+    included. *)
+val with_fresh : ?trace:t -> (unit -> 'a) -> 'a
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,13 @@
    experiments can report the cost the paper discusses in section 2.2
    (Sullivan-Stonebraker style protection overhead). *)
 
+module Span = Bess_obs.Span
+
+(* Simulated cost of taking the protection trap and delivering the
+   signal, charged to the span clock per resolved fault (the handler's
+   own work — fetches, mprotects — adds its own time below it). *)
+let fault_trap_ns = 3_000
+
 type prot = Prot_none | Prot_read | Prot_read_write
 
 type access = Read | Write
@@ -214,9 +221,17 @@ let resolve t addr access =
           in
           let before = syscalls () in
           t.in_handler <- true;
-          Fun.protect
-            ~finally:(fun () -> t.in_handler <- false)
-            (fun () -> h t ~addr ~access);
+          Span.with_span ~kind:"vmem.fault"
+            ~attrs:
+              (if Span.enabled () then
+                 [ ("addr", string_of_int addr);
+                   ("access", match access with Read -> "read" | Write -> "write") ]
+               else [])
+            (fun () ->
+              Span.advance_ns fault_trap_ns;
+              Fun.protect
+                ~finally:(fun () -> t.in_handler <- false)
+                (fun () -> h t ~addr ~access));
           Bess_util.Stats.observe t.stats "vmem.fault_work" (syscalls () - before);
           (match check () with
           | Some frame -> frame

@@ -6,6 +6,13 @@
    forces the log through the commit record. Forces are counted so
    experiments can report group-commit-style savings. *)
 
+module Span = Bess_obs.Span
+
+(* Simulated cost of the fsync behind a log force, charged to the span
+   clock so wal.force spans dominate commit timelines the way a real
+   synchronous disk write would. *)
+let force_ns = 100_000
+
 type t = {
   mutable buf : Bytes.t;
   mutable used : int; (* bytes 0..used-1 are valid; LSN l lives at buf offset l-1 *)
@@ -47,37 +54,42 @@ let ensure t extra =
   end
 
 let append t (record : Log_record.t) =
-  let image = Log_record.encode record in
-  ensure t (Bytes.length image);
-  let lsn = t.used + base in
-  Bytes.blit image 0 t.buf t.used (Bytes.length image);
-  t.used <- t.used + Bytes.length image;
-  t.last_lsn <- lsn;
-  Bess_util.Stats.incr t.stats "log.appends";
-  Bess_util.Stats.add t.stats "log.bytes" (Bytes.length image);
-  Bess_util.Stats.observe t.stats "log.append_bytes" (Bytes.length image);
-  lsn
+  Span.with_span ~kind:"wal.append" (fun () ->
+      let image = Log_record.encode record in
+      ensure t (Bytes.length image);
+      let lsn = t.used + base in
+      Bytes.blit image 0 t.buf t.used (Bytes.length image);
+      t.used <- t.used + Bytes.length image;
+      t.last_lsn <- lsn;
+      Bess_util.Stats.incr t.stats "log.appends";
+      Bess_util.Stats.add t.stats "log.bytes" (Bytes.length image);
+      Bess_util.Stats.observe t.stats "log.append_bytes" (Bytes.length image);
+      lsn)
 
 (* Force the log through [lsn]. A no-op if already durable -- that is what
    makes repeated commit forces cheap under a hot log tail. *)
 let flush t ?lsn () =
   let target = match lsn with Some l -> l - base + 1 | None -> t.used in
-  if target > t.flushed then begin
-    (match t.backing with
-    | Some fd ->
-        ignore (Unix.lseek fd t.flushed Unix.SEEK_SET);
-        let rec write_all pos limit =
-          if pos < limit then begin
-            let n = Unix.write fd t.buf pos (limit - pos) in
-            write_all (pos + n) limit
-          end
-        in
-        write_all t.flushed t.used;
-        Unix.fsync fd
-    | None -> ());
-    t.flushed <- t.used;
-    Bess_util.Stats.incr t.stats "log.forces"
-  end
+  if target > t.flushed then
+    Span.with_span ~kind:"wal.force"
+      ~attrs:
+        (if Span.enabled () then [ ("bytes", string_of_int (t.used - t.flushed)) ] else [])
+      (fun () ->
+        Span.advance_ns force_ns;
+        (match t.backing with
+        | Some fd ->
+            ignore (Unix.lseek fd t.flushed Unix.SEEK_SET);
+            let rec write_all pos limit =
+              if pos < limit then begin
+                let n = Unix.write fd t.buf pos (limit - pos) in
+                write_all (pos + n) limit
+              end
+            in
+            write_all t.flushed t.used;
+            Unix.fsync fd
+        | None -> ());
+        t.flushed <- t.used;
+        Bess_util.Stats.incr t.stats "log.forces")
 
 let read t lsn =
   let off = lsn - base in

@@ -4,6 +4,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("span", Test_span.suite);
       ("vmem", Test_vmem.suite);
       ("buddy", Test_buddy.suite);
       ("storage", Test_storage.suite);

@@ -98,6 +98,72 @@ let test_trace_filter () =
   Trace.record tr ~kind:"data_fault" ~detail:"seg=3";
   Alcotest.(check int) "filter cleared" 2 (Trace.length tr)
 
+let test_trace_wrap_exact_capacity () =
+  (* Exactly [capacity] records: full ring, nothing evicted yet; one
+     more record evicts exactly the oldest. *)
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Trace.record tr ~kind:"k" ~detail:(string_of_int i)
+  done;
+  Alcotest.(check int) "full at exact capacity" 4 (Trace.length tr);
+  Alcotest.(check (list string)) "all four retained" [ "1"; "2"; "3"; "4" ]
+    (List.map (fun e -> e.Trace.detail) (Trace.to_list tr));
+  Trace.record tr ~kind:"k" ~detail:"5";
+  Alcotest.(check (list string)) "wrap evicts only the oldest" [ "2"; "3"; "4"; "5" ]
+    (List.map (fun e -> e.Trace.detail) (Trace.to_list tr));
+  Alcotest.(check int) "length still capped" 4 (Trace.length tr)
+
+let test_trace_filter_roundtrip () =
+  (* set_filter round-trip: Some -> None restores record-everything, and
+     entries dropped while filtered still advanced the logical clock
+     (the mli contract), so post-filter stamps stay strictly ordered. *)
+  let tr = Trace.create ~capacity:16 () in
+  Trace.record tr ~kind:"a" ~detail:"";
+  Trace.set_filter tr (Some [ "b" ]);
+  Trace.record tr ~kind:"a" ~detail:"";
+  Trace.record tr ~kind:"b" ~detail:"";
+  Trace.set_filter tr None;
+  Trace.record tr ~kind:"a" ~detail:"";
+  Alcotest.(check int) "filtered entry dropped" 3 (Trace.length tr);
+  Alcotest.(check int) "clock counted the dropped record" 4 (Trace.clock tr);
+  Alcotest.(check (list int)) "stamps reflect true record times" [ 1; 3; 4 ]
+    (List.map (fun e -> e.Trace.clock) (Trace.to_list tr))
+
+let test_registry_with_fresh () =
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Stats.incr st "c";
+  Registry.register_stats ~registry:reg "outer" st;
+  (try
+     Registry.with_fresh ~registry:reg (fun () ->
+         Alcotest.(check (list (pair string int)))
+           "registry empty inside" []
+           (Registry.counters (Registry.snapshot ~registry:reg ()));
+         let st' = Stats.create () in
+         Stats.add st' "x" 9;
+         Registry.register_stats ~registry:reg "inner" st';
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (list (pair string int)))
+    "outer bindings restored, inner gone (even on exception)"
+    [ ("outer.c", 1) ]
+    (Registry.counters (Registry.snapshot ~registry:reg ()))
+
+let test_trace_with_fresh () =
+  let tr = Trace.create ~capacity:8 () in
+  Trace.record tr ~kind:"outer" ~detail:"1";
+  Trace.set_filter tr (Some [ "outer" ]);
+  Trace.with_fresh ~trace:tr (fun () ->
+      Alcotest.(check int) "ring empty inside" 0 (Trace.length tr);
+      Alcotest.(check int) "clock zeroed inside" 0 (Trace.clock tr);
+      Trace.record tr ~kind:"inner" ~detail:"x";
+      Alcotest.(check int) "filter cleared inside" 1 (Trace.length tr));
+  Alcotest.(check (list string)) "outer entries restored" [ "1" ]
+    (List.map (fun e -> e.Trace.detail) (Trace.to_list tr));
+  Alcotest.(check int) "outer clock restored" 1 (Trace.clock tr);
+  Trace.record tr ~kind:"inner" ~detail:"2";
+  Alcotest.(check int) "outer filter restored" 1 (Trace.length tr)
+
 let test_event_feeds_trace () =
   let h = Bess.Event.hooks_create () in
   let tr = Trace.create ~capacity:8 () in
@@ -146,6 +212,10 @@ let suite =
     Alcotest.test_case "stats_observe" `Quick test_stats_observe;
     Alcotest.test_case "trace_bounded_eviction" `Quick test_trace_bounded_eviction;
     Alcotest.test_case "trace_filter" `Quick test_trace_filter;
+    Alcotest.test_case "trace_wrap_exact_capacity" `Quick test_trace_wrap_exact_capacity;
+    Alcotest.test_case "trace_filter_roundtrip" `Quick test_trace_filter_roundtrip;
+    Alcotest.test_case "registry_with_fresh" `Quick test_registry_with_fresh;
+    Alcotest.test_case "trace_with_fresh" `Quick test_trace_with_fresh;
     Alcotest.test_case "event_feeds_trace" `Quick test_event_feeds_trace;
     Alcotest.test_case "hook_order_preserved" `Quick test_hook_order_preserved;
     Alcotest.test_case "no_build_artifacts_tracked" `Quick test_no_build_artifacts_tracked;
