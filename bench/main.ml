@@ -806,6 +806,94 @@ let e10 () =
     ~header:[ "servers"; "commit messages" ]
     (List.rev !rows)
 
+(* ---- E11: group commit ---------------------------------------------------- *)
+
+(* Tentpole claim: a force scheduler amortises the modeled log force
+   (the dominant fixed cost of commit) across concurrently committing
+   clients. 16 clients commit small update transactions in rounds,
+   collecting durability tickets and awaiting them only at the end of
+   each round; under [Group_n n] one coalesced force covers up to a
+   whole round, so forces/txn falls towards 1/n while the per-commit
+   wait (registration to durability) grows with the batch. With 16
+   concurrent committers, [Group_n 64] saturates at 16 commits/force:
+   the first await triggers a stall force covering the round. *)
+let e11 () =
+  let n_clients = 16 in
+  let rounds = scale 100 in
+  let rows = ref [] in
+  List.iter
+    (fun policy ->
+      let db = Workloads.fresh_db ~cache_slots:4096 () in
+      let server = Bess.Db.server db in
+      let area = Bess.Db.default_area db in
+      (* Seed a segment so the area has pages to update, then switch the
+         force scheduler for the measured phase. *)
+      let s = Bess.Db.session db in
+      Bess.Session.begin_txn s;
+      ignore (Bess.Session.create_segment s ~slotted_pages:2 ~data_pages:(n_clients + 8) ());
+      Bess.Session.commit s;
+      Bess.Server.set_group_policy server policy;
+      let wal = Bess_wal.Log.stats (Bess.Store.log (Bess.Server.store server)) in
+      let hist name =
+        match Stats.find_histogram wal name with
+        | Some h -> (Bess_util.Histogram.count h, Bess_util.Histogram.sum h)
+        | None -> (0, 0)
+      in
+      let forces0 = Stats.get wal "log.forces" in
+      let pf_c0, pf_s0 = hist "wal.group.commits_per_force" in
+      let wt_c0, wt_s0 = hist "wal.force_wait_ticks" in
+      let t0 = Bess_obs.Span.now_ns () in
+      let committed = ref 0 in
+      for _ = 1 to rounds do
+        let tickets =
+          List.init n_clients (fun c ->
+              let txn = Bess.Server.begin_txn server ~client:(100 + c) in
+              let page = { Page_id.area; page = 1 + c } in
+              (match
+                 Bess.Server.lock server ~txn
+                   (Bess_lock.Lock_mgr.page_resource ~area ~page:page.page)
+                   Bess_lock.Lock_mode.X
+               with
+              | `Granted -> ()
+              | _ -> failwith "e11: private page lock should be granted");
+              let before = Bytes.sub (Bess.Server.read_page server page) 0 8 in
+              let after = Bytes.create 8 in
+              Bytes.set_int64_le after 0 (Int64.of_int (!committed + c));
+              let update = { Bess.Server.page; offset = 0; before; after } in
+              match Bess.Server.commit_client_begin server ~txn ~updates:[ update ] with
+              | `Committed tk ->
+                  incr committed;
+                  tk
+              | `Lock_violation -> failwith "e11: commit rejected")
+        in
+        List.iter (Bess.Server.await_commit server) tickets
+      done;
+      let elapsed = Bess_obs.Span.now_ns () - t0 in
+      let forces = Stats.get wal "log.forces" - forces0 in
+      let mean (c0, s0) (c1, s1) =
+        if c1 > c0 then float_of_int (s1 - s0) /. float_of_int (c1 - c0) else 0.0
+      in
+      let per_force = mean (pf_c0, pf_s0) (hist "wal.group.commits_per_force") in
+      let wait = mean (wt_c0, wt_s0) (hist "wal.force_wait_ticks") in
+      rows :=
+        [
+          Bess_wal.Group_commit.policy_to_string policy;
+          Report.count !committed;
+          Report.count forces;
+          Report.fixed (float_of_int forces /. float_of_int !committed);
+          Report.fixed per_force;
+          Report.ns wait;
+          Report.ns (float_of_int elapsed /. float_of_int !committed);
+        ]
+        :: !rows)
+    Bess_wal.Group_commit.[ Immediate; Group_n 4; Group_n 16; Group_n 64 ];
+  Report.table ~id:"E11"
+    ~caption:
+      "group commit: log forces amortised across 16 concurrent committers (modeled 100us force)"
+    ~header:
+      [ "policy"; "txns"; "forces"; "forces/txn"; "commits/force"; "commit wait"; "sim ns/txn" ]
+    (List.rev !rows)
+
 (* ---- F1: segment and object structure (Figure 1) ------------------------- *)
 
 let f1 () =
@@ -1341,7 +1429,8 @@ let t1 () =
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4);
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("f1", f1); ("f2", f2); ("f3", f3);
+    ("f4", f4);
     ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("t1", t1);
   ]
 
@@ -1364,6 +1453,11 @@ let () =
     | "--chrome" :: path :: rest ->
         trace := true;
         chrome := Some path;
+        parse rest
+    | "--group-commit" :: p :: rest ->
+        (match Bess_wal.Group_commit.policy_of_string p with
+        | Ok policy -> Workloads.group_commit := policy
+        | Error e -> Printf.printf "bad --group-commit %S: %s (ignored)\n" p e);
         parse rest
     | a :: rest when String.length a > 1 && a.[0] = '-' ->
         Printf.printf "unknown flag %S (ignored)\n" a;

@@ -15,11 +15,20 @@ let node_type db =
   | Some ty -> ty
   | None -> Bess.Type_desc.register types ~name:"bench_node" ~size:node_size ~ref_offsets:[| 0 |]
 
+(* Force-scheduling policy applied to every fresh database (the
+   --group-commit knob); experiments that sweep policies override it
+   per-server with [Bess.Server.set_group_policy]. *)
+let group_commit = ref Bess_wal.Group_commit.Immediate
+
 let fresh_db =
   let n = ref 1000 in
   fun ?(n_areas = 1) ?cache_slots () ->
     incr n;
-    Bess.Db.create_memory ~n_areas ?cache_slots ~db_id:!n ()
+    let db = Bess.Db.create_memory ~n_areas ?cache_slots ~db_id:!n () in
+    (match !group_commit with
+    | Bess_wal.Group_commit.Immediate -> ()
+    | p -> Bess.Server.set_group_policy (Bess.Db.server db) p);
+    db
 
 (* Build [n] nodes spread over segments of [per_seg] objects each, linked
    into a ring with [stride] hops (stride > 1 makes consecutive hops cross

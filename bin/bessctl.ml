@@ -64,10 +64,28 @@ let info_cmd =
 
 (* ---- seed ---- *)
 
+let group_commit_arg =
+  let policy_conv =
+    let parse s =
+      match Bess_wal.Group_commit.policy_of_string s with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv (parse, Bess_wal.Group_commit.pp_policy)
+  in
+  Arg.(
+    value
+    & opt policy_conv Bess_wal.Group_commit.Immediate
+    & info [ "group-commit" ] ~docv:"POLICY"
+        ~doc:
+          "Commit force-scheduling policy: $(b,immediate) (default), $(b,group:N) to coalesce N \
+           committers per log force, or $(b,window:NS) to batch a time window")
+
 let seed_cmd =
   let objects = Arg.(value & opt int 1000 & info [ "objects" ] ~doc:"Objects to create") in
-  let run dir objects =
+  let run dir objects policy =
     with_db dir (fun db ->
+        Bess.Server.set_group_policy (Bess.Db.server db) policy;
         let s = Bess.Db.session db in
         let ty =
           match Bess.Type_desc.find_by_name (Bess.Catalog.types (Bess.Db.catalog db)) "demo" with
@@ -94,9 +112,14 @@ let seed_cmd =
           prev := Some o
         done;
         Bess.Session.commit s;
-        Printf.printf "seeded %d demo objects into file %S\n" objects "demo")
+        let wal = Bess_wal.Log.stats (Bess.Store.log (Bess.Server.store (Bess.Db.server db))) in
+        Printf.printf "seeded %d demo objects into file %S (%s policy, %d log forces)\n" objects
+          "demo"
+          (Bess_wal.Group_commit.policy_to_string policy)
+          (Bess_util.Stats.get wal "log.forces"))
   in
-  Cmd.v (Cmd.info "seed" ~doc:"Load a linked demo dataset") Term.(const run $ dir_arg $ objects)
+  Cmd.v (Cmd.info "seed" ~doc:"Load a linked demo dataset")
+    Term.(const run $ dir_arg $ objects $ group_commit_arg)
 
 (* ---- scan ---- *)
 

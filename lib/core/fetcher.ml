@@ -29,6 +29,9 @@ type t = {
   f_fetch_segment : txn:int -> Bess_storage.Seg_addr.t -> mode:Lock_mode.t -> Bytes.t list;
   f_fetch_page : txn:int -> Page_id.t -> mode:Lock_mode.t -> Bytes.t;
   f_commit : txn:int -> Server.update list -> unit; (* raises on rejection *)
+  f_commit_begin : txn:int -> Server.update list -> unit -> unit;
+      (* group-commit path: logs the commit and releases locks, deferring
+         the durability wait to the returned barrier (the ack point) *)
   f_abort : txn:int -> unit;
   f_prepare : txn:int -> coordinator:int -> Server.update list -> [ `Vote_yes | `Vote_no ];
   f_decide : txn:int -> [ `Commit | `Abort ] -> unit;
@@ -72,6 +75,12 @@ let direct ~client_id (server : Server.t) : t =
         span "commit" @@ fun () ->
         match Server.commit_client server ~txn ~updates with
         | `Committed -> ()
+        | `Lock_violation -> failwith "commit rejected: lock violation");
+    f_commit_begin =
+      (fun ~txn updates ->
+        match span "commit" (fun () -> Server.commit_client_begin server ~txn ~updates) with
+        | `Committed ticket ->
+            fun () -> span "commit_await" (fun () -> Server.await_commit server ticket)
         | `Lock_violation -> failwith "commit rejected: lock violation");
     f_abort = (fun ~txn -> span "abort" @@ fun () -> Server.abort_client server ~txn);
     f_prepare =

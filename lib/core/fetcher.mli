@@ -26,6 +26,10 @@ type t = {
   f_fetch_segment : txn:int -> Bess_storage.Seg_addr.t -> mode:Lock_mode.t -> Bytes.t list;
   f_fetch_page : txn:int -> Page_id.t -> mode:Lock_mode.t -> Bytes.t;
   f_commit : txn:int -> Server.update list -> unit;
+  f_commit_begin : txn:int -> Server.update list -> unit -> unit;
+      (** group-commit path: logs the commit and releases server state,
+          returning the durability barrier — the acknowledgement point.
+          Invoke the barrier before treating the commit as durable. *)
   f_abort : txn:int -> unit;
   f_prepare : txn:int -> coordinator:int -> Server.update list -> [ `Vote_yes | `Vote_no ];
   f_decide : txn:int -> [ `Commit | `Abort ] -> unit;

@@ -323,6 +323,7 @@ let abort t =
 type client_log = {
   log : Bess_wal.Log.t;
   log_path : string option;
+  gc : Bess_wal.Group_commit.t; (* local-commit force scheduler *)
   mutable local_txns : int;
   mutable queue : (int * Server.update list) list; (* locally committed, unshipped *)
 }
@@ -331,16 +332,20 @@ let client_logs : (int, client_log) Hashtbl.t = Hashtbl.create 4
 (* keyed by node id so a "rebooted" node (fresh record, same id) finds
    its durable log again; path-backed logs survive real restarts too. *)
 
-let enable_client_logging ?path t =
+let enable_client_logging ?path ?group_commit t =
   let cl =
     match Hashtbl.find_opt client_logs t.id with
     | Some cl -> cl
     | None ->
-        let cl = { log = Bess_wal.Log.create ?path (); log_path = path; local_txns = 0; queue = [] } in
+        let log = Bess_wal.Log.create ?path () in
+        let cl =
+          { log; log_path = path; gc = Bess_wal.Group_commit.create log;
+            local_txns = 0; queue = [] }
+        in
         Hashtbl.add client_logs t.id cl;
         cl
   in
-  ignore cl
+  Option.iter (Bess_wal.Group_commit.set_policy cl.gc) group_commit
 
 let client_log t =
   match Hashtbl.find_opt client_logs t.id with
@@ -361,9 +366,11 @@ let collect_updates t =
       | None -> acc)
     t.dirty []
 
-(* Commit against the local log only: force it, queue the updates, keep
-   the upstream transaction (and its X locks) open. *)
-let commit_local t =
+(* Commit against the local log only: log it, register a durability
+   ticket with the local group-commit scheduler, queue the updates, keep
+   the upstream transaction (and its X locks) open. The local commit is
+   acknowledged only once the ticket is awaited. *)
+let commit_local_begin t =
   let cl = client_log t in
   let updates = collect_updates t in
   cl.local_txns <- cl.local_txns + 1;
@@ -380,17 +387,25 @@ let commit_local t =
                   offset = u.offset; before = u.before; after = u.after } })
     updates;
   let lsn = Bess_wal.Log.append cl.log { prev_lsn = !prev; body = Commit { txn = ltxn } } in
-  Bess_wal.Log.flush cl.log ~lsn ();
+  let ticket = Bess_wal.Group_commit.commit_lsn cl.gc ~lsn in
   cl.queue <- cl.queue @ [ (ltxn, updates) ];
   Hashtbl.reset t.dirty;
   Hashtbl.reset t.pending_writes;
-  Bess_util.Stats.incr t.stats "node.local_commits"
+  Bess_util.Stats.incr t.stats "node.local_commits";
+  ticket
+
+let await_local t ticket = Bess_wal.Group_commit.await (client_log t).gc ticket
+
+let commit_local t = await_local t (commit_local_begin t)
 
 (* Ship every locally committed transaction upstream in one batch and
    truncate the local log. *)
 let propagate t =
   let cl = client_log t in
   if cl.queue <> [] then begin
+    (* Write-behind only ships locally *durable* work: drain any commits
+       still waiting on a grouped force before moving them upstream. *)
+    Bess_wal.Group_commit.force cl.gc;
     let txn = upstream_txn t in
     let updates = List.concat_map snd cl.queue in
     (* Re-assert the X locks (idempotent when already held). *)
@@ -401,6 +416,7 @@ let propagate t =
     t.txn <- None;
     cl.queue <- [];
     Bess_wal.Log.crash cl.log () (* truncate: everything is upstream now *);
+    Bess_wal.Group_commit.reset cl.gc;
     Bess_util.Stats.incr t.stats "node.propagations"
   end
 
@@ -413,7 +429,10 @@ let crash_node t =
   Hashtbl.reset t.pending_writes;
   t.txn <- None;
   (match Hashtbl.find_opt client_logs t.id with
-  | Some cl -> cl.queue <- [] (* the volatile queue is gone; the log is not *)
+  | Some cl ->
+      cl.queue <- [] (* the volatile queue is gone; the log is not *);
+      Bess_wal.Group_commit.reset cl.gc;
+      Bess_wal.Log.crash cl.log () (* lose the unforced tail too *)
   | None -> ());
   Bess_util.Stats.incr t.stats "node.crashes"
 

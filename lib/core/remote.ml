@@ -19,6 +19,9 @@ type req =
   | Fetch_segment of { txn : int; seg : Bess_storage.Seg_addr.t; mode : Lock_mode.t }
   | Fetch_page of { txn : int; page : Page_id.t; mode : Lock_mode.t }
   | Commit of { txn : int; updates : Server.update list }
+  | Commit_begin of { txn : int; updates : Server.update list }
+      (* group-commit: log + release, ack deferred to Await_commit *)
+  | Await_commit of { ticket : int }
   | Abort of { txn : int }
   | Prepare of { txn : int; coordinator : int; updates : Server.update list }
   | Decide of { txn : int; commit : bool }
@@ -28,6 +31,7 @@ type req =
 
 type resp =
   | R_txn of int
+  | R_ticket of int (* server-side durability ticket handle *)
   | R_verdict of [ `Granted | `Blocked | `Deadlock ]
   | R_pages of Bytes.t list
   | R_page of Bytes.t
@@ -46,6 +50,8 @@ let req_cost = function
   | Fetch_segment _ -> 32
   | Fetch_page _ -> 24
   | Commit { updates; _ } -> 16 + update_bytes updates
+  | Commit_begin { updates; _ } -> 16 + update_bytes updates
+  | Await_commit _ -> 16
   | Abort _ -> 16
   | Prepare { updates; _ } -> 24 + update_bytes updates
   | Decide _ -> 16
@@ -54,7 +60,7 @@ let req_cost = function
   | Callback _ -> 32
 
 let resp_cost = function
-  | R_txn _ | R_verdict _ | R_ok | R_vote _ | R_callback _ -> 16
+  | R_txn _ | R_ticket _ | R_verdict _ | R_ok | R_vote _ | R_callback _ -> 16
   | R_pages pages -> List.fold_left (fun acc p -> acc + Bytes.length p) 16 pages
   | R_page p -> 16 + Bytes.length p
   | R_seg _ -> 24
@@ -68,6 +74,10 @@ let network ?per_message_ns ?per_byte_ns () =
 (* Expose a server on the network. Callback sinks reach clients by their
    endpoint id through the same transport. *)
 let serve (net : network) (server : Server.t) =
+  (* Outstanding group-commit tickets of remote clients, keyed by the
+     wire handle returned from Commit_begin. *)
+  let tickets : (int, Bess_wal.Group_commit.ticket) Hashtbl.t = Hashtbl.create 8 in
+  let next_ticket = ref 1 in
   Net.register net ~id:(Server.id server) (fun ~src req ->
       match req with
       | Begin -> R_txn (Server.begin_txn server ~client:src)
@@ -88,6 +98,21 @@ let serve (net : network) (server : Server.t) =
           match Server.commit_client server ~txn ~updates with
           | `Committed -> R_ok
           | `Lock_violation -> R_error "lock violation")
+      | Commit_begin { txn; updates } -> (
+          match Server.commit_client_begin server ~txn ~updates with
+          | `Committed ticket ->
+              let h = !next_ticket in
+              next_ticket := h + 1;
+              Hashtbl.replace tickets h ticket;
+              R_ticket h
+          | `Lock_violation -> R_error "lock violation")
+      | Await_commit { ticket } -> (
+          match Hashtbl.find_opt tickets ticket with
+          | Some tk ->
+              Hashtbl.remove tickets ticket;
+              Server.await_commit server tk;
+              R_ok
+          | None -> R_error "unknown commit ticket")
       | Abort { txn } ->
           Server.abort_client server ~txn;
           R_ok
@@ -152,6 +177,19 @@ let fetcher (net : network) ~client_id ~server_id : Fetcher.t =
       (fun ~txn updates ->
         match call (Commit { txn; updates }) with
         | R_ok -> ()
+        | R_error e -> raise (Remote_error e)
+        | _ -> raise (Remote_error "protocol mismatch"));
+    f_commit_begin =
+      (fun ~txn updates ->
+        (* Deferred durability costs one extra small message pair (the
+           explicit ack poll); the payload crosses the wire once. *)
+        match call (Commit_begin { txn; updates }) with
+        | R_ticket h ->
+            fun () -> (
+              match call (Await_commit { ticket = h }) with
+              | R_ok -> ()
+              | R_error e -> raise (Remote_error e)
+              | _ -> raise (Remote_error "protocol mismatch"))
         | R_error e -> raise (Remote_error e)
         | _ -> raise (Remote_error "protocol mismatch"));
     f_abort = (fun ~txn -> ignore (call (Abort { txn })));

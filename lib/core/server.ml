@@ -61,10 +61,10 @@ type t = {
   stats : Bess_util.Stats.t;
 }
 
-let create ?log_path ?log ?(cache_slots = 1024) ?(detect = `Graph) ~id areas =
+let create ?log_path ?log ?group_commit ?(cache_slots = 1024) ?(detect = `Graph) ~id areas =
   {
     id;
-    store = Store.create ?log_path ?log ~cache_slots areas;
+    store = Store.create ?log_path ?log ?group_commit ~cache_slots areas;
     locks = Lock_mgr.create ();
     cb = Callback.create ();
     txns = Hashtbl.create 64;
@@ -85,6 +85,7 @@ let stats t = t.stats
 let callback_registry t = t.cb
 let id t = t.id
 let set_detection t d = t.detect <- d
+let set_group_policy t p = Store.set_group_policy t.store p
 
 (* ---- Clients ---- *)
 
@@ -197,7 +198,14 @@ let release_locks_keep_cached t ts =
     (Lock_mgr.held_resources t.locks ~txn:ts.txn_id);
   ignore (Lock_mgr.release_all t.locks ~txn:ts.txn_id)
 
-let commit_client t ~txn:txn_id ~(updates : update list) =
+(* Log the commit and release server state, but defer the durability
+   wait: the returned ticket is awaited before the client is
+   acknowledged, letting concurrent committers share one coalesced
+   force. Early lock release is safe under prefix durability: any
+   transaction that observes this one's writes commits at a higher LSN,
+   so a crash that loses this commit record loses the dependent one
+   too. *)
+let commit_client_begin t ~txn:txn_id ~(updates : update list) =
   in_request "commit" @@ fun () ->
   let ts = txn t txn_id in
   if ts.status <> Active then invalid_arg "Server.commit_client: transaction not active";
@@ -219,14 +227,23 @@ let commit_client t ~txn:txn_id ~(updates : update list) =
           Store.apply_update t.store ~txn:txn_id ~prev_lsn:ts.last_lsn u.page ~offset:u.offset
             ~before:u.before ~after:u.after)
       updates;
-    ignore (Store.log_commit t.store ~txn:txn_id ~prev_lsn:ts.last_lsn);
+    let _lsn, ticket = Store.log_commit_begin t.store ~txn:txn_id ~prev_lsn:ts.last_lsn in
     ts.status <- Ended;
     release_locks_keep_cached t ts;
     Hashtbl.remove t.txns txn_id;
     Event.fire t.hooks (Txn_commit { txn = txn_id });
     Bess_util.Stats.incr t.stats "server.commits";
-    `Committed
+    `Committed ticket
   end
+
+let await_commit t ticket = Store.await_commit t.store ticket
+
+let commit_client t ~txn ~(updates : update list) =
+  match commit_client_begin t ~txn ~updates with
+  | `Lock_violation -> `Lock_violation
+  | `Committed ticket ->
+      await_commit t ticket;
+      `Committed
 
 let abort_client t ~txn:txn_id =
   in_request "abort" @@ fun () ->

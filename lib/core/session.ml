@@ -785,7 +785,15 @@ let finish_write_set t ~keep_frames =
 
 exception Distributed_abort
 
-let commit t =
+(* Commit, returning the durability barrier. With [deferred:false] the
+   fetcher's synchronous commit runs (durable before return, barrier is a
+   no-op); with [deferred:true] the single-database path registers with
+   the server's group-commit scheduler and the *barrier* is the
+   acknowledgement point — locks are already released, which prefix
+   durability makes safe (any dependent commit sits at a higher LSN).
+   Multi-database 2PC always commits synchronously: the coordinator's
+   decision must be durable before phase 2. *)
+let commit_with t ~deferred =
   if not t.in_txn then invalid_arg "Session.commit: no transaction open";
   let per_db = updates_by_db t in
   (* Single-database fast path; multi-database commits run 2PC with the
@@ -795,9 +803,15 @@ let commit t =
       t.dbs []
   in
   let updates_for db = try Hashtbl.find per_db db with Not_found -> [] in
-  (match active with
-  | [] -> ()
-  | [ (db, b, tx) ] -> b.b_fetcher.f_commit ~txn:tx (updates_for db)
+  let barrier =
+  match active with
+  | [] -> (fun () -> ())
+  | [ (db, b, tx) ] ->
+      if deferred then b.b_fetcher.f_commit_begin ~txn:tx (updates_for db)
+      else begin
+        b.b_fetcher.f_commit ~txn:tx (updates_for db);
+        fun () -> ()
+      end
   | _ ->
       let coordinator, participants =
         match List.partition (fun (db, _, _) -> db = t.main_db) active with
@@ -816,7 +830,8 @@ let commit t =
            the decision record), then phase 2. *)
         let _, cb, ctx = coordinator in
         cb.b_fetcher.f_commit ~txn:ctx (updates_for t.main_db);
-        List.iter (fun (_, b, tx) -> b.b_fetcher.f_decide ~txn:tx `Commit) participants
+        List.iter (fun (_, b, tx) -> b.b_fetcher.f_decide ~txn:tx `Commit) participants;
+        fun () -> ()
       end
       else begin
         let _, cb, ctx = coordinator in
@@ -831,14 +846,19 @@ let commit t =
         Span.finish ~attrs:[ ("outcome", "abort") ] t.txn_span;
         t.txn_span <- Span.none;
         raise Distributed_abort
-      end);
+      end
+  in
   Hashtbl.iter (fun _ b -> b.b_txn <- None) t.dbs;
   t.in_txn <- false;
   finish_write_set t ~keep_frames:true;
   Span.finish ~attrs:[ ("outcome", "commit") ] t.txn_span;
   t.txn_span <- Span.none;
   Event.fire t.hooks (Txn_commit { txn = 0 });
-  Bess_util.Stats.incr t.stats "session.commits"
+  Bess_util.Stats.incr t.stats "session.commits";
+  barrier
+
+let commit t = (commit_with t ~deferred:false) ()
+let commit_deferred t = commit_with t ~deferred:true
 
 (* Abort: restore every dirtied frame from its before-image (re-applying
    swizzling / DP rebasing so the in-memory form stays consistent), then

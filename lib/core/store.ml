@@ -20,6 +20,7 @@ type t = {
   areas : Bess_storage.Area_set.t;
   cache : Bess_cache.Cache.t;
   log : Bess_wal.Log.t;
+  gc : Bess_wal.Group_commit.t; (* force scheduler for all commit sites *)
   page_lsn : int Page_id.Tbl.t;
   stats : Bess_util.Stats.t;
 }
@@ -30,18 +31,20 @@ let of_wal_page (p : Bess_wal.Log_record.page_id) : Page_id.t = { area = p.area;
 let get_page_lsn t page = Option.value ~default:0 (Page_id.Tbl.find_opt t.page_lsn page)
 let set_page_lsn t page lsn = Page_id.Tbl.replace t.page_lsn page lsn
 
-let create ?log_path ?log ?(cache_slots = 256) areas =
+let create ?log_path ?log ?group_commit ?(cache_slots = 256) areas =
   let page_size =
     match Bess_storage.Area_set.ids areas with
     | id :: _ -> Bess_storage.Area.page_size (Bess_storage.Area_set.find areas id)
     | [] -> 4096
   in
   let cache = Bess_cache.Cache.create ~nslots:cache_slots ~page_size in
+  let the_log = match log with Some l -> l | None -> Bess_wal.Log.create ?path:log_path () in
   let t =
     {
       areas;
       cache;
-      log = (match log with Some l -> l | None -> Bess_wal.Log.create ?path:log_path ());
+      log = the_log;
+      gc = Bess_wal.Group_commit.create ?policy:group_commit the_log;
       page_lsn = Page_id.Tbl.create 1024;
       stats =
         (let stats = Bess_util.Stats.create () in
@@ -51,9 +54,13 @@ let create ?log_path ?log ?(cache_slots = 256) areas =
   in
   ignore (Bess_cache.Clock.create cache);
   Bess_cache.Cache.set_writeback cache (fun page bytes ->
-      (* WAL rule: force the log past this page's LSN first. *)
+      (* WAL rule: force the log past this page's LSN first. A WAL-rule
+         force advances the durable horizon for waiting committers too. *)
       let lsn = get_page_lsn t page in
-      if lsn > Bess_wal.Log.flushed_lsn t.log then Bess_wal.Log.flush t.log ~lsn ();
+      if lsn > Bess_wal.Log.flushed_lsn t.log then begin
+        Bess_wal.Log.flush t.log ~lsn ();
+        Bess_wal.Group_commit.release_durable t.gc
+      end;
       Bess_storage.Area_set.write_page areas ~area_id:page.area page.page bytes);
   t
 
@@ -61,6 +68,9 @@ let cache t = t.cache
 let log t = t.log
 let areas t = t.areas
 let stats t = t.stats
+let group_commit t = t.gc
+let set_group_policy t p = Bess_wal.Group_commit.set_policy t.gc p
+let await_commit t ticket = Bess_wal.Group_commit.await t.gc ticket
 
 (* Pinned access to a page through the cache. *)
 let with_page t (page : Page_id.t) f =
@@ -96,15 +106,29 @@ let apply_update t ~txn ~prev_lsn (page : Page_id.t) ~offset ~before ~after =
   Bess_util.Stats.incr t.stats "store.updates";
   lsn
 
-let log_commit t ~txn ~prev_lsn =
+(* Append COMMIT and register its durability ticket with the group-commit
+   scheduler; the caller acknowledges the client only after awaiting the
+   ticket. END is appended immediately: its LSN is above the commit's, so
+   it can never be durable without the commit record (and recovery
+   re-appends END for winners regardless). *)
+let log_commit_begin t ~txn ~prev_lsn =
   let lsn = Bess_wal.Log.append t.log { prev_lsn; body = Commit { txn } } in
-  Bess_wal.Log.flush t.log ~lsn ();
+  let ticket = Bess_wal.Group_commit.commit_lsn t.gc ~lsn in
   ignore (Bess_wal.Log.append t.log { prev_lsn = lsn; body = End { txn } });
+  (lsn, ticket)
+
+let log_commit t ~txn ~prev_lsn =
+  let lsn, ticket = log_commit_begin t ~txn ~prev_lsn in
+  Bess_wal.Group_commit.await t.gc ticket;
   lsn
 
+(* PREPARE's vote is a synchronous acknowledgement, so the ticket is
+   awaited in place — under a grouping policy the resulting force still
+   releases every other pending committer at once. *)
 let log_prepare t ~txn ~prev_lsn ~coordinator =
   let lsn = Bess_wal.Log.append t.log { prev_lsn; body = Prepare { txn; coordinator } } in
-  Bess_wal.Log.flush t.log ~lsn ();
+  let ticket = Bess_wal.Group_commit.commit_lsn t.gc ~lsn in
+  Bess_wal.Group_commit.await t.gc ticket;
   lsn
 
 (* The abstract page interface ARIES recovery and rollback drive. During
@@ -138,11 +162,16 @@ let checkpoint t ~active =
     Bess_wal.Log.append t.log { prev_lsn = 0; body = End_checkpoint { active; dirty = !dirty } }
   in
   Bess_wal.Log.flush t.log ~lsn ();
+  (* The checkpoint force made any pending committers durable as well. *)
+  Bess_wal.Group_commit.release_durable t.gc;
   Bess_util.Stats.incr t.stats "store.checkpoints"
 
 (* Crash simulation: throw away all volatile state (cache contents, page
    LSNs) and the unforced log tail. *)
 let crash t =
+  (* Pending durability tickets die with the unforced tail: those commits
+     were never acknowledged, and recovery rolls them back. *)
+  Bess_wal.Group_commit.reset t.gc;
   Bess_wal.Log.crash t.log ();
   Bess_cache.Cache.iter_resident t.cache (fun page _ -> ignore page);
   (* Discard everything resident without writeback. *)
@@ -161,5 +190,6 @@ let recover t =
 (* Flush everything (orderly shutdown). *)
 let flush_all t =
   Bess_wal.Log.flush t.log ();
+  Bess_wal.Group_commit.release_durable t.gc;
   Bess_cache.Cache.flush_all t.cache;
   Bess_storage.Area_set.sync t.areas

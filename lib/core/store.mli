@@ -12,11 +12,25 @@ module Page_id = Bess_cache.Page_id
 type t
 
 (** [log] supplies a pre-opened (possibly recovered-from) log; [log_path]
-    otherwise names a fresh backing file. *)
+    otherwise names a fresh backing file. [group_commit] sets the force
+    scheduling policy for every commit site (default {!Bess_wal.Group_commit.Immediate}). *)
 val create :
-  ?log_path:string -> ?log:Bess_wal.Log.t -> ?cache_slots:int -> Bess_storage.Area_set.t -> t
+  ?log_path:string ->
+  ?log:Bess_wal.Log.t ->
+  ?group_commit:Bess_wal.Group_commit.policy ->
+  ?cache_slots:int ->
+  Bess_storage.Area_set.t ->
+  t
 val cache : t -> Bess_cache.Cache.t
 val log : t -> Bess_wal.Log.t
+
+(** The force scheduler all commit sites register with. *)
+val group_commit : t -> Bess_wal.Group_commit.t
+
+val set_group_policy : t -> Bess_wal.Group_commit.policy -> unit
+
+(** Block until [ticket]'s LSN is durable (the commit acknowledgement). *)
+val await_commit : t -> Bess_wal.Group_commit.ticket -> unit
 val areas : t -> Bess_storage.Area_set.t
 val stats : t -> Bess_util.Stats.t
 val get_page_lsn : t -> Page_id.t -> int
@@ -36,10 +50,17 @@ val read_segment : t -> Bess_storage.Seg_addr.t -> Bytes.t list
 val apply_update :
   t -> txn:int -> prev_lsn:int -> Page_id.t -> offset:int -> before:Bytes.t -> after:Bytes.t -> int
 
-(** Append COMMIT, force the log, append END; returns the commit LSN. *)
+(** Append COMMIT + END and register a durability ticket with the group
+    scheduler; the commit may be acknowledged only after the ticket is
+    awaited. Returns the commit LSN and the ticket. *)
+val log_commit_begin : t -> txn:int -> prev_lsn:int -> int * Bess_wal.Group_commit.ticket
+
+(** [log_commit_begin] followed by {!await_commit}: append COMMIT, make
+    it durable per the group policy, append END; returns the commit LSN. *)
 val log_commit : t -> txn:int -> prev_lsn:int -> int
 
-(** Append PREPARE and force (2PC phase 1); returns its LSN. *)
+(** Append PREPARE and make it durable via the scheduler (2PC phase 1 —
+    the vote is a synchronous acknowledgement); returns its LSN. *)
 val log_prepare : t -> txn:int -> prev_lsn:int -> coordinator:int -> int
 
 (** The abstract page interface ARIES recovery and rollback drive. *)

@@ -56,6 +56,7 @@ let kinds =
     "cache.evict"; (* eviction, including dirty writeback *)
     "wal.append"; (* one log record append *)
     "wal.force"; (* log force to durable storage *)
+    "wal.group_force"; (* one coalesced group-commit force *)
     "lock.acquire"; (* one lock-table request *)
     "lock.wait"; (* blocked-to-resolved queue time (root span) *)
   ]

@@ -45,6 +45,7 @@ type t = {
   mutable free_ranges : (int * int) list; (* (first_page, npages) returned ranges *)
   mutable handler : (t -> addr:int -> access:access -> unit) option;
   mutable in_handler : bool;
+  mutable tlb : (int * page) option; (* last resolved (page_idx, page) *)
   mutable reserved_now : int; (* pages *)
   mutable reserved_peak : int;
   mutable mapped_now : int;
@@ -72,6 +73,7 @@ let create ?(page_size = 4096) () =
     free_ranges = [];
     handler = None;
     in_handler = false;
+    tlb = None;
     reserved_now = 0;
     reserved_peak = 0;
     mapped_now = 0;
@@ -128,7 +130,10 @@ let reserve t npages =
   Bess_util.Stats.add t.stats "vmem.reserved_pages_total" npages;
   first * t.page_size
 
-(* Return a reserved range to the free pool (munmap). *)
+(* Return a reserved range to the free pool (munmap). The free list is
+   kept sorted by first page and adjacent ranges are coalesced, so
+   reserve/release cycles reuse addresses instead of fragmenting an
+   ever-growing list that [reserve] must scan. *)
 let release t addr npages =
   let first = page_index t addr in
   for i = first to first + npages - 1 do
@@ -138,7 +143,16 @@ let release t addr npages =
     t.pages.(i) <- None
   done;
   t.reserved_now <- t.reserved_now - npages;
-  t.free_ranges <- (first, npages) :: t.free_ranges;
+  t.tlb <- None;
+  let rec insert (first, npages) = function
+    | [] -> [ (first, npages) ]
+    | (f, n) :: rest ->
+        if first + npages = f then (first, npages + n) :: rest (* merge right *)
+        else if f + n = first then insert (f, n + npages) rest (* merge left *)
+        else if first + npages < f then (first, npages) :: (f, n) :: rest
+        else (f, n) :: insert (first, npages) rest
+  in
+  t.free_ranges <- insert (first, npages) t.free_ranges;
   Bess_util.Stats.incr t.stats "vmem.release_calls"
 
 let get_page t addr =
@@ -153,6 +167,7 @@ let set_prot t addr npages prot =
     | Some p -> p.prot <- prot
     | None -> invalid_arg "Vmem.set_prot: page not reserved"
   done;
+  t.tlb <- None;
   Bess_util.Stats.incr t.stats "vmem.protect_calls"
 
 let prot_at t addr =
@@ -170,6 +185,7 @@ let map t addr frame =
   | Some p ->
       if p.frame = None then t.mapped_now <- t.mapped_now + 1;
       p.frame <- Some frame;
+      t.tlb <- None;
       Bess_util.Stats.incr t.stats "vmem.map_calls"
 
 let unmap t addr =
@@ -179,6 +195,7 @@ let unmap t addr =
       if p.frame <> None then t.mapped_now <- t.mapped_now - 1;
       p.frame <- None;
       p.prot <- Prot_none;
+      t.tlb <- None;
       Bess_util.Stats.incr t.stats "vmem.unmap_calls"
 
 let frame_at t addr = match get_page t addr with Some p -> p.frame | None -> None
@@ -192,15 +209,29 @@ let allows prot access =
   | Prot_read, Write | Prot_none, _ -> false
 
 (* Resolve one page for [access], invoking the fault handler at most once.
-   Returns the backing frame. This mirrors the kernel path: check
-   protection; if violated, deliver the signal; retry the instruction;
-   a second violation is fatal. *)
+   Returns the backing frame. This mirrors the kernel path: consult the
+   (one-entry) TLB; on a miss, walk the page table and refill; if the
+   protection is violated, deliver the signal; retry the instruction; a
+   second violation is fatal. The TLB entry caches the page record, whose
+   protection is still re-checked per access (a read-resolved entry must
+   not serve a write), and every set_prot/map/unmap/release flushes it. *)
 let resolve t addr access =
   let violation reason = raise (Access_violation { addr; access; reason }) in
+  let idx = page_index t addr in
+  match t.tlb with
+  | Some (tlb_idx, p) when tlb_idx = idx && allows p.prot access && p.frame <> None ->
+      Bess_util.Stats.incr t.stats "vmem.tlb_hits";
+      Option.get p.frame
+  | _ -> (
   let check () =
     match get_page t addr with
     | None -> None
-    | Some p -> if allows p.prot access && p.frame <> None then p.frame else None
+    | Some p ->
+        if allows p.prot access && p.frame <> None then begin
+          t.tlb <- Some (idx, p);
+          p.frame
+        end
+        else None
   in
   match check () with
   | Some frame -> frame
@@ -235,7 +266,7 @@ let resolve t addr access =
           Bess_util.Stats.observe t.stats "vmem.fault_work" (syscalls () - before);
           (match check () with
           | Some frame -> frame
-          | None -> violation "fault handler did not resolve access"))
+          | None -> violation "fault handler did not resolve access")))
 
 (* Generic accessor over a byte range that may span pages. [f] is applied
    per page chunk with (frame, offset_in_frame, offset_in_range, len). *)

@@ -9,7 +9,10 @@
     Protection changes, mappings and faults are counted in {!stats} under
     [vmem.protect_calls], [vmem.map_calls], [vmem.faults.read],
     [vmem.faults.write], etc., so experiments can report the system-call
-    costs the paper discusses in section 2.2. *)
+    costs the paper discusses in section 2.2. A one-entry translation
+    cache in front of the page-table walk counts its hits under
+    [vmem.tlb_hits]; it is flushed by [set_prot]/[map]/[unmap]/[release]
+    and re-checks protection on every hit. *)
 
 type prot = Prot_none | Prot_read | Prot_read_write
 type access = Read | Write

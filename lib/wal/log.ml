@@ -149,13 +149,17 @@ let open_existing path =
     { buf; used = len; flushed = len; last_lsn = 0; backing = Some fd;
       stats = make_stats () }
   in
-  (* Find the valid prefix. *)
+  (* Find the valid prefix: walk the records with [decode], whose [next]
+     offset already delimits each one — no re-encoding, and no dependency
+     on encode/decode round-trip stability. *)
   let valid = ref 0 in
   (try
-     iter t (fun lsn r ->
-         valid := lsn - base + Bytes.length (Log_record.encode r);
-         t.last_lsn <- lsn)
-   with _ -> ());
+     while !valid < len do
+       let _, next = Log_record.decode t.buf !valid in
+       t.last_lsn <- !valid + base;
+       valid := next
+     done
+   with Log_record.Torn_record -> () (* torn tail: stop *));
   t.used <- !valid;
   t.flushed <- !valid;
   (* Torn bytes past the valid prefix must not survive on disk: a later

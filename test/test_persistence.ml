@@ -102,6 +102,56 @@ let test_modify_after_reopen () =
   Bess.Db.close db3;
   rm_rf dir
 
+(* Group commit crash safety: a crash mid-batch, with committers still
+   waiting on their tickets, must lose exactly the unacknowledged
+   commits. Acknowledged work survives recovery, unacknowledged work
+   leaves no trace (no phantom commits), and the lost tickets fail
+   loudly instead of acking. *)
+let test_group_commit_crash_mid_batch () =
+  let db = Bess.Db.create_memory ~db_id:91 () in
+  let server = Bess.Db.server db in
+  let area = Bess.Db.default_area db in
+  (* Seed pages to update, then widen the group so a whole batch can be
+     in flight when the crash hits. *)
+  let s = Bess.Db.session db in
+  Bess.Session.begin_txn s;
+  ignore (Bess.Session.create_segment s ~slotted_pages:2 ~data_pages:8 ());
+  Bess.Session.commit s;
+  Bess.Server.set_group_policy server (Bess_wal.Group_commit.Group_n 8);
+  let commit_raw ~client ~page:pg ~value =
+    let txn = Bess.Server.begin_txn server ~client in
+    let page = { Bess_cache.Page_id.area; page = pg } in
+    (match
+       Bess.Server.lock server ~txn
+         (Bess_lock.Lock_mgr.page_resource ~area ~page:pg)
+         Bess_lock.Lock_mode.X
+     with
+    | `Granted -> ()
+    | _ -> Alcotest.fail "page lock should be granted");
+    let before = Bytes.sub (Bess.Server.read_page server page) 0 8 in
+    let after = Bytes.make 8 value in
+    match
+      Bess.Server.commit_client_begin server ~txn
+        ~updates:[ { Bess.Server.page; offset = 0; before; after } ]
+    with
+    | `Committed tk -> (tk, before)
+    | `Lock_violation -> Alcotest.fail "commit rejected"
+  in
+  let tk_a, _ = commit_raw ~client:1 ~page:1 ~value:'A' in
+  Bess.Server.await_commit server tk_a (* acknowledged: stall-forces the log *);
+  let tk_b, before_b = commit_raw ~client:2 ~page:2 ~value:'B' in
+  let _tk_c, before_c = commit_raw ~client:3 ~page:3 ~value:'C' in
+  Bess.Server.crash server;
+  ignore (Bess.Server.recover server);
+  let read pg =
+    Bytes.sub (Bess.Server.read_page server { Bess_cache.Page_id.area; page = pg }) 0 8
+  in
+  Alcotest.(check bytes) "acknowledged commit survives" (Bytes.make 8 'A') (read 1);
+  Alcotest.(check bytes) "unacknowledged commit gone" before_b (read 2);
+  Alcotest.(check bytes) "unacknowledged commit gone" before_c (read 3);
+  Alcotest.check_raises "lost ticket never acks" Bess_wal.Group_commit.Lost_ticket (fun () ->
+      Bess.Server.await_commit server tk_b)
+
 let test_wal_file_backed_recovery () =
   (* A WAL on a real file: force, crash (drop the in-memory tail), then
      drive recovery from the re-opened log. *)
@@ -172,4 +222,5 @@ let suite =
     Alcotest.test_case "unclean_shutdown_recovery" `Quick test_unclean_shutdown_recovery;
     Alcotest.test_case "modify_after_reopen" `Quick test_modify_after_reopen;
     Alcotest.test_case "wal_file_recovery" `Quick test_wal_file_backed_recovery;
+    Alcotest.test_case "group_commit_crash_mid_batch" `Quick test_group_commit_crash_mid_batch;
   ]

@@ -222,9 +222,59 @@ let test_deadlock_detection_between_sessions () =
   (* After the victim aborts, t1 can proceed. *)
   Alcotest.(check bool) "t1 proceeds" true (Bess.Server.lock server ~txn:t1 r2 Lock_mode.X = `Granted)
 
+(* Regression guard on the group-commit force counter: the e11 bench
+   shape (concurrent committers, acks collected per round) at [Group_n
+   16] must keep amortising forces. If a code change sneaks a
+   per-commit force back into the path, forces/txn snaps back towards 1
+   and this trips. *)
+let test_group_commit_force_regression () =
+  let db = fresh_db () in
+  let server = Bess.Db.server db in
+  let area = Bess.Db.default_area db in
+  let s = Bess.Db.session db in
+  Bess.Session.begin_txn s;
+  ignore (Bess.Session.create_segment s ~slotted_pages:2 ~data_pages:24 ());
+  Bess.Session.commit s;
+  Bess.Server.set_group_policy server (Bess_wal.Group_commit.Group_n 16);
+  let wal = Bess_wal.Log.stats (Bess.Store.log (Bess.Server.store server)) in
+  let forces0 = Bess_util.Stats.get wal "log.forces" in
+  let committed = ref 0 in
+  for round = 1 to 10 do
+    let tickets =
+      List.init 16 (fun c ->
+          let txn = Bess.Server.begin_txn server ~client:(100 + c) in
+          let page = { Page_id.area; page = 1 + c } in
+          (match
+             Bess.Server.lock server ~txn (Lock_mgr.page_resource ~area ~page:page.page)
+               Lock_mode.X
+           with
+          | `Granted -> ()
+          | _ -> Alcotest.fail "private page lock should be granted");
+          let before = Bytes.sub (Bess.Server.read_page server page) 0 8 in
+          let after = Bytes.create 8 in
+          Bytes.set_int64_le after 0 (Int64.of_int ((round * 100) + c));
+          match
+            Bess.Server.commit_client_begin server ~txn
+              ~updates:[ { Bess.Server.page; offset = 0; before; after } ]
+          with
+          | `Committed tk ->
+              incr committed;
+              tk
+          | `Lock_violation -> Alcotest.fail "commit rejected")
+    in
+    List.iter (Bess.Server.await_commit server) tickets
+  done;
+  let forces = Bess_util.Stats.get wal "log.forces" - forces0 in
+  Alcotest.(check int) "committed all" 160 !committed;
+  Alcotest.(check bool)
+    (Printf.sprintf "forces (%d) <= committed/8 (%d)" forces (!committed / 8))
+    true
+    (forces <= !committed / 8)
+
 let suite =
   [
     Alcotest.test_case "callback_invalidation" `Quick test_callback_invalidation;
+    Alcotest.test_case "group_commit_force_regression" `Quick test_group_commit_force_regression;
     Alcotest.test_case "intertxn_caching" `Quick test_intertxn_caching_saves_fetches;
     Alcotest.test_case "commit_requires_locks" `Quick test_commit_requires_locks;
     Alcotest.test_case "inplace_commit_rollback" `Quick test_inplace_txn_commit_and_rollback;

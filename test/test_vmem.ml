@@ -95,9 +95,61 @@ let prop_rw_roundtrip =
       Vmem.write_bytes vm (addr + off) data;
       Bytes.equal (Vmem.read_bytes vm (addr + off) (Bytes.length data)) data)
 
+(* Released neighbours must merge back into one range, so a later larger
+   reservation reuses the address space instead of bumping the frontier. *)
+let test_release_coalesces_reuse () =
+  let vm = Vmem.create ~page_size:256 () in
+  let a = Vmem.reserve vm 2 in
+  let b = Vmem.reserve vm 2 in
+  let c = Vmem.reserve vm 2 in
+  Alcotest.(check int) "b follows a" (a + (2 * 256)) b;
+  Alcotest.(check int) "c follows b" (b + (2 * 256)) c;
+  (* Out-of-order releases: the middle one bridges its neighbours. *)
+  Vmem.release vm a 2;
+  Vmem.release vm c 2;
+  Vmem.release vm b 2;
+  let d = Vmem.reserve vm 6 in
+  Alcotest.(check int) "coalesced range satisfies a larger reserve" a d;
+  Alcotest.(check int) "no frontier growth" (6 * 256) (Vmem.reserved_peak_bytes vm)
+
+let test_tlb_hits_and_invalidation () =
+  let vm = Vmem.create ~page_size:256 () in
+  let addr = Vmem.reserve vm 2 in
+  Vmem.map vm addr (Bytes.make 256 '\000');
+  Vmem.map vm (addr + 256) (Bytes.make 256 '\000');
+  Vmem.set_prot vm addr 2 Prot_read_write;
+  let hits () = Bess_util.Stats.get (Vmem.stats vm) "vmem.tlb_hits" in
+  Vmem.write_u8 vm addr 1 (* miss: fills the cache *);
+  let h0 = hits () in
+  ignore (Vmem.read_u8 vm addr);
+  ignore (Vmem.read_u8 vm (addr + 5));
+  Alcotest.(check int) "same-page accesses hit" (h0 + 2) (hits ());
+  ignore (Vmem.read_u8 vm (addr + 256));
+  Alcotest.(check int) "other-page access misses" (h0 + 2) (hits ());
+  (* Correctness over speed: a cached translation must not outlive a
+     protection downgrade, an unmap, or a release. *)
+  ignore (Vmem.read_u8 vm addr) (* re-cache page 0 as readable+writable *);
+  Vmem.set_prot vm addr 1 Prot_read;
+  let trapped = try Vmem.write_u8 vm addr 9; false with Vmem.Access_violation _ -> true in
+  Alcotest.(check bool) "write after downgrade faults" true trapped;
+  Vmem.set_prot vm addr 1 Prot_read_write;
+  Vmem.write_u8 vm addr 3 (* re-cache *);
+  Vmem.unmap vm addr;
+  let trapped = try ignore (Vmem.read_u8 vm addr); false with Vmem.Access_violation _ -> true in
+  Alcotest.(check bool) "read after unmap faults" true trapped;
+  let e = Vmem.reserve vm 1 in
+  Vmem.map vm e (Bytes.make 256 '\000');
+  Vmem.set_prot vm e 1 Prot_read_write;
+  Vmem.write_u8 vm e 1 (* cached *);
+  Vmem.release vm e 1;
+  let trapped = try ignore (Vmem.read_u8 vm e); false with Vmem.Access_violation _ -> true in
+  Alcotest.(check bool) "access after release faults" true trapped
+
 let suite =
   [
     Alcotest.test_case "reserve_release_reuse" `Quick test_reserve_release_reuse;
+    Alcotest.test_case "release_coalesces_reuse" `Quick test_release_coalesces_reuse;
+    Alcotest.test_case "tlb_hits_and_invalidation" `Quick test_tlb_hits_and_invalidation;
     Alcotest.test_case "null_page_traps" `Quick test_null_page_traps;
     Alcotest.test_case "protection_and_fault_handler" `Quick test_protection_and_fault_handler;
     Alcotest.test_case "unresolved_fault_raises" `Quick test_unresolved_fault_raises;

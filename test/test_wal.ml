@@ -4,6 +4,7 @@
 module Log = Bess_wal.Log
 module Log_record = Bess_wal.Log_record
 module Recovery = Bess_wal.Recovery
+module Gc = Bess_wal.Group_commit
 
 let page a p : Log_record.page_id = { area = a; page = p }
 
@@ -239,6 +240,134 @@ let test_reopen_truncates_file () =
   Log.close log2;
   Sys.remove path
 
+(* Regression for the open_existing prefix scan: it must walk the file
+   with the decoder's [next] offsets, not by re-encoding records. A log
+   holding several records of different kinds and variable lengths must
+   reopen intact, and appends after reopen must land exactly at the old
+   tail. *)
+let test_reopen_multi_record () =
+  let path = Filename.temp_file "bess_wal_multi" ".log" in
+  let log = Log.create ~path () in
+  let bodies : Log_record.body list =
+    [
+      Update { txn = 1; page = page 0 2; offset = 4; before = Bytes.of_string "ab";
+               after = Bytes.of_string "cd" };
+      Commit { txn = 1 };
+      End { txn = 1 };
+      Update { txn = 2; page = page 1 3; offset = 0; before = Bytes.create 0;
+               after = Bytes.make 100 'x' };
+      Prepare { txn = 2; coordinator = 7 };
+      Begin_checkpoint;
+      End_checkpoint { active = [ (2, 9) ]; dirty = [ (page 1 3, 4) ] };
+    ]
+  in
+  List.iter (fun body -> ignore (Log.append log { prev_lsn = 0; body })) bodies;
+  Log.flush log ();
+  let last = Log.last_lsn log in
+  Log.close log;
+  let log1 = Log.open_existing path in
+  let seen = List.rev (Log.fold log1 (fun acc _ r -> r.Log_record.body :: acc) []) in
+  Alcotest.(check int) "all records survive reopen" (List.length bodies) (List.length seen);
+  List.iter2 (fun b b' -> Alcotest.(check bool) "record intact" true (b = b')) bodies seen;
+  Alcotest.(check int) "last_lsn recomputed" last (Log.last_lsn log1);
+  let l = Log.append log1 { prev_lsn = 0; body = Commit { txn = 3 } } in
+  Alcotest.(check bool) "append lands after old tail" true (l > last);
+  Log.flush log1 ();
+  Log.close log1;
+  let log2 = Log.open_existing path in
+  Alcotest.(check int) "post-reopen append survives a second restart"
+    (List.length bodies + 1)
+    (Log.fold log2 (fun n _ _ -> n + 1) 0);
+  Log.close log2;
+  Sys.remove path
+
+(* ---- Group commit -------------------------------------------------------- *)
+
+let forces log = Bess_util.Stats.get (Log.stats log) "log.forces"
+
+let commit_ticket gc log txn =
+  let lsn = Log.append log { prev_lsn = 0; body = Commit { txn } } in
+  Gc.commit_lsn gc ~lsn
+
+let test_group_commit_policy_parse () =
+  let ok s p =
+    match Gc.policy_of_string s with
+    | Ok p' -> Alcotest.(check string) s (Gc.policy_to_string p) (Gc.policy_to_string p')
+    | Error e -> Alcotest.failf "%S rejected: %s" s e
+  in
+  ok "immediate" Gc.Immediate;
+  ok "group:8" (Gc.Group_n 8);
+  ok "16" (Gc.Group_n 16);
+  ok "group:1" Gc.Immediate;
+  ok "window:500" (Gc.Window 500);
+  (match Gc.policy_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage policy accepted")
+
+let test_group_commit_batches () =
+  let log = Log.create () in
+  let gc = Gc.create ~policy:(Gc.Group_n 4) log in
+  let tks = List.map (commit_ticket gc log) [ 1; 2; 3 ] in
+  Alcotest.(check int) "no force below the group size" 0 (forces log);
+  Alcotest.(check int) "three pending" 3 (Gc.pending gc);
+  List.iter (fun tk -> Alcotest.(check bool) "unreleased" false (Gc.is_released tk)) tks;
+  let tk4 = commit_ticket gc log 4 in
+  Alcotest.(check int) "fourth committer triggers one force" 1 (forces log);
+  Alcotest.(check int) "group drained" 0 (Gc.pending gc);
+  List.iter (fun tk -> Alcotest.(check bool) "released" true (Gc.is_released tk)) (tk4 :: tks);
+  Alcotest.(check bool) "durable horizon covers the batch" true
+    (Log.flushed_lsn log >= Log.last_lsn log);
+  let h = Bess_util.Stats.histogram (Log.stats log) "wal.group.commits_per_force" in
+  Alcotest.(check int) "one force sample" 1 (Bess_util.Histogram.count h);
+  Alcotest.(check int) "four commits in it" 4 (Bess_util.Histogram.sum h)
+
+let test_group_commit_window () =
+  let log = Log.create () in
+  let gc = Gc.create ~policy:(Gc.Window 1_000) log in
+  let tk1 = commit_ticket gc log 1 in
+  Alcotest.(check int) "window open: no force" 0 (forces log);
+  Bess_obs.Span.advance_ns 1_500;
+  let tk2 = commit_ticket gc log 2 in
+  Alcotest.(check int) "expired window forces" 1 (forces log);
+  Alcotest.(check bool) "both released" true (Gc.is_released tk1 && Gc.is_released tk2)
+
+let test_group_commit_await_stall_force () =
+  let log = Log.create () in
+  let gc = Gc.create ~policy:(Gc.Group_n 16) log in
+  let tk1 = commit_ticket gc log 1 in
+  let tk2 = commit_ticket gc log 2 in
+  Alcotest.(check int) "under the group size: no force yet" 0 (forces log);
+  (* A waiter that cannot wait for more committers forces the group
+     itself: the ack never precedes durability. *)
+  Gc.await gc tk1;
+  Alcotest.(check int) "stall force" 1 (forces log);
+  Alcotest.(check bool) "whole group released" true (Gc.is_released tk2);
+  Gc.await gc tk2;
+  Alcotest.(check int) "no second force" 1 (forces log)
+
+let test_group_commit_out_of_band_flush () =
+  let log = Log.create () in
+  let gc = Gc.create ~policy:(Gc.Group_n 8) log in
+  let tk = commit_ticket gc log 1 in
+  (* A checkpoint-style direct flush makes the LSN durable behind the
+     scheduler's back; release_durable must notice without forcing. *)
+  Log.flush log ();
+  let before = forces log in
+  Gc.release_durable gc;
+  Alcotest.(check bool) "released by the durable horizon" true (Gc.is_released tk);
+  Alcotest.(check int) "no extra force" before (forces log);
+  Gc.await gc tk (* must be a no-op *)
+
+let test_group_commit_lost_ticket () =
+  let log = Log.create () in
+  let gc = Gc.create ~policy:(Gc.Group_n 8) log in
+  let tk = commit_ticket gc log 1 in
+  (* Crash before the group forced: the tail is gone, the commit was
+     never acknowledged, and awaiting it must fail loudly. *)
+  Gc.reset gc;
+  Log.crash log ();
+  Alcotest.check_raises "await after crash" Gc.Lost_ticket (fun () -> Gc.await gc tk)
+
 let prop_codec_fuzz =
   QCheck.Test.make ~name:"update record roundtrip" ~count:200
     QCheck.(quad small_nat small_nat small_string small_string)
@@ -266,5 +395,12 @@ let suite =
     Alcotest.test_case "rollback_in_place" `Quick test_rollback_in_place;
     Alcotest.test_case "file_backed_reopen" `Quick test_file_backed_log_reopen;
     Alcotest.test_case "reopen_truncates_file" `Quick test_reopen_truncates_file;
+    Alcotest.test_case "reopen_multi_record" `Quick test_reopen_multi_record;
+    Alcotest.test_case "group_commit_policy_parse" `Quick test_group_commit_policy_parse;
+    Alcotest.test_case "group_commit_batches" `Quick test_group_commit_batches;
+    Alcotest.test_case "group_commit_window" `Quick test_group_commit_window;
+    Alcotest.test_case "group_commit_await_stall" `Quick test_group_commit_await_stall_force;
+    Alcotest.test_case "group_commit_oob_flush" `Quick test_group_commit_out_of_band_flush;
+    Alcotest.test_case "group_commit_lost_ticket" `Quick test_group_commit_lost_ticket;
     QCheck_alcotest.to_alcotest prop_codec_fuzz;
   ]
