@@ -285,10 +285,147 @@ let compact_cmd =
   in
   Cmd.v (Cmd.info "compact" ~doc:"Compact every data segment on the fly") Term.(const run $ dir_arg)
 
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let module Fault = Bess_fault.Fault in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Master fault seed: the same seed replays the exact same fault schedule")
+  in
+  let profile_arg =
+    Arg.(value & opt string "chaos"
+         & info [ "fault-profile" ] ~docv:"PROFILE"
+             ~doc:
+               "Named fault profile ($(b,off), $(b,flaky-net), $(b,flaky-disk), $(b,chaos)) \
+                or an explicit $(i,site=policy) list, e.g. \
+                $(b,net.drop_reply=prob:0.05,wal.force.torn=every:7)")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent remote clients")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 8 & info [ "rounds" ] ~doc:"Commit rounds per client")
+  in
+  let run dir seed profile n_clients rounds =
+    match Fault.profile_of_string profile with
+    | Error e ->
+        Printf.eprintf "bad --fault-profile %S: %s\n" profile e;
+        exit 2
+    | Ok sites ->
+        with_db dir (fun db ->
+            let server = Bess.Db.server db in
+            Bess.Server.set_group_policy server (Bess_wal.Group_commit.Group_n 2);
+            (* A scratch segment so the torture never touches user data. *)
+            let s = Bess.Db.session db in
+            Bess.Session.begin_txn s;
+            let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:1 () in
+            Bess.Session.commit s;
+            Bess.Session.drop_all_cached s;
+            let page =
+              { Bess_cache.Page_id.area = seg.Bess.Session.data_disk.Bess_storage.Seg_addr.area;
+                page = seg.Bess.Session.data_disk.Bess_storage.Seg_addr.first_page }
+            in
+            let net = Bess.Remote.network () in
+            Bess.Remote.serve net server;
+            let fetchers =
+              Array.init n_clients (fun i ->
+                  Bess.Remote.fetcher net ~client_id:(4000 + i) ~server_id:(Bess.Db.db_id db))
+            in
+            Fun.protect ~finally:Fault.reset @@ fun () ->
+            Fault.seed seed;
+            Fault.apply_profile sites;
+            let acked = Array.make n_clients 0 in
+            let maybes = Array.make n_clients [] in
+            let acked_n = ref 0 and maybe_n = ref 0 in
+            for round = 1 to rounds do
+              for i = 0 to n_clients - 1 do
+                let f = fetchers.(i) in
+                let v = (seed * 1000) + (i * 100) + round in
+                match f.Bess.Fetcher.f_begin () with
+                | exception _ -> ()
+                | txn -> (
+                    match
+                      let bytes =
+                        f.Bess.Fetcher.f_fetch_page ~txn page ~mode:Bess_lock.Lock_mode.X
+                      in
+                      let after = Bytes.create 8 in
+                      Bess_util.Codec.set_i64 after 0 v;
+                      ({ Bess.Server.page; offset = i * 8;
+                         before = Bytes.sub bytes (i * 8) 8; after }
+                        : Bess.Server.update)
+                    with
+                    | exception _ -> ( try f.Bess.Fetcher.f_abort ~txn with _ -> ())
+                    | u -> (
+                        match f.Bess.Fetcher.f_commit_begin ~txn [ u ] with
+                        | barrier -> (
+                            match barrier () with
+                            | () ->
+                                incr acked_n;
+                                acked.(i) <- v;
+                                maybes.(i) <- []
+                            | exception _ ->
+                                incr maybe_n;
+                                maybes.(i) <- v :: maybes.(i))
+                        | exception _ ->
+                            incr maybe_n;
+                            maybes.(i) <- v :: maybes.(i);
+                            (try f.Bess.Fetcher.f_abort ~txn with _ -> ())))
+              done
+            done;
+            let leaked = Bess_lock.Lock_mgr.n_locks (Bess.Server.locks server) in
+            Printf.printf "chaos: profile %S, seed %d, %d clients x %d rounds\n" profile seed
+              n_clients rounds;
+            Printf.printf "  acked %d, indeterminate %d, client retries %d, dup replays %d\n"
+              !acked_n !maybe_n
+              (Bess_util.Stats.get (Bess_net.Net.stats net) "net.client_retries")
+              (Bess_util.Stats.get (Bess.Server.stats server) "server.dup_replays");
+            Printf.printf "fault counters:\n";
+            List.iter
+              (fun (name, v) -> Printf.printf "  %-32s %d\n" name v)
+              (Bess_util.Stats.to_list (Fault.stats ()));
+            List.iter
+              (fun (site, _) ->
+                match Fault.schedule site with
+                | [] -> ()
+                | ords ->
+                    Printf.printf "  schedule %-23s %s\n" site
+                      (String.concat "+" (List.map string_of_int ords)))
+              (Fault.configured ());
+            (* Disarm, then the recovery drill: every acked value must
+               survive the crash. *)
+            Fault.reset ();
+            Bess.Server.crash server;
+            ignore (Bess.Server.recover server);
+            let bytes = Bess.Server.read_page server page in
+            let violations = ref 0 in
+            for i = 0 to n_clients - 1 do
+              let v = Bess_util.Codec.get_i64 bytes (i * 8) in
+              if not (List.mem v (acked.(i) :: maybes.(i))) then begin
+                incr violations;
+                Printf.printf "  VIOLATION: slot %d recovered %d, last ack %d\n" i v acked.(i)
+              end
+            done;
+            if !violations = 0 && leaked = 0 then
+              Printf.printf "verdict: OK -- all acked commits survived recovery, no locks leaked\n"
+            else begin
+              Printf.printf "verdict: FAILED (%d violations, %d leaked locks)\n" !violations
+                leaked;
+              exit 1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay a deterministic fault profile against a multi-client commit workload, then \
+          crash, recover and verify every acked commit survived")
+    Term.(const run $ dir_arg $ seed_arg $ profile_arg $ clients_arg $ rounds_arg)
+
 let () =
   let doc = "administer BeSS storage-manager databases" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bessctl" ~doc)
           [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd; stats_cmd;
-            trace_cmd ]))
+            trace_cmd; chaos_cmd ]))

@@ -22,6 +22,11 @@ module Lock_mode = Bess_lock.Lock_mode
 exception Would_block
 exception Deadlock_abort
 
+(* A lock wait expired under timeout detection: suspicion of deadlock,
+   not proof. The transaction must still abort (its locks are gone),
+   but the *work* is worth retrying — unlike [Deadlock_abort]. *)
+exception Lock_timeout
+
 type t = {
   client_id : int;
   f_begin : unit -> int;
@@ -44,6 +49,7 @@ let verdict_or_raise = function
   | `Granted -> ()
   | `Blocked -> raise Would_block
   | `Deadlock -> raise Deadlock_abort
+  | `Timeout -> raise Lock_timeout
 
 (* Direct, same-machine embedding. Each operation still opens a
    client.request span — the co-located analogue of the net.rpc span a
@@ -63,7 +69,8 @@ let direct ~client_id (server : Server.t) : t =
         match Server.fetch_segment server ~txn seg ~mode with
         | `Pages pages -> pages
         | `Blocked -> raise Would_block
-        | `Deadlock -> raise Deadlock_abort);
+        | `Deadlock -> raise Deadlock_abort
+        | `Timeout -> raise Lock_timeout);
     f_fetch_page =
       (fun ~txn page ~mode ->
         span "fetch_page" @@ fun () ->

@@ -19,6 +19,11 @@ module Lock_mode = Bess_lock.Lock_mode
 exception Would_block
 exception Deadlock_abort
 
+(** A lock wait expired under timeout detection: suspected deadlock
+    only. The transaction aborts, but retrying it is reasonable —
+    retrying after {!Deadlock_abort} (a proven cycle) is not. *)
+exception Lock_timeout
+
 type t = {
   client_id : int;
   f_begin : unit -> int;  (** open a transaction at the server; returns its id *)
@@ -40,7 +45,7 @@ type t = {
       (** install the handler for server-initiated callbacks *)
 }
 
-val verdict_or_raise : [ `Granted | `Blocked | `Deadlock ] -> unit
+val verdict_or_raise : [ `Granted | `Blocked | `Deadlock | `Timeout ] -> unit
 
 (** Direct same-machine embedding (node 2 of Figure 2). *)
 val direct : client_id:int -> Server.t -> t

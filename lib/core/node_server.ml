@@ -145,6 +145,7 @@ let lock_page t page mode =
   | `Granted -> ()
   | `Blocked -> raise Fetcher.Would_block
   | `Deadlock -> raise Fetcher.Deadlock_abort
+  | `Timeout -> raise Fetcher.Lock_timeout
 
 (* Bring a page into the shared cache (fetching from the owning server on
    a miss), returning its slot. The two-level clock chooses victims. *)

@@ -13,26 +13,33 @@ module Lock_mgr = Bess_lock.Lock_mgr
 module Lock_mode = Bess_lock.Lock_mode
 module Net = Bess_net.Net
 
+(* Mutating requests carry a per-client request id ([rid]) so the server
+   can deduplicate deliveries: with injected drops a client retries
+   blindly, and only the (src, rid) key tells a lost *request* (handler
+   never ran — execute it) from a lost *reply* (it ran — replay the
+   remembered answer). Reads (Lock and the fetches) are naturally
+   idempotent under strict 2PL regrants and go un-keyed; [rid = 0]
+   means "no id". *)
 type req =
-  | Begin
+  | Begin of { rid : int }
   | Lock of { txn : int; r : Lock_mgr.resource; mode : Lock_mode.t }
   | Fetch_segment of { txn : int; seg : Bess_storage.Seg_addr.t; mode : Lock_mode.t }
   | Fetch_page of { txn : int; page : Page_id.t; mode : Lock_mode.t }
-  | Commit of { txn : int; updates : Server.update list }
-  | Commit_begin of { txn : int; updates : Server.update list }
+  | Commit of { rid : int; txn : int; updates : Server.update list }
+  | Commit_begin of { rid : int; txn : int; updates : Server.update list }
       (* group-commit: log + release, ack deferred to Await_commit *)
-  | Await_commit of { ticket : int }
-  | Abort of { txn : int }
-  | Prepare of { txn : int; coordinator : int; updates : Server.update list }
-  | Decide of { txn : int; commit : bool }
-  | Alloc of { area : int; npages : int }
-  | Free of { seg : Bess_storage.Seg_addr.t }
+  | Await_commit of { rid : int; ticket : int }
+  | Abort of { rid : int; txn : int }
+  | Prepare of { rid : int; txn : int; coordinator : int; updates : Server.update list }
+  | Decide of { rid : int; txn : int; commit : bool }
+  | Alloc of { rid : int; area : int; npages : int }
+  | Free of { rid : int; seg : Bess_storage.Seg_addr.t }
   | Callback of { r : Lock_mgr.resource; mode : Lock_mode.t } (* server -> client *)
 
 type resp =
   | R_txn of int
   | R_ticket of int (* server-side durability ticket handle *)
-  | R_verdict of [ `Granted | `Blocked | `Deadlock ]
+  | R_verdict of [ `Granted | `Blocked | `Deadlock | `Timeout ]
   | R_pages of Bytes.t list
   | R_page of Bytes.t
   | R_ok
@@ -44,8 +51,10 @@ type resp =
 let update_bytes (us : Server.update list) =
   List.fold_left (fun acc (u : Server.update) -> acc + (2 * Bytes.length u.after) + 16) 0 us
 
+(* The rid rides in the 16-byte header allowance every message already
+   pays, so arming the fault plane changes no payload accounting. *)
 let req_cost = function
-  | Begin -> 16
+  | Begin _ -> 16
   | Lock _ -> 32
   | Fetch_segment _ -> 32
   | Fetch_page _ -> 24
@@ -71,6 +80,10 @@ type network = (req, resp) Net.t
 let network ?per_message_ns ?per_byte_ns () =
   Net.create ?per_message_ns ?per_byte_ns ~req_cost ~resp_cost ()
 
+(* How many (src, rid) -> resp answers the server remembers for replay;
+   old entries age out FIFO. Far beyond any plausible retry window. *)
+let dedup_window = 4096
+
 (* Expose a server on the network. Callback sinks reach clients by their
    endpoint id through the same transport. *)
 let serve (net : network) (server : Server.t) =
@@ -78,76 +91,159 @@ let serve (net : network) (server : Server.t) =
      wire handle returned from Commit_begin. *)
   let tickets : (int, Bess_wal.Group_commit.ticket) Hashtbl.t = Hashtbl.create 8 in
   let next_ticket = ref 1 in
+  (* Exactly-once execution of mutating requests: remember each keyed
+     request's answer and replay it on redelivery. A handler that raises
+     remembers nothing, so a retry after a dropped *request* (or a
+     failed execution) runs it for real. *)
+  let completed : (int * int, resp) Hashtbl.t = Hashtbl.create 64 in
+  let order : (int * int) Queue.t = Queue.create () in
+  let dedup ~src ~rid f =
+    if rid = 0 then f ()
+    else
+      match Hashtbl.find_opt completed (src, rid) with
+      | Some resp ->
+          Bess_util.Stats.incr (Server.stats server) "server.dup_replays";
+          resp
+      | None ->
+          let resp = f () in
+          Hashtbl.replace completed (src, rid) resp;
+          Queue.push (src, rid) order;
+          if Queue.length order > dedup_window then
+            Hashtbl.remove completed (Queue.pop order);
+          resp
+  in
+  let dispatch ~src req =
+    match req with
+    | Begin { rid } -> dedup ~src ~rid (fun () -> R_txn (Server.begin_txn server ~client:src))
+    | Lock { txn; r; mode } -> R_verdict (Server.lock server ~txn r mode)
+    | Fetch_segment { txn; seg; mode } -> (
+        match Server.fetch_segment server ~txn seg ~mode with
+        | `Pages pages -> R_pages pages
+        | (`Blocked | `Deadlock | `Timeout) as v -> R_verdict v)
+    | Fetch_page { txn; page; mode } -> (
+        match
+          Server.lock server ~txn (Lock_mgr.page_resource ~area:page.area ~page:page.page) mode
+        with
+        | `Granted -> R_page (Server.read_page server page)
+        | (`Blocked | `Deadlock | `Timeout) as v -> R_verdict v)
+    | Commit { rid; txn; updates } ->
+        dedup ~src ~rid (fun () ->
+            match Server.commit_client server ~txn ~updates with
+            | `Committed -> R_ok
+            | `Lock_violation -> R_error "lock violation")
+    | Commit_begin { rid; txn; updates } ->
+        (* The dedup key is what makes a duplicated Commit_begin yield
+           ONE durability ticket: the replayed answer carries the same
+           wire handle, so the group-commit scheduler sees one commit. *)
+        dedup ~src ~rid (fun () ->
+            match Server.commit_client_begin server ~txn ~updates with
+            | `Committed ticket ->
+                let h = !next_ticket in
+                next_ticket := h + 1;
+                Hashtbl.replace tickets h ticket;
+                R_ticket h
+            | `Lock_violation -> R_error "lock violation")
+    | Await_commit { rid; ticket } ->
+        dedup ~src ~rid (fun () ->
+            match Hashtbl.find_opt tickets ticket with
+            | Some tk ->
+                Server.await_commit server tk;
+                (* Drop the handle only once the wait succeeded: a retry
+                   after a failed await must still find its ticket. *)
+                Hashtbl.remove tickets ticket;
+                R_ok
+            | None -> R_error "unknown commit ticket")
+    | Abort { rid; txn } ->
+        dedup ~src ~rid (fun () ->
+            Server.abort_client server ~txn;
+            R_ok)
+    | Prepare { rid; txn; coordinator; updates } ->
+        dedup ~src ~rid (fun () ->
+            match Server.prepare server ~txn ~coordinator ~updates with
+            | `Vote_yes -> R_vote true
+            | `Vote_no -> R_vote false)
+    | Decide { rid; txn; commit } ->
+        dedup ~src ~rid (fun () ->
+            if commit then Server.commit_prepared server ~txn
+            else Server.abort_prepared server ~txn;
+            R_ok)
+    | Alloc { rid; area; npages } ->
+        dedup ~src ~rid (fun () ->
+            let areas = Store.areas (Server.store server) in
+            match Bess_storage.Area_set.alloc_in areas ~area_id:area ~npages with
+            | Some addr ->
+                let a = Bess_storage.Area_set.find areas area in
+                let zeros = Bytes.make (Bess_storage.Area.page_size a) '\000' in
+                for i = 0 to npages - 1 do
+                  Bess_storage.Area.write_page a (addr.first_page + i) zeros
+                done;
+                R_seg addr
+            | None -> R_error "out of space")
+    | Free { rid; seg } ->
+        dedup ~src ~rid (fun () ->
+            Bess_storage.Area_set.free (Store.areas (Server.store server)) seg;
+            R_ok)
+    | Callback _ -> R_error "servers do not accept callbacks"
+  in
   Net.register net ~id:(Server.id server) (fun ~src req ->
-      match req with
-      | Begin -> R_txn (Server.begin_txn server ~client:src)
-      | Lock { txn; r; mode } -> R_verdict (Server.lock server ~txn r mode)
-      | Fetch_segment { txn; seg; mode } -> (
-          match Server.fetch_segment server ~txn seg ~mode with
-          | `Pages pages -> R_pages pages
-          | `Blocked -> R_verdict `Blocked
-          | `Deadlock -> R_verdict `Deadlock)
-      | Fetch_page { txn; page; mode } -> (
-          match
-            Server.lock server ~txn (Lock_mgr.page_resource ~area:page.area ~page:page.page) mode
-          with
-          | `Granted -> R_page (Server.read_page server page)
-          | `Blocked -> R_verdict `Blocked
-          | `Deadlock -> R_verdict `Deadlock)
-      | Commit { txn; updates } -> (
-          match Server.commit_client server ~txn ~updates with
-          | `Committed -> R_ok
-          | `Lock_violation -> R_error "lock violation")
-      | Commit_begin { txn; updates } -> (
-          match Server.commit_client_begin server ~txn ~updates with
-          | `Committed ticket ->
-              let h = !next_ticket in
-              next_ticket := h + 1;
-              Hashtbl.replace tickets h ticket;
-              R_ticket h
-          | `Lock_violation -> R_error "lock violation")
-      | Await_commit { ticket } -> (
-          match Hashtbl.find_opt tickets ticket with
-          | Some tk ->
-              Hashtbl.remove tickets ticket;
-              Server.await_commit server tk;
-              R_ok
-          | None -> R_error "unknown commit ticket")
-      | Abort { txn } ->
-          Server.abort_client server ~txn;
-          R_ok
-      | Prepare { txn; coordinator; updates } -> (
-          match Server.prepare server ~txn ~coordinator ~updates with
-          | `Vote_yes -> R_vote true
-          | `Vote_no -> R_vote false)
-      | Decide { txn; commit } ->
-          if commit then Server.commit_prepared server ~txn
-          else Server.abort_prepared server ~txn;
-          R_ok
-      | Alloc { area; npages } -> (
-          let areas = Store.areas (Server.store server) in
-          match Bess_storage.Area_set.alloc_in areas ~area_id:area ~npages with
-          | Some addr ->
-              let a = Bess_storage.Area_set.find areas area in
-              let zeros = Bytes.make (Bess_storage.Area.page_size a) '\000' in
-              for i = 0 to npages - 1 do
-                Bess_storage.Area.write_page a (addr.first_page + i) zeros
-              done;
-              R_seg addr
-          | None -> R_error "out of space")
-      | Free { seg } ->
-          Bess_storage.Area_set.free (Store.areas (Server.store server)) seg;
-          R_ok
-      | Callback _ -> R_error "servers do not accept callbacks")
+      (* Injected storage failures surface as typed protocol errors at
+         the trust boundary instead of unwinding through the transport:
+         the client sees a failed request it may retry, never a foreign
+         exception. *)
+      try dispatch ~src req
+      with Bess_fault.Fault.Injected msg -> R_error ("injected fault: " ^ msg))
 
 exception Remote_error of string
 
+(* The server endpoint is gone from the network — a typed condition the
+   application can handle, not a transport exception leaking through. *)
+exception Unreachable of int
+
+(* Bounded exponential backoff on the simulated clock: 200 µs doubling
+   to a 12.8 ms cap, at most 8 attempts before the caller hears
+   [Remote_error]. *)
+let backoff_base_ns = 200_000
+let backoff_max_shift = 6
+let max_attempts = 8
+
 let fetcher (net : network) ~client_id ~server_id : Fetcher.t =
-  let call req = Net.call net ~src:client_id ~dst:server_id req in
+  (* Request ids are per-fetcher; the server keys them by (src, rid), so
+     clients never collide with each other. *)
+  let next_rid = ref 0 in
+  let rid () =
+    incr next_rid;
+    !next_rid
+  in
+  (* Retry on [Net.Timeout]: the request (same rid — the server dedups
+     re-execution) is resent after a backoff that only advances the
+     simulated clock. Never entered while no fault site is armed. *)
+  let call req =
+    let rec go attempt =
+      match Net.call net ~src:client_id ~dst:server_id req with
+      | resp -> resp
+      | exception Net.Timeout _ ->
+          if attempt >= max_attempts then
+            raise (Remote_error "request timed out: retries exhausted")
+          else begin
+            let delay = backoff_base_ns * (1 lsl Stdlib.min (attempt - 1) backoff_max_shift) in
+            Bess_obs.Span.with_span ~kind:"client.backoff"
+              ~attrs:
+                (if Bess_obs.Span.enabled () then [ ("attempt", string_of_int attempt) ]
+                 else [])
+              (fun () -> Bess_obs.Span.advance_ns delay);
+            Bess_util.Stats.incr (Net.stats net) "net.client_retries";
+            Bess_util.Stats.add (Net.stats net) "net.client_backoff_ns" delay;
+            go (attempt + 1)
+          end
+      | exception Net.No_such_endpoint id -> raise (Unreachable id)
+    in
+    go 1
+  in
   let verdict = function
     | R_verdict `Granted -> ()
     | R_verdict `Blocked -> raise Fetcher.Would_block
     | R_verdict `Deadlock -> raise Fetcher.Deadlock_abort
+    | R_verdict `Timeout -> raise Fetcher.Lock_timeout
     | R_error e -> raise (Remote_error e)
     | _ -> raise (Remote_error "protocol mismatch")
   in
@@ -155,7 +251,7 @@ let fetcher (net : network) ~client_id ~server_id : Fetcher.t =
     client_id;
     f_begin =
       (fun () ->
-        match call Begin with
+        match call (Begin { rid = rid () }) with
         | R_txn t -> t
         | _ -> raise (Remote_error "protocol mismatch"));
     f_lock = (fun ~txn r mode -> verdict (call (Lock { txn; r; mode })));
@@ -165,6 +261,7 @@ let fetcher (net : network) ~client_id ~server_id : Fetcher.t =
         | R_pages pages -> pages
         | R_verdict `Blocked -> raise Fetcher.Would_block
         | R_verdict `Deadlock -> raise Fetcher.Deadlock_abort
+        | R_verdict `Timeout -> raise Fetcher.Lock_timeout
         | _ -> raise (Remote_error "protocol mismatch"));
     f_fetch_page =
       (fun ~txn page ~mode ->
@@ -172,10 +269,11 @@ let fetcher (net : network) ~client_id ~server_id : Fetcher.t =
         | R_page p -> p
         | R_verdict `Blocked -> raise Fetcher.Would_block
         | R_verdict `Deadlock -> raise Fetcher.Deadlock_abort
+        | R_verdict `Timeout -> raise Fetcher.Lock_timeout
         | _ -> raise (Remote_error "protocol mismatch"));
     f_commit =
       (fun ~txn updates ->
-        match call (Commit { txn; updates }) with
+        match call (Commit { rid = rid (); txn; updates }) with
         | R_ok -> ()
         | R_error e -> raise (Remote_error e)
         | _ -> raise (Remote_error "protocol mismatch"));
@@ -183,31 +281,33 @@ let fetcher (net : network) ~client_id ~server_id : Fetcher.t =
       (fun ~txn updates ->
         (* Deferred durability costs one extra small message pair (the
            explicit ack poll); the payload crosses the wire once. *)
-        match call (Commit_begin { txn; updates }) with
+        match call (Commit_begin { rid = rid (); txn; updates }) with
         | R_ticket h ->
+            let await_rid = rid () in
             fun () -> (
-              match call (Await_commit { ticket = h }) with
+              match call (Await_commit { rid = await_rid; ticket = h }) with
               | R_ok -> ()
               | R_error e -> raise (Remote_error e)
               | _ -> raise (Remote_error "protocol mismatch"))
         | R_error e -> raise (Remote_error e)
         | _ -> raise (Remote_error "protocol mismatch"));
-    f_abort = (fun ~txn -> ignore (call (Abort { txn })));
+    f_abort = (fun ~txn -> ignore (call (Abort { rid = rid (); txn })));
     f_prepare =
       (fun ~txn ~coordinator updates ->
-        match call (Prepare { txn; coordinator; updates }) with
+        match call (Prepare { rid = rid (); txn; coordinator; updates }) with
         | R_vote true -> `Vote_yes
         | R_vote false -> `Vote_no
         | _ -> raise (Remote_error "protocol mismatch"));
     f_decide =
-      (fun ~txn decision -> ignore (call (Decide { txn; commit = decision = `Commit })));
+      (fun ~txn decision ->
+        ignore (call (Decide { rid = rid (); txn; commit = decision = `Commit })));
     f_alloc_segment =
       (fun ~area ~npages ->
-        match call (Alloc { area; npages }) with
+        match call (Alloc { rid = rid (); area; npages }) with
         | R_seg s -> s
         | R_error e -> raise (Remote_error e)
         | _ -> raise (Remote_error "protocol mismatch"));
-    f_free_segment = (fun seg -> ignore (call (Free { seg })));
+    f_free_segment = (fun seg -> ignore (call (Free { rid = rid (); seg })));
     f_register_sink =
       (fun sink ->
         (* The client listens for server-initiated callbacks on its own
@@ -221,12 +321,22 @@ let fetcher (net : network) ~client_id ~server_id : Fetcher.t =
 (* Attach a further database to an existing remote session: operations on
    it cross the wire to its own server (distributed transactions commit
    with 2PC, coordinated by the session's first server). *)
+(* Server-initiated callback over the wire. A lost callback (injected
+   drop) maps to [`Refused] — the requester keeps blocking and will ask
+   again — NEVER to [`Dropped], which would wrongly invalidate a live
+   client's cached copy. A vanished endpoint is the opposite: the client
+   is gone and its cache with it, so [`Dropped] is the truth. *)
+let wire_callback (net : network) ~server_id ~client_id r mode =
+  match Net.call net ~src:server_id ~dst:client_id (Callback { r; mode }) with
+  | R_callback reply -> reply
+  | _ -> `Refused
+  | exception Net.Timeout _ -> `Refused
+  | exception Net.No_such_endpoint _ -> `Dropped
+
 let attach (net : network) ~client_id session (db : Db.t) =
   let fetcher = fetcher net ~client_id ~server_id:(Db.db_id db) in
-  Server.connect_client (Db.server db) ~client:client_id ~sink:(fun r mode ->
-      match Net.call net ~src:(Db.db_id db) ~dst:client_id (Callback { r; mode }) with
-      | R_callback reply -> reply
-      | _ -> `Refused);
+  Server.connect_client (Db.server db) ~client:client_id
+    ~sink:(wire_callback net ~server_id:(Db.db_id db) ~client_id);
   Session.attach_db session ~area_ids:(Db.area_ids db) ~db_id:(Db.db_id db)
     ~catalog:(Db.catalog db) ~fetcher ~default_area:(Db.default_area db) ()
 
@@ -234,9 +344,7 @@ let attach (net : network) ~client_id session (db : Db.t) =
 let session ?pool_slots ?(page_size = 4096) (net : network) ~client_id (db : Db.t) =
   let fetcher = fetcher net ~client_id ~server_id:(Db.db_id db) in
   (* The server-side callback sink routes through the network too. *)
-  Server.connect_client (Db.server db) ~client:client_id ~sink:(fun r mode ->
-      match Net.call net ~src:(Db.db_id db) ~dst:client_id (Callback { r; mode }) with
-      | R_callback reply -> reply
-      | _ -> `Refused);
+  Server.connect_client (Db.server db) ~client:client_id
+    ~sink:(wire_callback net ~server_id:(Db.db_id db) ~client_id);
   Session.create ?pool_slots ~page_size ~area_ids:(Db.area_ids db) ~db_id:(Db.db_id db)
     ~catalog:(Db.catalog db) ~fetcher ~default_area:(Db.default_area db) ()

@@ -159,7 +159,13 @@ let lock t ~txn:txn_id r mode =
       | `Blocked -> `Blocked
       | `Deadlock ->
           Event.fire t.hooks (Deadlock { txn = txn_id });
-          `Deadlock)
+          `Deadlock
+      | `Timeout ->
+          (* Suspected deadlock only — no Deadlock event; the client's
+             retry loop treats this as retriable where a proven cycle
+             aborts for good. *)
+          Bess_util.Stats.incr t.stats "server.lock_timeouts";
+          `Timeout)
 
 (* ---- Page service ---- *)
 
@@ -175,13 +181,13 @@ let fetch_segment t ~txn:txn_id (seg : Bess_storage.Seg_addr.t) ~mode =
       let r = Lock_mgr.page_resource ~area:seg.area ~page:(seg.first_page + i) in
       match lock t ~txn:txn_id r mode with
       | `Granted -> lock_pages (i + 1)
-      | (`Blocked | `Deadlock) as v -> v
+      | (`Blocked | `Deadlock | `Timeout) as v -> v
   in
   match lock_pages 0 with
   | `Ok ->
       Bess_util.Stats.incr t.stats "server.segment_fetches";
       `Pages (Store.read_segment t.store seg)
-  | (`Blocked | `Deadlock) as v -> v
+  | (`Blocked | `Deadlock | `Timeout) as v -> v
 
 (* ---- Client-cached commit path ---- *)
 
@@ -221,19 +227,35 @@ let commit_client_begin t ~txn:txn_id ~(updates : update list) =
   in
   if not covered then `Lock_violation
   else begin
+    (* An injected storage fault while applying leaves the transaction
+       Active with [last_lsn] pointing at the logged prefix: the client's
+       abort rolls it back physically before the locks drop. *)
     List.iter
       (fun u ->
         ts.last_lsn <-
           Store.apply_update t.store ~txn:txn_id ~prev_lsn:ts.last_lsn u.page ~offset:u.offset
             ~before:u.before ~after:u.after)
       updates;
-    let _lsn, ticket = Store.log_commit_begin t.store ~txn:txn_id ~prev_lsn:ts.last_lsn in
-    ts.status <- Ended;
-    release_locks_keep_cached t ts;
-    Hashtbl.remove t.txns txn_id;
-    Event.fire t.hooks (Txn_commit { txn = txn_id });
-    Bess_util.Stats.incr t.stats "server.commits";
-    `Committed ticket
+    match Store.log_commit_begin t.store ~txn:txn_id ~prev_lsn:ts.last_lsn with
+    | exception e ->
+        (* The COMMIT record is appended before the force that failed, so
+           the commit point is already passed — only durability is
+           unconfirmed. Complete the server-side transition anyway (locks
+           must never outlive the attempt) and let the caller hear the
+           failure as an indeterminate outcome. *)
+        ts.status <- Ended;
+        release_locks_keep_cached t ts;
+        Hashtbl.remove t.txns txn_id;
+        Event.fire t.hooks (Txn_commit { txn = txn_id });
+        Bess_util.Stats.incr t.stats "server.commits";
+        raise e
+    | _lsn, ticket ->
+        ts.status <- Ended;
+        release_locks_keep_cached t ts;
+        Hashtbl.remove t.txns txn_id;
+        Event.fire t.hooks (Txn_commit { txn = txn_id });
+        Bess_util.Stats.incr t.stats "server.commits";
+        `Committed ticket
   end
 
 let await_commit t ticket = Store.await_commit t.store ticket
@@ -247,14 +269,27 @@ let commit_client t ~txn ~(updates : update list) =
 
 let abort_client t ~txn:txn_id =
   in_request "abort" @@ fun () ->
-  let ts = txn t txn_id in
-  (* Nothing was applied server-side before commit, so abort only
-     releases locks. The client discards its dirty copies. *)
-  ts.status <- Ended;
-  release_locks_keep_cached t ts;
-  Hashtbl.remove t.txns txn_id;
-  Event.fire t.hooks (Txn_abort { txn = txn_id });
-  Bess_util.Stats.incr t.stats "server.aborts"
+  match Hashtbl.find_opt t.txns txn_id with
+  | None ->
+      (* Idempotent: a retried abort, or one racing a commit attempt that
+         already ended the transaction (an indeterminate failure the
+         client resolved pessimistically), finds nothing to do — the
+         locks are gone either way. *)
+      Bess_util.Stats.incr t.stats "server.abort_noops"
+  | Some ts ->
+      if ts.status <> Active then invalid_arg "Server.abort_client: transaction not active";
+      (* Normally nothing was applied server-side before commit, so abort
+         only releases locks and the client discards its dirty copies. A
+         commit attempt interrupted mid-apply (injected storage fault)
+         leaves logged updates behind; those must be physically undone
+         BEFORE the locks drop, or a later writer's committed value could
+         be clobbered when recovery undoes this loser. *)
+      if ts.last_lsn <> 0 then ignore (Store.rollback t.store ~txn:txn_id ~last_lsn:ts.last_lsn);
+      ts.status <- Ended;
+      release_locks_keep_cached t ts;
+      Hashtbl.remove t.txns txn_id;
+      Event.fire t.hooks (Txn_abort { txn = txn_id });
+      Bess_util.Stats.incr t.stats "server.aborts"
 
 (* ---- In-place (open server) path ---- *)
 
@@ -265,7 +300,7 @@ let update_inplace t ~txn:txn_id page ~offset after =
   (match lock t ~txn:txn_id r Lock_mode.X with
   | `Granted -> ()
   | `Blocked -> failwith "Server.update_inplace: lock not available"
-  | `Deadlock -> failwith "Server.update_inplace: deadlock");
+  | `Deadlock | `Timeout -> failwith "Server.update_inplace: deadlock");
   let current = Store.read_page t.store page in
   let before = Bytes.sub current offset (Bytes.length after) in
   ts.last_lsn <-
@@ -277,7 +312,7 @@ let read_inplace t ~txn:txn_id page ~offset ~len =
   let r = Lock_mgr.page_resource ~area:page.Page_id.area ~page:page.Page_id.page in
   (match lock t ~txn:txn_id r Lock_mode.S with
   | `Granted -> ()
-  | `Blocked | `Deadlock -> failwith "Server.read_inplace: lock not available");
+  | `Blocked | `Deadlock | `Timeout -> failwith "Server.read_inplace: lock not available");
   let current = Store.read_page t.store page in
   Bytes.sub current offset len
 

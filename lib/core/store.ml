@@ -61,7 +61,25 @@ let create ?log_path ?log ?group_commit ?(cache_slots = 256) areas =
         Bess_wal.Log.flush t.log ~lsn ();
         Bess_wal.Group_commit.release_durable t.gc
       end;
-      Bess_storage.Area_set.write_page areas ~area_id:page.area page.page bytes);
+      (* Fault sites: a torn or failed page write is *detected* (pages
+         carry a modeled checksum verify-after-write) and retried from
+         the still-resident frame; three consecutive failures surface as
+         an injected I/O error. ARIES redo from the WAL covers whatever
+         a crash interrupts, so detection-plus-retry is the whole
+         repair story here. *)
+      let rec put n =
+        if
+          Bess_fault.Fault.fire "page.flush.eio"
+          || Bess_fault.Fault.fire "page.flush.torn"
+        then begin
+          Bess_util.Stats.incr t.stats "store.flush_retries";
+          if n >= 3 then
+            raise (Bess_fault.Fault.Injected "page.flush: persistent I/O error");
+          put (n + 1)
+        end
+        else Bess_storage.Area_set.write_page areas ~area_id:page.area page.page bytes
+      in
+      put 1);
   t
 
 let cache t = t.cache

@@ -131,7 +131,11 @@ let creates_cycle t ~txn =
 
 (* ---- Acquire / release --------------------------------------------------- *)
 
-type verdict = [ `Granted | `Blocked | `Deadlock ]
+(* [`Deadlock] is a proven cycle: someone must abort, retrying is
+   futile. [`Timeout] is only *suspicion* of one (the distributed
+   detector cannot prove a cycle) — the victim may safely retry once
+   the ambient load drains, so callers get to tell them apart. *)
+type verdict = [ `Granted | `Blocked | `Deadlock | `Timeout ]
 
 let remove_waiter e ~txn = e.waiting <- List.filter (fun (t', _, _) -> t' <> txn) e.waiting
 
@@ -217,7 +221,7 @@ let acquire ?(detect = `Graph) t ~txn r mode : verdict =
                   remove_waiter e ~txn;
                   end_wait t ~txn r ~outcome:"timeout";
                   Bess_util.Stats.incr t.stats "lock.timeouts";
-                  `Deadlock
+                  `Timeout
                 end
                 else `Blocked
           end)

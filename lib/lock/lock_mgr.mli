@@ -27,11 +27,14 @@ val tick : t -> unit
 
 val now : t -> int
 
-type verdict = [ `Granted | `Blocked | `Deadlock ]
+type verdict = [ `Granted | `Blocked | `Deadlock | `Timeout ]
 
 (** Request [mode] on a resource for [txn]. Regrants and upgrades of held
     locks are recognised; fresh requests respect FIFO order so writers
-    are not starved. [`Deadlock] means this transaction should abort. *)
+    are not starved. [`Deadlock] is a proven waits-for cycle: this
+    transaction should abort. [`Timeout] (timeout detection only) is
+    mere suspicion — the caller may abort-and-retry the transaction,
+    where retrying a proven deadlock verbatim would just cycle again. *)
 val acquire : ?detect:[ `Graph | `Timeout ] -> t -> txn:int -> resource -> Lock_mode.t -> verdict
 
 (** Current cumulative mode held by [txn], if any. *)

@@ -53,6 +53,11 @@ let reset_clock t = t.clock_ns <- 0
 
 exception No_such_endpoint of int
 
+(* A dropped request or reply: the caller cannot tell which, only that
+   no answer came back within the (modeled) timeout — exactly the
+   at-most-once ambiguity the Remote retry loop exists to resolve. *)
+exception Timeout of int (* dst *)
+
 let account t ~bytes =
   let cost = t.per_message_ns + (bytes * t.per_byte_ns) in
   t.clock_ns <- t.clock_ns + cost;
@@ -65,28 +70,77 @@ let account t ~bytes =
 let route_attrs src dst =
   if Span.enabled () then [ ("src", string_of_int src); ("dst", string_of_int dst) ] else []
 
+(* A message to a vanished endpoint still crossed the wire before
+   bouncing: account it (the bytes were sent; only the answer never
+   will be) before raising. *)
+let dead_letter t ~bytes dst =
+  account t ~bytes;
+  Bess_util.Stats.incr t.stats "net.dead_letters";
+  raise (No_such_endpoint dst)
+
+(* Fault sites, consulted per delivery (all disarmed by default):
+   - [net.delay]: a latency spike — extra multiples of the per-message
+     cost on the simulated clock, nothing lost;
+   - [net.drop_request]: the request vanishes before the handler runs;
+   - [net.dup]: the request is delivered twice (the handler really runs
+     twice — server-side dedup is what makes this safe);
+   - [net.drop_reply]: the handler ran, its side effects stand, but the
+     reply never arrives.
+   Both drops surface as [Timeout]: the caller cannot distinguish them,
+   which is precisely what forces retries to be exactly-once. *)
+let inject_delay t =
+  if Bess_fault.Fault.fire "net.delay" then begin
+    let spike = (1 + Bess_fault.Fault.draw "net.delay" ~bound:20) * t.per_message_ns in
+    t.clock_ns <- t.clock_ns + spike;
+    Span.advance_ns spike;
+    Bess_util.Stats.incr t.stats "net.delays";
+    Bess_util.Stats.add t.stats "net.delay_ns" spike
+  end
+
 (* Synchronous RPC: one request message, one reply message. The call
    stamps the outgoing request with a net.rpc span whose net.wire
    children separate wire time from the handler's own time. *)
 let call t ~src ~dst req =
   match Hashtbl.find_opt t.handlers dst with
-  | None -> raise (No_such_endpoint dst)
+  | None -> dead_letter t ~bytes:(t.req_cost req) dst
   | Some handler ->
       Span.with_span ~attrs:(route_attrs src dst) ~kind:"net.rpc" (fun () ->
+          inject_delay t;
           Span.with_span ~kind:"net.wire" (fun () -> account t ~bytes:(t.req_cost req));
+          if Bess_fault.Fault.fire "net.drop_request" then begin
+            Bess_util.Stats.incr t.stats "net.dropped_requests";
+            raise (Timeout dst)
+          end;
           Bess_util.Stats.incr_labeled t.stats "net.calls" ~label:(Printf.sprintf "%d->%d" src dst);
           let resp = Span.with_span ~kind:"net.handler" (fun () -> handler ~src req) in
+          let resp =
+            if Bess_fault.Fault.fire "net.dup" then begin
+              Bess_util.Stats.incr t.stats "net.duplicates";
+              Span.with_span ~kind:"net.wire" (fun () -> account t ~bytes:(t.req_cost req));
+              Span.with_span ~kind:"net.handler" (fun () -> handler ~src req)
+            end
+            else resp
+          in
           Span.with_span ~kind:"net.wire" (fun () -> account t ~bytes:(t.resp_cost resp));
+          if Bess_fault.Fault.fire "net.drop_reply" then begin
+            Bess_util.Stats.incr t.stats "net.dropped_replies";
+            raise (Timeout dst)
+          end;
           resp)
 
 (* One-way message (server-initiated callbacks): still executes the
    handler synchronously, but only one message is accounted. *)
 let send t ~src ~dst req =
   match Hashtbl.find_opt t.handlers dst with
-  | None -> raise (No_such_endpoint dst)
+  | None -> dead_letter t ~bytes:(t.req_cost req) dst
   | Some handler ->
       Span.with_span ~attrs:(route_attrs src dst) ~kind:"net.send" (fun () ->
+          inject_delay t;
           Span.with_span ~kind:"net.wire" (fun () -> account t ~bytes:(t.req_cost req));
+          if Bess_fault.Fault.fire "net.drop_request" then begin
+            Bess_util.Stats.incr t.stats "net.dropped_requests";
+            raise (Timeout dst)
+          end;
           Bess_util.Stats.incr_labeled t.stats "net.sends" ~label:(Printf.sprintf "%d->%d" src dst);
           ignore (Span.with_span ~kind:"net.handler" (fun () -> handler ~src req)))
 

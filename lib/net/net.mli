@@ -33,7 +33,16 @@ val clock_ns : ('req, 'resp) t -> int
 
 val reset_clock : ('req, 'resp) t -> unit
 
+(** Raised on delivery to an unregistered endpoint — after the request
+    bytes are accounted (they crossed the wire before bouncing). *)
 exception No_such_endpoint of int
+
+(** [Timeout dst]: an injected fault dropped the request or the reply;
+    the caller cannot tell which, so a retry must be safe against the
+    handler having already run (see the [net.drop_request] /
+    [net.drop_reply] / [net.dup] / [net.delay] sites in {!Bess_fault}).
+    Never raised when no fault site is armed. *)
+exception Timeout of int
 
 (** Synchronous RPC: one request message + one reply message accounted. *)
 val call : ('req, 'resp) t -> src:int -> dst:int -> 'req -> 'resp

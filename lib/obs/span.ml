@@ -46,6 +46,7 @@ let kinds =
     "session.txn"; (* client transaction, begin_txn..commit/abort *)
     "session.fault"; (* fault wave: slotted / data / large *)
     "client.request"; (* one fetcher operation (direct embedding) *)
+    "client.backoff"; (* retry backoff wait after a request timeout *)
     "server.request"; (* one server-side operation *)
     "net.rpc"; (* full RPC round trip *)
     "net.wire"; (* simulated wire time of one message *)

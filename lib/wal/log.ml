@@ -66,8 +66,34 @@ let append t (record : Log_record.t) =
       Bess_util.Stats.observe t.stats "log.append_bytes" (Bytes.length image);
       lsn)
 
+let write_backing t ~from ~upto =
+  match t.backing with
+  | Some fd ->
+      ignore (Unix.lseek fd from Unix.SEEK_SET);
+      let rec write_all pos limit =
+        if pos < limit then begin
+          let n = Unix.write fd t.buf pos (limit - pos) in
+          write_all (pos + n) limit
+        end
+      in
+      write_all from upto;
+      Unix.fsync fd
+  | None -> ()
+
 (* Force the log through [lsn]. A no-op if already durable -- that is what
-   makes repeated commit forces cheap under a hot log tail. *)
+   makes repeated commit forces cheap under a hot log tail.
+
+   Fault sites (all [Never] unless armed, in which case a failed attempt
+   is retried up to three times before raising [Fault.Injected] -- a
+   force never lies about durability):
+   - [wal.force.eio]: the write fails outright, nothing reaches the
+     platter;
+   - [wal.force.torn]: a partial sector write -- all but the last few
+     bytes land, tearing the final record (the CRC scan discards it);
+   - [wal.force.short]: only half the pending bytes land.
+   A torn/short attempt advances [flushed] to the bytes that really made
+   it, so a crash before a successful retry loses exactly the torn
+   suffix; the retry rewrites the suffix from the in-memory tail. *)
 let flush t ?lsn () =
   let target = match lsn with Some l -> l - base + 1 | None -> t.used in
   if target > t.flushed then
@@ -75,21 +101,41 @@ let flush t ?lsn () =
       ~attrs:
         (if Span.enabled () then [ ("bytes", string_of_int (t.used - t.flushed)) ] else [])
       (fun () ->
-        Span.advance_ns force_ns;
-        (match t.backing with
-        | Some fd ->
-            ignore (Unix.lseek fd t.flushed Unix.SEEK_SET);
-            let rec write_all pos limit =
-              if pos < limit then begin
-                let n = Unix.write fd t.buf pos (limit - pos) in
-                write_all (pos + n) limit
+        let rec attempt n =
+          Span.advance_ns force_ns;
+          if Bess_fault.Fault.fire "wal.force.eio" then begin
+            Bess_util.Stats.incr t.stats "log.force_errors";
+            if n >= 3 then raise (Bess_fault.Fault.Injected "wal.force: persistent I/O error");
+            attempt (n + 1)
+          end
+          else begin
+            let partial =
+              if Bess_fault.Fault.fire "wal.force.torn" then begin
+                Bess_util.Stats.incr t.stats "log.torn_forces";
+                Some
+                  (Stdlib.max t.flushed
+                     (t.used - 1 - Bess_fault.Fault.draw "wal.force.torn" ~bound:16))
               end
+              else if Bess_fault.Fault.fire "wal.force.short" then begin
+                Bess_util.Stats.incr t.stats "log.short_forces";
+                Some (t.flushed + ((t.used - t.flushed) / 2))
+              end
+              else None
             in
-            write_all t.flushed t.used;
-            Unix.fsync fd
-        | None -> ());
-        t.flushed <- t.used;
-        Bess_util.Stats.incr t.stats "log.forces")
+            match partial with
+            | Some upto when upto < t.used ->
+                write_backing t ~from:t.flushed ~upto;
+                t.flushed <- upto;
+                if n >= 3 then
+                  raise (Bess_fault.Fault.Injected "wal.force: torn write, retries exhausted");
+                attempt (n + 1)
+            | _ ->
+                write_backing t ~from:t.flushed ~upto:t.used;
+                t.flushed <- t.used;
+                Bess_util.Stats.incr t.stats "log.forces"
+          end
+        in
+        attempt 1)
 
 let read t lsn =
   let off = lsn - base in
@@ -120,6 +166,20 @@ let fold ?from t f init =
    partial sector write. *)
 let crash t ?(tear = 0) () =
   let survive = Stdlib.max 0 (t.flushed - tear) in
+  (* The durable prefix can end mid-record (a tear, or a torn force that
+     advanced [flushed] partway into a record). What survives is the
+     longest valid *record* prefix within it: a partial record both
+     fails its CRC and must not sit in front of post-recovery appends,
+     which would otherwise be unreachable behind the garbage. *)
+  let valid = ref 0 in
+  (try
+     let scanning = ref true in
+     while !scanning && !valid < survive do
+       let _, next = Log_record.decode t.buf !valid in
+       if next <= survive then valid := next else scanning := false
+     done
+   with Log_record.Torn_record -> ());
+  let survive = !valid in
   (* Model the loss: bytes past the durable prefix are gone, not merely
      hidden -- a truncated record must fail its CRC. *)
   Bytes.fill t.buf survive (Bytes.length t.buf - survive) '\000';

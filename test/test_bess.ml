@@ -27,4 +27,5 @@ let () =
       ("relational", Test_relational.suite);
       ("btree", Test_btree.suite);
       ("crash_points", Test_crash_points.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -74,8 +74,14 @@ let test_deadlock_timeout () =
   for _ = 1 to 10 do
     Lock_mgr.tick m
   done;
+  (* A timeout is reported as `Timeout (suspicion), distinct from the
+     proven-cycle `Deadlock verdict, and counted separately. *)
   Alcotest.(check bool) "times out" true
-    (Lock_mgr.acquire ~detect:`Timeout m ~txn:2 r1 Lock_mode.X = `Deadlock)
+    (Lock_mgr.acquire ~detect:`Timeout m ~txn:2 r1 Lock_mode.X = `Timeout);
+  Alcotest.(check int) "counted as timeout, not deadlock" 1
+    (Bess_util.Stats.get (Lock_mgr.stats m) "lock.timeouts");
+  Alcotest.(check int) "no deadlock counted" 0
+    (Bess_util.Stats.get (Lock_mgr.stats m) "lock.deadlocks")
 
 let test_object_and_page_namespaces_disjoint () =
   let m = Lock_mgr.create () in

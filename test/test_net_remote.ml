@@ -20,9 +20,18 @@ let test_net_accounting () =
   Alcotest.(check int) "clock advanced" (200 + 8) (Net.clock_ns net)
 
 let test_net_unknown_endpoint () =
-  let net = Net.create ~req_cost:String.length ~resp_cost:String.length () in
-  let missing = try ignore (Net.call net ~src:1 ~dst:42 "x"); false with Net.No_such_endpoint 42 -> true in
-  Alcotest.(check bool) "unknown endpoint raises" true missing
+  let net = Net.create ~per_message_ns:100 ~per_byte_ns:1 ~req_cost:String.length
+      ~resp_cost:String.length ()
+  in
+  let missing = try ignore (Net.call net ~src:1 ~dst:42 "xyz"); false with Net.No_such_endpoint 42 -> true in
+  Alcotest.(check bool) "unknown endpoint raises" true missing;
+  (* The attempt still crossed the wire: accounted before the bounce. *)
+  Alcotest.(check int) "request message accounted" 1 (Net.messages net);
+  Alcotest.(check int) "request bytes accounted" 3 (Net.bytes net);
+  Alcotest.(check int) "dead letter counted" 1
+    (Bess_util.Stats.get (Net.stats net) "net.dead_letters");
+  (try Net.send net ~src:1 ~dst:42 "pq" with Net.No_such_endpoint _ -> ());
+  Alcotest.(check int) "send accounted too" 5 (Net.bytes net)
 
 let test_net_one_way_send () =
   let net = Net.create ~req_cost:String.length ~resp_cost:String.length () in
