@@ -1028,6 +1028,157 @@ let e12 () =
   Report.note "seeds derive from --fault-seed (base %d); identical bases replay identical schedules"
     !fault_seed
 
+(* ---- E13: time-series of a commit workload under chaos ------------------- *)
+
+(* Observability tentpole: the windowed sampler watching the same
+   4-client commit workload as E12 run under the "chaos" profile — but
+   instead of end-of-run totals, the table shows the system's behaviour
+   *over simulated time*: per-window commit and force rates next to the
+   gauges (active transactions, pending group-commit tickets, dedup-table
+   depth) that counters alone cannot express. The full series lands in
+   bench_report.json under "e13_series" and in a timestamped
+   BENCH_e13.json so successive runs accumulate comparable artifacts. *)
+let e13 () =
+  let n_clients = 4 in
+  let rounds = scale 80 in
+  let profile = "chaos" in
+  let prev_series = Bess_obs.Series.installed () in
+  let series = Bess_obs.Series.create ~capacity:4096 ~window_ns:1_000_000 () in
+  let db = Workloads.fresh_db () in
+  let server = Bess.Db.server db in
+  Bess.Server.set_group_policy server (Bess_wal.Group_commit.Group_n 2);
+  let s = Bess.Db.session db in
+  Bess.Session.begin_txn s;
+  let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:1 () in
+  Bess.Session.commit s;
+  Bess.Session.drop_all_cached s;
+  let page =
+    { Page_id.area = seg.Bess.Session.data_disk.Bess_storage.Seg_addr.area;
+      page = seg.Bess.Session.data_disk.Bess_storage.Seg_addr.first_page }
+  in
+  let net = Bess.Remote.network () in
+  Bess.Remote.serve net server;
+  let fetchers =
+    Array.init n_clients (fun i ->
+        Bess.Remote.fetcher net ~client_id:(3000 + i) ~server_id:(Bess.Db.db_id db))
+  in
+  Fault.seed !fault_seed;
+  Fault.apply_profile (List.assoc profile Fault.profiles);
+  Bess_obs.Series.install (Some series);
+  let acked = Array.make n_clients 0 in
+  let maybes = Array.make n_clients [] in
+  let acked_n = ref 0 in
+  for round = 1 to rounds do
+    for i = 0 to n_clients - 1 do
+      let f = fetchers.(i) in
+      let v = (i * 1000) + round in
+      match f.Bess.Fetcher.f_begin () with
+      | exception _ -> ()
+      | txn -> (
+          match
+            let bytes = f.Bess.Fetcher.f_fetch_page ~txn page ~mode:Bess_lock.Lock_mode.X in
+            let after = Bytes.create 8 in
+            Bess_util.Codec.set_i64 after 0 v;
+            ({ Bess.Server.page; offset = i * 8;
+               before = Bytes.sub bytes (i * 8) 8; after }
+              : Bess.Server.update)
+          with
+          | exception _ -> ( try f.Bess.Fetcher.f_abort ~txn with _ -> ())
+          | u -> (
+              match f.Bess.Fetcher.f_commit_begin ~txn [ u ] with
+              | barrier -> (
+                  match barrier () with
+                  | () ->
+                      incr acked_n;
+                      acked.(i) <- v;
+                      maybes.(i) <- []
+                  | exception _ -> maybes.(i) <- v :: maybes.(i))
+              | exception _ ->
+                  maybes.(i) <- v :: maybes.(i);
+                  (try f.Bess.Fetcher.f_abort ~txn with _ -> ())))
+    done
+  done;
+  Bess_obs.Series.flush series;
+  Fault.reset ();
+  Bess.Server.crash server;
+  ignore (Bess.Server.recover server);
+  let bytes = Bess.Server.read_page server page in
+  let violations = ref 0 in
+  for i = 0 to n_clients - 1 do
+    let v = Bess_util.Codec.get_i64 bytes (i * 8) in
+    if not (List.mem v (acked.(i) :: maybes.(i))) then incr violations
+  done;
+  Bess_obs.Series.install prev_series;
+  let samples = Bess_obs.Series.to_list series in
+  let n_samples = List.length samples in
+  (* Up to 10 evenly spaced windows keep the table readable; the JSON
+     artifacts carry every window. *)
+  let shown =
+    if n_samples <= 10 then samples
+    else
+      List.filteri
+        (fun i _ -> i mod (((n_samples + 9) / 10)) = 0 || i = n_samples - 1)
+        samples
+  in
+  let cell v = match v with Some x -> string_of_int x | None -> "-" in
+  let rate_cell s name =
+    match Bess_obs.Series.sample_rate s name with
+    | Some r -> Printf.sprintf "%.0f/s" r
+    | None -> "-"
+  in
+  Report.table ~id:"E13"
+    ~caption:
+      (Printf.sprintf
+         "per-window time-series: %d windows of >=1ms simulated time over %d commit \
+          rounds x %d clients under the %S fault profile (seed %d)"
+         n_samples rounds n_clients profile !fault_seed)
+    ~header:
+      [ "window"; "t0"; "width"; "commits"; "commit rate"; "log forces"; "fault fires";
+        "txns"; "tickets"; "dedup" ]
+    (List.map
+       (fun (s : Bess_obs.Series.sample) ->
+         [
+           string_of_int s.Bess_obs.Series.w_index;
+           Report.ns (float_of_int s.Bess_obs.Series.w_start_ns);
+           Report.ns
+             (float_of_int (s.Bess_obs.Series.w_end_ns - s.Bess_obs.Series.w_start_ns));
+           cell (Bess_obs.Series.sample_delta s "server.commits");
+           rate_cell s "server.commits";
+           cell (Bess_obs.Series.sample_delta s "wal.log.forces");
+           cell (Bess_obs.Series.sample_delta s "fault.fires");
+           cell (Bess_obs.Series.sample_gauge s "server.active_txns");
+           cell (Bess_obs.Series.sample_gauge s "wal.pending_tickets");
+           cell (Bess_obs.Series.sample_gauge s "server.dedup_entries");
+         ])
+       shown);
+  let gauge_names =
+    match samples with
+    | [] -> []
+    | s :: _ -> List.map fst s.Bess_obs.Series.w_gauges
+  in
+  Report.note "%d acked commits, %d violations after crash+recovery; %d gauges sampled \
+per window (%s)"
+    !acked_n !violations (List.length gauge_names)
+    (String.concat ", " gauge_names);
+  let series_json = Bess_obs.Series.json_of series in
+  Report.add_section "e13_series" series_json;
+  (* Timestamped artifact so the perf trajectory accumulates comparable
+     runs (the bench_report.json section is overwritten each time). *)
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let stamp =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let oc = open_out "BENCH_e13.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"e13\",\"wall_time\":%s,\"fault_seed\":%d,\"profile\":%s,\"clients\":%d,\"rounds\":%d,\"acked\":%d,\"violations\":%d,\"series\":%s}\n"
+    (Bess_obs.Registry.json_string stamp)
+    !fault_seed
+    (Bess_obs.Registry.json_string profile)
+    n_clients rounds !acked_n !violations series_json;
+  close_out oc;
+  Report.note "series written to BENCH_e13.json (%s) and bench_report.json#e13_series" stamp
+
 (* ---- F1: segment and object structure (Figure 1) ------------------------- *)
 
 let f1 () =
@@ -1563,7 +1714,8 @@ let t1 () =
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
-    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("f1", f1); ("f2", f2); ("f3", f3);
+    ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
+    ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4);
     ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("t1", t1);
   ]
@@ -1574,12 +1726,16 @@ let () =
   let out = ref "bench_report.json" in
   let chrome = ref None in
   let trace = ref false in
+  let series = ref false in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> parse rest
     | "--trace" :: rest ->
         trace := true;
+        parse rest
+    | "--series" :: rest ->
+        series := true;
         parse rest
     | "--out" :: path :: rest ->
         out := path;
@@ -1624,6 +1780,17 @@ let () =
     end
     else None
   in
+  (* --series: a harness-wide windowed sampler. E13 swaps in its own
+     sampler for its run and restores this one, so both artifacts stay
+     self-contained. *)
+  let sampler =
+    if !series then begin
+      let s = Bess_obs.Series.create ~capacity:4096 ~window_ns:1_000_000 () in
+      Bess_obs.Series.install (Some s);
+      Some s
+    end
+    else None
+  in
   (match !fault_profile with
   | Some sites ->
       Fault.seed !fault_seed;
@@ -1640,6 +1807,13 @@ let () =
         | None -> Printf.printf "unknown experiment %S\n" name)
     selected;
   Option.iter Bess_obs.Span.finish_all collector;
+  Option.iter
+    (fun s ->
+      Bess_obs.Series.flush s;
+      Report.add_section "series" (Bess_obs.Series.json_of s);
+      Printf.printf "\nwindowed series: %d windows of >=%dns recorded (see %s#series)\n"
+        (Bess_obs.Series.windows s) (Bess_obs.Series.window_ns s) !out)
+    sampler;
   Report.write_json !out;
   Printf.printf "\nper-substrate observability report: %s\n" !out;
   Option.iter

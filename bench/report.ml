@@ -74,7 +74,7 @@ let with_observed name f =
   observations :=
     { obs_name = name;
       obs_elapsed_ns = elapsed;
-      obs_diff = Bess_obs.Registry.diff ~before ~after }
+      obs_diff = Bess_obs.Registry.diff ~before ~after () }
     :: !observations;
   r
 
@@ -110,6 +110,11 @@ let span_breakdown_json () =
       in
       Some (Printf.sprintf "{%s}" (String.concat "," entries))
 
+(* Extra top-level JSON sections ("e13_series": {...}) contributed by
+   experiments; each value must already be rendered JSON. *)
+let extra_sections : (string * string) list ref = ref []
+let add_section name json = extra_sections := (name, json) :: !extra_sections
+
 let write_json path =
   let oc = open_out path in
   output_string oc "{\"workloads\":[";
@@ -125,6 +130,10 @@ let write_json path =
   (match span_breakdown_json () with
   | Some b -> Printf.fprintf oc ",\"span_breakdown\":%s" b
   | None -> ());
+  List.iter
+    (fun (name, json) ->
+      Printf.fprintf oc ",%s:%s" (Bess_obs.Registry.json_string name) json)
+    (List.rev !extra_sections);
   output_string oc "}\n";
   close_out oc
 

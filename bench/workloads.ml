@@ -156,11 +156,15 @@ module Oid_vm = struct
     let data_pages = (capacity * obj_size / 4096) + 2 in
     let table_base = Vmem.reserve vmem table_pages in
     let data_base = Vmem.reserve vmem data_pages in
+    (* Frames must be zeroed: the table's empty-bucket test is key = 0,
+       and [Bytes.create] leaves arbitrary heap garbage that would turn
+       probe-chain lengths (and the TLB hit count) into a function of
+       allocator state. *)
     for i = 0 to table_pages - 1 do
-      Vmem.map vmem (table_base + (i * 4096)) (Bytes.create 4096)
+      Vmem.map vmem (table_base + (i * 4096)) (Bytes.make 4096 '\000')
     done;
     for i = 0 to data_pages - 1 do
-      Vmem.map vmem (data_base + (i * 4096)) (Bytes.create 4096)
+      Vmem.map vmem (data_base + (i * 4096)) (Bytes.make 4096 '\000')
     done;
     Vmem.set_prot vmem table_base table_pages Prot_read_write;
     Vmem.set_prot vmem data_base data_pages Prot_read_write;

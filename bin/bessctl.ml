@@ -6,8 +6,10 @@
      bessctl scan    DIR --file NAME                   scan a file, print stats
      bessctl verify  DIR                               structural checks
      bessctl compact DIR                               compact every segment
-     bessctl stats   DIR [--json]                      live metrics registry
+     bessctl stats   DIR [--json|--prom]               live metrics registry
      bessctl trace   DIR [--spans] [--chrome FILE]     causal span timeline
+     bessctl top     DIR [--passes N]                  busiest metrics per window
+     bessctl flightrec FILE [--last N]                 replay a black-box dump
 
    Databases live in a directory: area_*.bess files, wal.log, and
    catalog.meta. *)
@@ -189,7 +191,12 @@ let verify_cmd =
 
 let stats_cmd =
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry snapshot as JSON") in
-  let run dir json =
+  let prom =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"Emit the registry snapshot in Prometheus text exposition format")
+  in
+  let run dir json prom =
     with_db dir (fun db ->
         (* Touch every segment once so the snapshot reflects a full pass
            over the database, not an idle process. *)
@@ -202,7 +209,8 @@ let stats_cmd =
           (Bess.Catalog.segment_ids (Bess.Db.catalog db));
         Bess.Session.commit s;
         let snap = Bess_obs.Registry.snapshot () in
-        if json then print_string (Bess_obs.Registry.json_of_snapshot snap ^ "\n")
+        if prom then print_string (Bess_obs.Registry.prom_of_snapshot snap)
+        else if json then print_string (Bess_obs.Registry.json_of_snapshot snap ^ "\n")
         else begin
           Fmt.pr "%a@." Bess_obs.Registry.pp_snapshot snap;
           match Bess.Event.trace (Bess.Session.hooks s) with
@@ -222,7 +230,7 @@ let stats_cmd =
         end)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print the live metrics registry (counters, histograms, trace tail)")
-    Term.(const run $ dir_arg $ json)
+    Term.(const run $ dir_arg $ json $ prom)
 
 (* ---- trace ---- *)
 
@@ -269,6 +277,142 @@ let trace_cmd =
        ~doc:"Trace one full pass over the database as a causal span timeline")
     Term.(const run $ dir_arg $ spans $ chrome)
 
+(* ---- top ---- *)
+
+let top_cmd =
+  let passes =
+    Arg.(value & opt int 5 & info [ "passes" ] ~doc:"Full-database passes to sample")
+  in
+  let window_us =
+    Arg.(value & opt int 100
+         & info [ "window-us" ] ~docv:"US" ~doc:"Sampling window in simulated microseconds")
+  in
+  let limit =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Counters to show (busiest first)")
+  in
+  let run dir passes window_us limit =
+    let series =
+      Bess_obs.Series.create ~capacity:4096 ~window_ns:(Stdlib.max 1 window_us * 1000) ()
+    in
+    Bess_obs.Series.install (Some series);
+    Fun.protect ~finally:(fun () -> Bess_obs.Series.install None) (fun () ->
+        with_db dir (fun db ->
+            (* The same full pass [bessctl stats] makes, repeated with the
+               cache dropped in between so every pass does real work. *)
+            let s = Bess.Db.session db in
+            for _ = 1 to passes do
+              Bess.Session.begin_txn s;
+              List.iter
+                (fun seg_id ->
+                  let seg = Bess.Session.get_seg s ~db_id:(Bess.Db.db_id db) ~seg_id in
+                  Bess.Session.ensure_slotted s seg)
+                (Bess.Catalog.segment_ids (Bess.Db.catalog db));
+              Bess.Session.commit s;
+              Bess.Session.drop_all_cached s
+            done);
+        Bess_obs.Series.flush series;
+        let samples = Bess_obs.Series.to_list series in
+        match samples with
+        | [] -> Printf.printf "no windows sampled (no simulated time elapsed)\n"
+        | _ ->
+            let total_width =
+              List.fold_left (fun acc s -> acc + (s.Bess_obs.Series.w_end_ns - s.w_start_ns))
+                0 samples
+            in
+            let totals : (string, int) Hashtbl.t = Hashtbl.create 64 in
+            List.iter
+              (fun (s : Bess_obs.Series.sample) ->
+                List.iter
+                  (fun (name, d) ->
+                    Hashtbl.replace totals name
+                      (d + Option.value ~default:0 (Hashtbl.find_opt totals name)))
+                  s.w_counters)
+              samples;
+            let last = List.nth samples (List.length samples - 1) in
+            let rows =
+              Hashtbl.fold (fun name total acc -> (name, total) :: acc) totals []
+              |> List.filter (fun (_, total) -> total <> 0)
+              |> List.sort (fun (na, a) (nb, b) ->
+                     match compare b a with 0 -> compare na nb | c -> c)
+            in
+            let shown = List.filteri (fun i _ -> i < limit) rows in
+            Printf.printf "top: %d windows of >=%dus simulated time, %d passes\n"
+              (List.length samples) window_us passes;
+            Printf.printf "  %-36s %12s %12s %10s\n" "COUNTER" "TOTAL" "RATE/s" "LAST/s";
+            List.iter
+              (fun (name, total) ->
+                let avg = float_of_int total *. 1e9 /. float_of_int total_width in
+                let last_rate =
+                  Option.value ~default:0.0 (Bess_obs.Series.sample_rate last name)
+                in
+                Printf.printf "  %-36s %12d %12.0f %10.0f\n" name total avg last_rate)
+              shown;
+            if List.length rows > limit then
+              Printf.printf "  ... %d more counters (raise --top)\n" (List.length rows - limit);
+            (match last.w_gauges with
+            | [] -> ()
+            | gauges ->
+                Printf.printf "  %-36s %12s\n" "GAUGE" "VALUE";
+                List.iter
+                  (fun (name, v) -> Printf.printf "  %-36s %12d\n" name v)
+                  gauges))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Sample repeated database passes into per-window rates and show the busiest metrics")
+    Term.(const run $ dir_arg $ passes $ window_us $ limit)
+
+(* ---- flightrec ---- *)
+
+let flightrec_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Flight-recorder dump (flightrec-*.json)")
+  in
+  let last =
+    Arg.(value & opt int 40 & info [ "last" ] ~docv:"N" ~doc:"Timeline items to print")
+  in
+  let run file last =
+    match Bess_obs.Flightrec.load file with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" file e;
+        exit 2
+    | Ok j ->
+        let module J = Bess_obs.Json in
+        Printf.printf "flight recorder dump %s\n" file;
+        Printf.printf "  reason:    %s\n" (J.get_string ~default:"?" j "reason");
+        Printf.printf "  wall time: %s\n" (J.get_string ~default:"?" j "wall_time");
+        Printf.printf "  sim clock: %dns\n" (J.get_int j "sim_now_ns");
+        let items = Bess_obs.Flightrec.replay j in
+        let spans, faults =
+          List.fold_left
+            (fun (s, f) -> function
+              | Bess_obs.Flightrec.Span_item _ -> (s + 1, f)
+              | Bess_obs.Flightrec.Fault_item _ -> (s, f + 1))
+            (0, 0) items
+        in
+        Printf.printf "  timeline:  %d spans, %d fault firings\n" spans faults;
+        let n = List.length items in
+        let tail =
+          let rec drop i = function _ :: rest when i > 0 -> drop (i - 1) rest | l -> l in
+          drop (Stdlib.max 0 (n - last)) items
+        in
+        if n > List.length tail then
+          Printf.printf "  ... %d earlier items elided (raise --last)\n" (n - List.length tail);
+        List.iter (fun item -> Fmt.pr "  %a@." Bess_obs.Flightrec.pp_item item) tail;
+        (match J.member "series" j with
+        | Some series ->
+            let samples = J.get_list series "samples" in
+            if samples <> [] then
+              Printf.printf "  series: %d windows of %dns recorded\n" (List.length samples)
+                (J.get_int series "window_ns")
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "flightrec"
+       ~doc:"Replay a black-box flight-recorder dump: spans and fault firings interleaved")
+    Term.(const run $ file_arg $ last)
+
 (* ---- compact ---- *)
 
 let compact_cmd =
@@ -308,12 +452,29 @@ let chaos_cmd =
   let rounds_arg =
     Arg.(value & opt int 8 & info [ "rounds" ] ~doc:"Commit rounds per client")
   in
-  let run dir seed profile n_clients rounds =
+  let flightrec_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flightrec" ] ~docv:"DIR"
+             ~doc:
+               "Directory for black-box flight-recorder dumps (defaults to the database \
+                directory); one is written on crash, recovery and chaos failure")
+  in
+  let run dir seed profile n_clients rounds flightrec_dir =
     match Fault.profile_of_string profile with
     | Error e ->
         Printf.eprintf "bad --fault-profile %S: %s\n" profile e;
         exit 2
     | Ok sites ->
+        (* Black box: arm the flight recorder and collect spans so the
+           dumps written on crash/recovery/failure carry a real timeline. *)
+        let frdir = Option.value ~default:dir flightrec_dir in
+        Bess_obs.Flightrec.arm ~dir:frdir ();
+        let coll = Bess_obs.Span.create () in
+        Bess_obs.Span.install (Some coll);
+        Fun.protect ~finally:(fun () ->
+            Bess_obs.Span.install None;
+            Bess_obs.Flightrec.disarm ())
+        @@ fun () ->
         with_db dir (fun db ->
             let server = Bess.Db.server db in
             Bess.Server.set_group_policy server (Bess_wal.Group_commit.Group_n 2);
@@ -393,6 +554,11 @@ let chaos_cmd =
                     Printf.printf "  schedule %-23s %s\n" site
                       (String.concat "+" (List.map string_of_int ords)))
               (Fault.configured ());
+            (* Black-box the faulted phase now: [Fault.reset] clears the
+               firing ring, and the recovery drill below runs fault-free. *)
+            (match Bess_obs.Flightrec.dump ~reason:"chaos-workload" () with
+            | Some path -> Printf.printf "flight recorder: %s\n" path
+            | None -> ());
             (* Disarm, then the recovery drill: every acked value must
                survive the crash. *)
             Fault.reset ();
@@ -407,9 +573,15 @@ let chaos_cmd =
                 Printf.printf "  VIOLATION: slot %d recovered %d, last ack %d\n" i v acked.(i)
               end
             done;
-            if !violations = 0 && leaked = 0 then
-              Printf.printf "verdict: OK -- all acked commits survived recovery, no locks leaked\n"
+            if !violations = 0 && leaked = 0 then begin
+              Printf.printf "verdict: OK -- all acked commits survived recovery, no locks leaked\n";
+              Printf.printf "flight recorder: crash/recovery dumps in %s (bessctl flightrec)\n"
+                frdir
+            end
             else begin
+              (match Bess_obs.Flightrec.dump ~reason:"chaos-failure" () with
+              | Some path -> Printf.printf "flight recorder: %s\n" path
+              | None -> ());
               Printf.printf "verdict: FAILED (%d violations, %d leaked locks)\n" !violations
                 leaked;
               exit 1
@@ -420,7 +592,8 @@ let chaos_cmd =
        ~doc:
          "Replay a deterministic fault profile against a multi-client commit workload, then \
           crash, recover and verify every acked commit survived")
-    Term.(const run $ dir_arg $ seed_arg $ profile_arg $ clients_arg $ rounds_arg)
+    Term.(const run $ dir_arg $ seed_arg $ profile_arg $ clients_arg $ rounds_arg
+          $ flightrec_arg)
 
 let () =
   let doc = "administer BeSS storage-manager databases" in
@@ -428,4 +601,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "bessctl" ~doc)
           [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd; stats_cmd;
-            trace_cmd; chaos_cmd ]))
+            trace_cmd; top_cmd; flightrec_cmd; chaos_cmd ]))

@@ -61,6 +61,10 @@ let create ~nslots ~page_size =
            t.slots
        with Exit -> ());
       !found);
+  Bess_obs.Registry.register_gauge "cache" "cache.resident_pages" (fun () ->
+      Page_id.Tbl.length t.map);
+  Bess_obs.Registry.register_gauge "cache" "cache.dirty_pages" (fun () ->
+      Array.fold_left (fun acc s -> if s.dirty then acc + 1 else acc) 0 t.slots);
   t
 
 let nslots t = Array.length t.slots

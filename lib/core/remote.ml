@@ -97,6 +97,8 @@ let serve (net : network) (server : Server.t) =
      failed execution) runs it for real. *)
   let completed : (int * int, resp) Hashtbl.t = Hashtbl.create 64 in
   let order : (int * int) Queue.t = Queue.create () in
+  Bess_obs.Registry.register_gauge "server" "server.dedup_entries" (fun () ->
+      Hashtbl.length completed);
   let dedup ~src ~rid f =
     if rid = 0 then f ()
     else

@@ -62,21 +62,26 @@ type t = {
 }
 
 let create ?log_path ?log ?group_commit ?(cache_slots = 1024) ?(detect = `Graph) ~id areas =
-  {
-    id;
-    store = Store.create ?log_path ?log ?group_commit ~cache_slots areas;
-    locks = Lock_mgr.create ();
-    cb = Callback.create ();
-    txns = Hashtbl.create 64;
-    sinks = Hashtbl.create 8;
-    hooks = Event.hooks_create ();
-    next_txn = 1;
-    detect;
-    stats =
-      (let stats = Bess_util.Stats.create () in
-       Bess_obs.Registry.register_stats "server" stats;
-       stats);
-  }
+  let t =
+    {
+      id;
+      store = Store.create ?log_path ?log ?group_commit ~cache_slots areas;
+      locks = Lock_mgr.create ();
+      cb = Callback.create ();
+      txns = Hashtbl.create 64;
+      sinks = Hashtbl.create 8;
+      hooks = Event.hooks_create ();
+      next_txn = 1;
+      detect;
+      stats =
+        (let stats = Bess_util.Stats.create () in
+         Bess_obs.Registry.register_stats "server" stats;
+         stats);
+    }
+  in
+  Bess_obs.Registry.register_gauge "server" "server.active_txns" (fun () ->
+      Hashtbl.length t.txns);
+  t
 
 let store t = t.store
 let locks t = t.locks

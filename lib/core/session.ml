@@ -647,6 +647,10 @@ let create ?(pool_slots = 512) ?(page_size = 4096) ?area_ids ~db_id ~catalog ~fe
          stats);
     }
   in
+  Bess_obs.Registry.register_gauge "session" "session.cached_segments" (fun () ->
+      Hashtbl.length t.segs);
+  Bess_obs.Registry.register_gauge "session" "session.mapped_pages" (fun () ->
+      Page_id.Tbl.length t.mapped);
   install_clock t;
   Hashtbl.replace t.dbs db_id
     { b_catalog = catalog; b_fetcher = fetcher; b_default_area = default_area;

@@ -22,6 +22,7 @@ type t = {
   log : Bess_wal.Log.t;
   gc : Bess_wal.Group_commit.t; (* force scheduler for all commit sites *)
   page_lsn : int Page_id.Tbl.t;
+  mutable ckpt_bytes : int; (* log size when the last checkpoint completed *)
   stats : Bess_util.Stats.t;
 }
 
@@ -46,12 +47,18 @@ let create ?log_path ?log ?group_commit ?(cache_slots = 256) areas =
       log = the_log;
       gc = Bess_wal.Group_commit.create ?policy:group_commit the_log;
       page_lsn = Page_id.Tbl.create 1024;
+      ckpt_bytes = 0;
       stats =
         (let stats = Bess_util.Stats.create () in
          Bess_obs.Registry.register_stats "store" stats;
          stats);
     }
   in
+  (* Log growth since the last completed checkpoint: the recovery-work
+     backlog a checkpoint policy would bound. Clamped — a crash can
+     shrink the log below the last checkpoint's high-water mark. *)
+  Bess_obs.Registry.register_gauge "wal" "wal.bytes_since_checkpoint" (fun () ->
+      Stdlib.max 0 (Bess_wal.Log.size_bytes t.log - t.ckpt_bytes));
   ignore (Bess_cache.Clock.create cache);
   Bess_cache.Cache.set_writeback cache (fun page bytes ->
       (* WAL rule: force the log past this page's LSN first. A WAL-rule
@@ -182,11 +189,15 @@ let checkpoint t ~active =
   Bess_wal.Log.flush t.log ~lsn ();
   (* The checkpoint force made any pending committers durable as well. *)
   Bess_wal.Group_commit.release_durable t.gc;
+  t.ckpt_bytes <- Bess_wal.Log.size_bytes t.log;
   Bess_util.Stats.incr t.stats "store.checkpoints"
 
 (* Crash simulation: throw away all volatile state (cache contents, page
    LSNs) and the unforced log tail. *)
 let crash t =
+  (* The black box records the pre-crash state: spans, fault firings and
+     gauges as they stood when the failure hit (no-op while disarmed). *)
+  ignore (Bess_obs.Flightrec.dump ~reason:"crash" ());
   (* Pending durability tickets die with the unforced tail: those commits
      were never acknowledged, and recovery rolls them back. *)
   Bess_wal.Group_commit.reset t.gc;
@@ -203,6 +214,9 @@ let crash t =
 let recover t =
   let outcome = Bess_wal.Recovery.recover t.log (page_io t) in
   Bess_util.Stats.incr t.stats "store.recoveries";
+  (* Post-recovery dump: what the restart did (redo/undo counts land in
+     the snapshot section) and where the system stands now. *)
+  ignore (Bess_obs.Flightrec.dump ~reason:"recovery" ());
   outcome
 
 (* Flush everything (orderly shutdown). *)

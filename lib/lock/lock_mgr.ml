@@ -45,8 +45,15 @@ let create ?(timeout = 1000) () =
      request ever blocked. *)
   ignore (Bess_util.Stats.histogram stats "lock.wait_ticks");
   Bess_obs.Registry.register_stats "lock" stats;
-  { table = Hashtbl.create 256; held = Hashtbl.create 32; tick = 0; timeout; stats;
-    wait_spans = Hashtbl.create 16 }
+  let t =
+    { table = Hashtbl.create 256; held = Hashtbl.create 32; tick = 0; timeout; stats;
+      wait_spans = Hashtbl.create 16 }
+  in
+  Bess_obs.Registry.register_gauge "lock" "lock.table_size" (fun () ->
+      Hashtbl.length t.table);
+  Bess_obs.Registry.register_gauge "lock" "lock.waiters" (fun () ->
+      Hashtbl.fold (fun _ e acc -> acc + List.length e.waiting) t.table 0);
+  t
 
 let stats t = t.stats
 let tick t = t.tick <- t.tick + 1

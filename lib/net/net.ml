@@ -24,21 +24,36 @@ type ('req, 'resp) t = {
   per_message_ns : int;
   per_byte_ns : int;
   mutable clock_ns : int;
+  mutable in_flight : int; (* messages currently being delivered (nested RPCs stack) *)
   stats : Bess_util.Stats.t;
 }
 
 let create ?(per_message_ns = 150_000) ?(per_byte_ns = 10) ~req_cost ~resp_cost () =
   let stats = Bess_util.Stats.create () in
   Bess_obs.Registry.register_stats "net" stats;
-  {
-    handlers = Hashtbl.create 16;
-    req_cost;
-    resp_cost;
-    per_message_ns;
-    per_byte_ns;
-    clock_ns = 0;
-    stats;
-  }
+  let t =
+    {
+      handlers = Hashtbl.create 16;
+      req_cost;
+      resp_cost;
+      per_message_ns;
+      per_byte_ns;
+      clock_ns = 0;
+      in_flight = 0;
+      stats;
+    }
+  in
+  Bess_obs.Registry.register_gauge "net" "net.in_flight" (fun () -> t.in_flight);
+  t
+
+let in_flight t = t.in_flight
+
+(* Bracket one delivery: the synchronous transport means the gauge reads
+   as the nesting depth of in-progress messages (a node server
+   forwarding a fetch shows 2). *)
+let delivering t f =
+  t.in_flight <- t.in_flight + 1;
+  Fun.protect ~finally:(fun () -> t.in_flight <- t.in_flight - 1) f
 
 (* Re-registering an endpoint replaces its handler: a client that
    attaches to several servers keeps one endpoint whose successive sink
@@ -105,6 +120,7 @@ let call t ~src ~dst req =
   | None -> dead_letter t ~bytes:(t.req_cost req) dst
   | Some handler ->
       Span.with_span ~attrs:(route_attrs src dst) ~kind:"net.rpc" (fun () ->
+          delivering t @@ fun () ->
           inject_delay t;
           Span.with_span ~kind:"net.wire" (fun () -> account t ~bytes:(t.req_cost req));
           if Bess_fault.Fault.fire "net.drop_request" then begin
@@ -135,6 +151,7 @@ let send t ~src ~dst req =
   | None -> dead_letter t ~bytes:(t.req_cost req) dst
   | Some handler ->
       Span.with_span ~attrs:(route_attrs src dst) ~kind:"net.send" (fun () ->
+          delivering t @@ fun () ->
           inject_delay t;
           Span.with_span ~kind:"net.wire" (fun () -> account t ~bytes:(t.req_cost req));
           if Bess_fault.Fault.fire "net.drop_request" then begin

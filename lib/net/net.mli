@@ -52,3 +52,9 @@ val send : ('req, 'resp) t -> src:int -> dst:int -> 'req -> unit
 
 val messages : ('req, 'resp) t -> int
 val bytes : ('req, 'resp) t -> int
+
+(** Messages currently being delivered. The transport is synchronous, so
+    this reads as the nesting depth of in-progress deliveries (a node
+    server forwarding a fetch shows 2); exported as the [net.in_flight]
+    gauge. *)
+val in_flight : ('req, 'resp) t -> int

@@ -1,0 +1,206 @@
+(* A minimal JSON reader for the observability plane's own artifacts
+   (flight-recorder dumps, series exports). Hand-rolled recursive descent
+   -- the repo deliberately takes no JSON dependency; the writers are the
+   hand-built buffer emitters in Registry/Span/Series, and this is their
+   inverse, sufficient for well-formed output of those emitters plus
+   ordinary interchange JSON. Numbers are parsed as floats (ints
+   round-trip exactly up to 2^53, far beyond any simulated-clock value we
+   emit). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> error "expected '%c' at offset %d, found '%c'" ch c.pos x
+  | None -> error "expected '%c' at offset %d, found end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error "invalid literal at offset %d" c.pos
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.src then error "unterminated string";
+    let ch = c.src.[c.pos] in
+    c.pos <- c.pos + 1;
+    match ch with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        if c.pos >= String.length c.src then error "unterminated escape";
+        let e = c.src.[c.pos] in
+        c.pos <- c.pos + 1;
+        match e with
+        | '"' -> Buffer.add_char buf '"'; go ()
+        | '\\' -> Buffer.add_char buf '\\'; go ()
+        | '/' -> Buffer.add_char buf '/'; go ()
+        | 'n' -> Buffer.add_char buf '\n'; go ()
+        | 't' -> Buffer.add_char buf '\t'; go ()
+        | 'r' -> Buffer.add_char buf '\r'; go ()
+        | 'b' -> Buffer.add_char buf '\b'; go ()
+        | 'f' -> Buffer.add_char buf '\012'; go ()
+        | 'u' ->
+            if c.pos + 4 > String.length c.src then error "truncated \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> error "bad \\u escape %S" hex
+            in
+            (* Encode the code point as UTF-8; surrogate pairs are not
+               recombined -- our own emitters only escape control chars. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | e -> error "bad escape '\\%c'" e)
+    | ch -> Buffer.add_char buf ch; go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.src && is_num_char c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Num f
+  | None -> error "bad number %S at offset %d" s start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error "unexpected end of input"
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          expect c '"';
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              Obj (List.rev ((key, v) :: acc))
+          | _ -> error "expected ',' or '}' at offset %d" c.pos
+        in
+        members []
+      end
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              Arr (List.rev (v :: acc))
+          | _ -> error "expected ',' or ']' at offset %d" c.pos
+        in
+        elements []
+      end
+  | Some '"' ->
+      c.pos <- c.pos + 1;
+      Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+      else Ok v
+  | exception Parse_error m -> Error m
+
+let parse_exn s =
+  match parse s with Ok v -> v | Error m -> raise (Parse_error m)
+
+(* ---- Accessors ------------------------------------------------------------ *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_list = function Arr l -> Some l | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_obj = function Obj fields -> Some fields | _ -> None
+
+let get_string ?(default = "") j name =
+  Option.value ~default (Option.bind (member name j) to_string)
+
+let get_int ?(default = 0) j name =
+  Option.value ~default (Option.bind (member name j) to_int)
+
+let get_list j name = Option.value ~default:[] (Option.bind (member name j) to_list)

@@ -1,0 +1,38 @@
+(** Minimal JSON reader for the observability plane's own artifacts
+    (flight-recorder dumps, series exports). Hand-rolled — the repo takes
+    no JSON dependency; this is the inverse of the hand-built emitters in
+    {!Registry}/{!Span}/{!Series}. Numbers parse as floats (ints
+    round-trip exactly up to 2^53). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+(** [member name j] is the field [name] of object [j], if any. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_float : t -> float option
+
+(** [to_int] succeeds only on numbers with no fractional part. *)
+val to_int : t -> int option
+
+val to_obj : t -> (string * t) list option
+
+(** Field accessors with defaults: [get_string j name] is [""] (or
+    [default]) when the field is missing or not a string, and likewise
+    for [get_int] (0) and [get_list] ([]). *)
+val get_string : ?default:string -> t -> string -> string
+
+val get_int : ?default:int -> t -> string -> int
+val get_list : t -> string -> t list

@@ -1,11 +1,13 @@
 (** The process-wide metrics registry.
 
     Substrates register their {!Bess_util.Stats.t} (or a standalone
-    {!Bess_util.Histogram.t}) under a namespaced key at construction time;
-    [snapshot]/[diff] then turn the whole system's counters into
-    before/after deltas for a workload. Registering an existing key
-    replaces the binding, so the registry reflects the most recently
-    created instance of each namespace. *)
+    {!Bess_util.Histogram.t}, or a gauge callback) under a namespaced key
+    at construction time; [snapshot]/[diff] then turn the whole system's
+    counters into before/after deltas for a workload, with gauges sampled
+    at snapshot time reporting state (cache occupancy, WAL backlog, ...)
+    rather than flow. Registering an existing key replaces the binding, so
+    the registry reflects the most recently created instance of each
+    namespace. *)
 
 type t
 
@@ -14,13 +16,31 @@ val create : unit -> t
 (** The default, process-wide registry that substrates register into. *)
 val default : t
 
+(** Legal first components of metric names ("cache", "wal", "lock", ...).
+    The metric-name hygiene test greps source literals against this table,
+    the same way span kinds are checked against {!Span.kinds}. *)
+val metric_namespaces : string list
+
 (** [register_stats key stats] binds every counter and histogram of
     [stats] under [key]. Snapshot names flatten as [key ^ "." ^ counter]
     unless the counter already carries the [key ^ "."] prefix. *)
 val register_stats : ?registry:t -> string -> Bess_util.Stats.t -> unit
 
-val register_histogram : ?registry:t -> string -> Bess_util.Histogram.t -> unit
+(** [register_histogram key name h] binds a standalone histogram under
+    [flatten_key key name] — the same flattening rule as counters, so a
+    histogram can never clobber a stats namespace binding. *)
+val register_histogram : ?registry:t -> string -> string -> Bess_util.Histogram.t -> unit
+
+(** [register_gauge key name fn] binds a sampled-on-demand gauge under
+    [flatten_key key name]. [fn] must be a pure read of substrate state:
+    it runs at every snapshot, including from the {!Series} sampler. A
+    callback that raises is dropped from the snapshot, not reported as 0. *)
+val register_gauge : ?registry:t -> string -> string -> (unit -> int) -> unit
+
+(** Remove the whole namespace [key]: its stats binding plus every
+    standalone histogram and gauge flattened under [key ^ "."]. *)
 val unregister : ?registry:t -> string -> unit
+
 val keys : ?registry:t -> unit -> string list
 
 (** [with_fresh f] empties the registry (default: the process-wide one)
@@ -46,21 +66,34 @@ type snapshot
 val counters : snapshot -> (string * int) list
 
 val histograms : snapshot -> (string * hist_summary) list
+
+(** Sorted [(flattened name, value)] gauges, sampled when the snapshot
+    was taken. *)
+val gauges : snapshot -> (string * int) list
+
 val snapshot : ?registry:t -> unit -> snapshot
 
-(** Per-counter deltas, [after - before] (zero deltas dropped; missing
-    counters count from 0; shrunken counters yield negative deltas).
-    Histogram count/sum are deltas (or the [after] instance whole when
-    its count shrank, i.e. the substrate was re-created mid-window); the
-    remaining summary fields are reported from [after]. *)
-val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-counter deltas, [after - before] (zero deltas dropped unless
+    [keep_zeros]; missing counters count from 0; shrunken counters yield
+    negative deltas). Histogram count/sum are deltas (or the [after]
+    instance whole when its count shrank, i.e. the substrate was
+    re-created mid-window); the remaining summary fields are reported
+    from [after]. Gauges are state, not flow: [after]'s values are
+    carried through unchanged. *)
+val diff : ?keep_zeros:bool -> before:snapshot -> after:snapshot -> unit -> snapshot
 
 val pp_hist_summary : Format.formatter -> hist_summary -> unit
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
 (** Render a snapshot as one JSON object:
-    [{"counters":{...},"histograms":{...}}]. *)
+    [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
 val json_of_snapshot : snapshot -> string
+
+(** Render a snapshot in Prometheus text exposition format: dots map to
+    underscores under a ["bess_"] prefix, labeled counters
+    (["net.calls{1->2}"]) become [{label="..."}] series, histograms render
+    as summaries (quantile series plus [_sum]/[_count]). *)
+val prom_of_snapshot : snapshot -> string
 
 (** Escape and quote a string as a JSON string literal. *)
 val json_string : string -> string

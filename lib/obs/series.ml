@@ -1,0 +1,176 @@
+(* Windowed time-series sampling on the simulated clock.
+
+   A Series turns the registry's point-in-time snapshots into behaviour
+   over time: whenever the simulated clock crosses a window boundary
+   (observed via the {!Span.set_tick_hook} hook, one branch when no
+   series is installed), the sampler diffs the registry against the
+   previous window's snapshot and records the per-window counter deltas
+   plus the sampled gauge values into a bounded ring.
+
+   Windows are *at least* [window_ns] long: a single large clock jump (a
+   100us log force against a 10us window) closes one window spanning the
+   whole jump rather than fabricating a run of empty windows, and each
+   sample carries its true [start, end] so rates divide by real window
+   width. Deltas keep zero-valued counters ([diff ~keep_zeros:true]) so
+   a quiet window still distinguishes "untouched" from "unregistered". *)
+
+type sample = {
+  w_index : int; (* monotonically increasing window number *)
+  w_start_ns : int;
+  w_end_ns : int;
+  w_counters : (string * int) list; (* deltas over the window, zeros kept *)
+  w_gauges : (string * int) list; (* values at window end *)
+}
+
+type t = {
+  window_ns : int;
+  registry : Registry.t;
+  ring : sample option array;
+  mutable head : int;
+  mutable length : int;
+  mutable next_index : int;
+  mutable dropped : int;
+  mutable window_start : int;
+  mutable base : Registry.snapshot;
+  mutable sampling : bool; (* reentrancy guard: gauges must not resample *)
+}
+
+let create ?(capacity = 512) ?(window_ns = 1_000_000) ?(registry = Registry.default) () =
+  if capacity <= 0 then invalid_arg "Series.create: capacity must be positive";
+  if window_ns <= 0 then invalid_arg "Series.create: window_ns must be positive";
+  {
+    window_ns;
+    registry;
+    ring = Array.make capacity None;
+    head = 0;
+    length = 0;
+    next_index = 0;
+    dropped = 0;
+    window_start = Span.now_ns ();
+    base = Registry.snapshot ~registry ();
+    sampling = false;
+  }
+
+let push t s =
+  (match t.ring.(t.head) with
+  | Some _ -> t.dropped <- t.dropped + 1
+  | None -> ());
+  t.ring.(t.head) <- Some s;
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  if t.length < Array.length t.ring then t.length <- t.length + 1
+
+let close_window t ~now =
+  let snap = Registry.snapshot ~registry:t.registry () in
+  let d = Registry.diff ~keep_zeros:true ~before:t.base ~after:snap () in
+  push t
+    {
+      w_index = t.next_index;
+      w_start_ns = t.window_start;
+      w_end_ns = now;
+      w_counters = Registry.counters d;
+      w_gauges = Registry.gauges snap;
+    };
+  t.next_index <- t.next_index + 1;
+  t.base <- snap;
+  t.window_start <- now
+
+let tick t =
+  if not t.sampling then begin
+    let now = Span.now_ns () in
+    if now - t.window_start >= t.window_ns then begin
+      t.sampling <- true;
+      Fun.protect ~finally:(fun () -> t.sampling <- false) (fun () -> close_window t ~now)
+    end
+  end
+
+(* Force-close the current window even if the clock has not crossed a
+   boundary — the tail of a run would otherwise be lost. Empty partial
+   windows (no time elapsed) are skipped. *)
+let flush t =
+  if not t.sampling then begin
+    let now = Span.now_ns () in
+    if now > t.window_start then begin
+      t.sampling <- true;
+      Fun.protect ~finally:(fun () -> t.sampling <- false) (fun () -> close_window t ~now)
+    end
+  end
+
+(* ---- Installation --------------------------------------------------------- *)
+
+let the_series : t option ref = ref None
+
+let install s =
+  the_series := s;
+  match s with
+  | None -> Span.set_tick_hook None
+  | Some t ->
+      t.window_start <- Span.now_ns ();
+      t.base <- Registry.snapshot ~registry:t.registry ();
+      Span.set_tick_hook (Some (fun () -> tick t))
+
+let installed () = !the_series
+
+(* ---- Queries --------------------------------------------------------------- *)
+
+let to_list t =
+  let cap = Array.length t.ring in
+  let first = (t.head - t.length + cap) mod cap in
+  List.init t.length (fun i ->
+      match t.ring.((first + i) mod cap) with Some s -> s | None -> assert false)
+
+let windows t = t.length
+let dropped t = t.dropped
+let window_ns t = t.window_ns
+
+let last t =
+  if t.length = 0 then None
+  else
+    t.ring.((t.head - 1 + Array.length t.ring) mod Array.length t.ring)
+
+let sample_delta s name = List.assoc_opt name s.w_counters
+let sample_gauge s name = List.assoc_opt name s.w_gauges
+
+(* Per-second rate of [name] over sample [s]: delta divided by the true
+   window width. *)
+let sample_rate s name =
+  match sample_delta s name with
+  | None -> None
+  | Some d ->
+      let width = s.w_end_ns - s.w_start_ns in
+      if width <= 0 then None else Some (float_of_int d *. 1e9 /. float_of_int width)
+
+(* Rate over the most recently completed window. *)
+let rate t name = Option.bind (last t) (fun s -> sample_rate s name)
+
+(* ---- JSON export ----------------------------------------------------------- *)
+
+let json_of_sample s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"i\":%d,\"start_ns\":%d,\"end_ns\":%d,\"counters\":{" s.w_index
+       s.w_start_ns s.w_end_ns);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%s:%d" (Registry.json_string k) v))
+    s.w_counters;
+  Buffer.add_string buf "},\"gauges\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%s:%d" (Registry.json_string k) v))
+    s.w_gauges;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let json_of t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"window_ns\":%d,\"dropped\":%d,\"samples\":[" t.window_ns t.dropped);
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (json_of_sample s))
+    (to_list t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -75,7 +75,19 @@ let check_kind kind =
 
 let clock = ref 0
 let now_ns () = !clock
-let advance_ns n = if n > 0 then clock := !clock + n
+
+(* The windowed sampler (Series) hooks clock advances to close sampling
+   windows in simulated time. One match on a ref when no hook is
+   installed — the same zero-cost bar as the collector branch. The hook
+   runs after the clock has moved and must not advance it recursively. *)
+let tick_hook : (unit -> unit) option ref = ref None
+let set_tick_hook h = tick_hook := h
+
+let advance_ns n =
+  if n > 0 then begin
+    clock := !clock + n;
+    match !tick_hook with None -> () | Some f -> f ()
+  end
 
 let the_collector : t option ref = ref None
 let current : span option ref = ref None

@@ -59,6 +59,12 @@ val now_ns : unit -> int
     amounts are ignored). Cheap enough to call unconditionally. *)
 val advance_ns : int -> unit
 
+(** Install (or, with [None], remove) the clock-tick hook: called after
+    every positive {!advance_ns}, once the clock has moved. One match on
+    a ref when absent — the {!Series} sampler uses it to close sampling
+    windows in simulated time. The hook must not advance the clock. *)
+val set_tick_hook : (unit -> unit) option -> unit
+
 val none : handle
 
 (** [with_span ~kind f] opens a child of the ambient span, makes it

@@ -66,19 +66,34 @@ let create ?(page_size = 4096) () =
   let stats = Bess_util.Stats.create () in
   ignore (Bess_util.Stats.histogram stats "vmem.fault_work");
   Bess_obs.Registry.register_stats "vmem" stats;
-  {
-    page_size;
-    pages = Array.make 1024 None;
-    next_page = 1 (* page 0 stays unreserved so address 0 is a trap null *);
-    free_ranges = [];
-    handler = None;
-    in_handler = false;
-    tlb = None;
-    reserved_now = 0;
-    reserved_peak = 0;
-    mapped_now = 0;
-    stats;
-  }
+  let t =
+    {
+      page_size;
+      pages = Array.make 1024 None;
+      next_page = 1 (* page 0 stays unreserved so address 0 is a trap null *);
+      free_ranges = [];
+      handler = None;
+      in_handler = false;
+      tlb = None;
+      reserved_now = 0;
+      reserved_peak = 0;
+      mapped_now = 0;
+      stats;
+    }
+  in
+  Bess_obs.Registry.register_gauge "vmem" "vmem.reserved_pages" (fun () -> t.reserved_now);
+  Bess_obs.Registry.register_gauge "vmem" "vmem.mapped_pages" (fun () -> t.mapped_now);
+  (* Access-protected reserved pages (anything short of read-write):
+     counted by scan at sample time — protection flips are the hot path
+     the paper measures, so they stay free of gauge bookkeeping. *)
+  Bess_obs.Registry.register_gauge "vmem" "vmem.protected_pages" (fun () ->
+      Array.fold_left
+        (fun acc p ->
+          match p with
+          | Some { prot = Prot_none | Prot_read; _ } -> acc + 1
+          | _ -> acc)
+        0 t.pages);
+  t
 
 let page_size t = t.page_size
 let stats t = t.stats

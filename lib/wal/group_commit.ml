@@ -76,7 +76,11 @@ let policy_of_string s =
           | Some n when n >= 1 -> Ok (norm (Group_n n))
           | _ -> Error (Printf.sprintf "bad group-commit policy %S" s)))
 
-let create ?(policy = Immediate) log = { log; policy; pending = []; window_start = -1 }
+let create ?(policy = Immediate) log =
+  let t = { log; policy; pending = []; window_start = -1 } in
+  Bess_obs.Registry.register_gauge "wal" "wal.pending_tickets" (fun () ->
+      List.length t.pending);
+  t
 
 let policy t = t.policy
 let pending t = List.length t.pending

@@ -32,12 +32,20 @@ let make_stats () =
   Bess_obs.Registry.register_stats "wal" stats;
   stats
 
+let register_gauges t =
+  Bess_obs.Registry.register_gauge "wal" "wal.unflushed_bytes" (fun () ->
+      t.used - t.flushed)
+
 let create ?path () =
   let backing =
     Option.map (fun p -> Unix.openfile p [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644) path
   in
-  { buf = Bytes.create 4096; used = 0; flushed = 0; last_lsn = 0; backing;
-    stats = make_stats () }
+  let t =
+    { buf = Bytes.create 4096; used = 0; flushed = 0; last_lsn = 0; backing;
+      stats = make_stats () }
+  in
+  register_gauges t;
+  t
 
 let stats t = t.stats
 let last_lsn t = t.last_lsn
@@ -209,6 +217,7 @@ let open_existing path =
     { buf; used = len; flushed = len; last_lsn = 0; backing = Some fd;
       stats = make_stats () }
   in
+  register_gauges t;
   (* Find the valid prefix: walk the records with [decode], whose [next]
      offset already delimits each one — no re-encoding, and no dependency
      on encode/decode round-trip stability. *)

@@ -5,6 +5,7 @@ let () =
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
       ("span", Test_span.suite);
+      ("series", Test_series.suite);
       ("vmem", Test_vmem.suite);
       ("buddy", Test_buddy.suite);
       ("storage", Test_storage.suite);

@@ -20,7 +20,7 @@ let test_registry_snapshot_diff () =
   Stats.incr st "log.appends";
   Stats.incr st "log.appends";
   let after = Registry.snapshot ~registry:reg () in
-  let d = Registry.diff ~before ~after in
+  let d = Registry.diff ~before ~after () in
   Alcotest.(check (list (pair string int)))
     "diff keeps moved counters only" [ ("wal.log.appends", 2) ]
     (Registry.counters d)
@@ -190,6 +190,228 @@ let test_hook_order_preserved () =
   Alcotest.(check (list int)) "registration order" (List.init n (fun i -> i + 1))
     (List.rev !ran)
 
+(* ---- gauges, diff flags, Prometheus exposition ---- *)
+
+let contains hay needle =
+  let nl = String.length needle in
+  let rec search i =
+    i + nl <= String.length hay && (String.sub hay i nl = needle || search (i + 1))
+  in
+  search 0
+
+let test_registry_gauges () =
+  let reg = Registry.create () in
+  let v = ref 3 in
+  Registry.register_gauge ~registry:reg "cache" "resident_pages" (fun () -> !v);
+  Registry.register_gauge ~registry:reg "wal" "wal.unflushed_bytes" (fun () -> 7);
+  let snap = Registry.snapshot ~registry:reg () in
+  Alcotest.(check (list (pair string int)))
+    "gauges sampled and flattened (bare prefixed, namespaced kept)"
+    [ ("cache.resident_pages", 3); ("wal.unflushed_bytes", 7) ]
+    (Registry.gauges snap);
+  v := 10;
+  Alcotest.(check (list (pair string int)))
+    "a snapshot is a point in time"
+    [ ("cache.resident_pages", 3); ("wal.unflushed_bytes", 7) ]
+    (Registry.gauges snap);
+  (* Latest registration wins, like stats; a raising callback is dropped
+     from the snapshot, not fabricated as 0. *)
+  Registry.register_gauge ~registry:reg "cache" "resident_pages" (fun () -> 99);
+  Registry.register_gauge ~registry:reg "wal" "wal.unflushed_bytes" (fun () ->
+      failwith "substrate gone");
+  Alcotest.(check (list (pair string int)))
+    "replacement visible, raising gauge dropped"
+    [ ("cache.resident_pages", 99) ]
+    (Registry.gauges (Registry.snapshot ~registry:reg ()));
+  let json = Registry.json_of_snapshot (Registry.snapshot ~registry:reg ()) in
+  Alcotest.(check bool) "json carries gauges" true
+    (contains json "\"gauges\":{\"cache.resident_pages\":99}")
+
+let test_diff_keep_zeros_and_gauges () =
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Registry.register_stats ~registry:reg "wal" st;
+  let g = ref 5 in
+  Registry.register_gauge ~registry:reg "wal" "pending" (fun () -> !g);
+  Stats.add st "a" 4;
+  Stats.add st "b" 2;
+  let before = Registry.snapshot ~registry:reg () in
+  Stats.incr st "a";
+  g := 9;
+  let after = Registry.snapshot ~registry:reg () in
+  let d = Registry.diff ~before ~after () in
+  Alcotest.(check (list (pair string int)))
+    "zero deltas dropped by default" [ ("wal.a", 1) ] (Registry.counters d);
+  let dz = Registry.diff ~keep_zeros:true ~before ~after () in
+  Alcotest.(check (list (pair string int)))
+    "keep_zeros keeps untouched counters"
+    [ ("wal.a", 1); ("wal.b", 0) ]
+    (Registry.counters dz);
+  Alcotest.(check (list (pair string int)))
+    "gauges are state, not flow: after's values carried through"
+    [ ("wal.pending", 9) ]
+    (Registry.gauges d)
+
+let test_diff_negative_and_recreated () =
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Stats.add st "c" 10;
+  Stats.observe st "wal.bytes" 100;
+  Stats.observe st "wal.bytes" 50;
+  Registry.register_stats ~registry:reg "wal" st;
+  let before = Registry.snapshot ~registry:reg () in
+  (* The substrate is torn down and re-created mid-window: its counters
+     restart from zero, so the delta goes negative and the histogram is
+     reported whole rather than as a nonsense negative-count diff. *)
+  let st2 = Stats.create () in
+  Stats.add st2 "c" 4;
+  Stats.observe st2 "wal.bytes" 30;
+  Registry.register_stats ~registry:reg "wal" st2;
+  let after = Registry.snapshot ~registry:reg () in
+  let d = Registry.diff ~before ~after () in
+  Alcotest.(check (list (pair string int)))
+    "shrunken counter yields a negative delta" [ ("wal.c", -6) ] (Registry.counters d);
+  match Registry.histograms d with
+  | [ (name, h) ] ->
+      Alcotest.(check string) "histogram key" "wal.bytes" name;
+      Alcotest.(check int) "re-created instance reported whole" 1 h.Registry.h_count;
+      Alcotest.(check int) "sum from the new instance" 30 h.Registry.h_sum
+  | l -> Alcotest.fail (Printf.sprintf "expected one histogram, got %d" (List.length l))
+
+let test_histogram_stats_namespace_collision () =
+  (* A standalone histogram registered under a key that also binds a
+     stats namespace must not clobber it: both flatten into the shared
+     dotted namespace and coexist. *)
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Stats.incr st "log.forces";
+  Registry.register_stats ~registry:reg "wal" st;
+  let h = Bess_util.Histogram.create () in
+  Bess_util.Histogram.observe h 5;
+  Registry.register_histogram ~registry:reg "wal" "force_wait" h;
+  let snap = Registry.snapshot ~registry:reg () in
+  Alcotest.(check (list (pair string int)))
+    "stats namespace survives the histogram registration"
+    [ ("wal.log.forces", 1) ]
+    (Registry.counters snap);
+  (match Registry.histograms snap with
+  | [ (name, hs) ] ->
+      Alcotest.(check string) "histogram flattened uniformly" "wal.force_wait" name;
+      Alcotest.(check int) "count" 1 hs.Registry.h_count
+  | l -> Alcotest.fail (Printf.sprintf "expected one histogram, got %d" (List.length l)));
+  (* And the whole namespace unregisters as one unit. *)
+  Registry.register_gauge ~registry:reg "wal" "pending" (fun () -> 1);
+  Registry.unregister ~registry:reg "wal";
+  let snap = Registry.snapshot ~registry:reg () in
+  Alcotest.(check int) "counters gone" 0 (List.length (Registry.counters snap));
+  Alcotest.(check int) "histograms gone" 0 (List.length (Registry.histograms snap));
+  Alcotest.(check int) "gauges gone" 0 (List.length (Registry.gauges snap))
+
+let test_with_fresh_restores_all_tables () =
+  let reg = Registry.create () in
+  Registry.register_gauge ~registry:reg "cache" "g" (fun () -> 1);
+  let h = Bess_util.Histogram.create () in
+  Bess_util.Histogram.observe h 2;
+  Registry.register_histogram ~registry:reg "wal" "h" h;
+  (try
+     Registry.with_fresh ~registry:reg (fun () ->
+         Alcotest.(check (list string)) "all tables empty inside" [] (Registry.keys ~registry:reg ());
+         Registry.register_gauge ~registry:reg "net" "n" (fun () -> 2);
+         failwith "boom")
+   with Failure _ -> ());
+  let snap = Registry.snapshot ~registry:reg () in
+  Alcotest.(check (list (pair string int)))
+    "gauges restored on exception, inner gone" [ ("cache.g", 1) ] (Registry.gauges snap);
+  Alcotest.(check int) "histograms restored" 1 (List.length (Registry.histograms snap))
+
+let test_prom_exposition () =
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Stats.incr st "log.forces";
+  Stats.incr_labeled st "net.calls" ~label:"1->2";
+  Stats.observe st "wal.waits" 8;
+  Registry.register_stats ~registry:reg "wal" st;
+  Registry.register_gauge ~registry:reg "cache" "resident_pages" (fun () -> 4);
+  let s = Registry.prom_of_snapshot (Registry.snapshot ~registry:reg ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposition has %S" needle) true (contains s needle))
+    [
+      "# TYPE bess_wal_log_forces counter";
+      "bess_wal_log_forces 1";
+      "bess_wal_net_calls{label=\"1->2\"} 1";
+      "# TYPE bess_cache_resident_pages gauge";
+      "bess_cache_resident_pages 4";
+      "# TYPE bess_wal_waits summary";
+      "bess_wal_waits{quantile=\"0.99\"}";
+      "bess_wal_waits_sum 8";
+      "bess_wal_waits_count 1";
+    ]
+
+(* Hygiene: every dotted metric-name literal in lib/ (Stats calls and
+   gauge registrations) must be snake_case with its first component in
+   Registry.metric_namespaces — the counter analogue of the span-kinds
+   check. Skips when git is unavailable. *)
+let test_metric_names_hygienic () =
+  let slurp cmd =
+    let ic = Unix.open_process_in cmd in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    match Unix.close_process_in ic with Unix.WEXITED 0 -> Some !lines | _ -> None
+  in
+  let quoted line =
+    match String.index_opt line '"' with
+    | Some i ->
+        let j = String.rindex line '"' in
+        if j > i then Some (String.sub line (i + 1) (j - i - 1)) else None
+    | None -> None
+  in
+  let stats_lits =
+    slurp
+      "git grep -hoE 'Stats\\.(incr|add|set|observe|incr_labeled|add_labeled|histogram)[^\"]*\"[a-z0-9_.]+\"' -- ':(top)lib' 2>/dev/null | sort -u"
+  in
+  let gauge_lits =
+    slurp
+      "git grep -hoE 'register_gauge[^\"]*\"[a-z0-9_]+\" +\"[a-z0-9_.]+\"' -- ':(top)lib' 2>/dev/null | sed 's/.*\" //' | sort -u"
+  in
+  match (stats_lits, gauge_lits) with
+  | Some stats_lines, Some gauge_lines ->
+      let names =
+        List.filter_map quoted stats_lines @ List.filter_map quoted gauge_lines
+      in
+      Alcotest.(check bool) "grep found the instrumentation" true (List.length names > 40);
+      let is_component c =
+        c <> ""
+        && String.for_all (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false) c
+      in
+      List.iter
+        (fun name ->
+          (* Literals like "span." / "event." are prefixes completed at
+             runtime: validate the leading component only. *)
+          let parts = String.split_on_char '.' name in
+          let parts =
+            match List.rev parts with "" :: rest -> List.rev rest | _ -> parts
+          in
+          (match parts with
+          | first :: _ ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%S starts with a registered namespace" name)
+                true
+                (List.mem first Registry.metric_namespaces)
+          | [] -> Alcotest.failf "empty metric literal %S" name);
+          List.iter
+            (fun c ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%S component %S is snake_case" name c)
+                true (is_component c))
+            parts)
+        names
+  | _ -> () (* git unavailable: nothing to check *)
+
 (* Hygiene: build artifacts must not be tracked. Skips when git (or the
    .git directory) is unavailable in the test environment. *)
 let test_no_build_artifacts_tracked () =
@@ -219,4 +441,11 @@ let suite =
     Alcotest.test_case "event_feeds_trace" `Quick test_event_feeds_trace;
     Alcotest.test_case "hook_order_preserved" `Quick test_hook_order_preserved;
     Alcotest.test_case "no_build_artifacts_tracked" `Quick test_no_build_artifacts_tracked;
+    Alcotest.test_case "registry_gauges" `Quick test_registry_gauges;
+    Alcotest.test_case "diff_keep_zeros_and_gauges" `Quick test_diff_keep_zeros_and_gauges;
+    Alcotest.test_case "diff_negative_and_recreated" `Quick test_diff_negative_and_recreated;
+    Alcotest.test_case "histogram_stats_collision" `Quick test_histogram_stats_namespace_collision;
+    Alcotest.test_case "with_fresh_restores_all_tables" `Quick test_with_fresh_restores_all_tables;
+    Alcotest.test_case "prom_exposition" `Quick test_prom_exposition;
+    Alcotest.test_case "metric_names_hygienic" `Quick test_metric_names_hygienic;
   ]

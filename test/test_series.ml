@@ -1,0 +1,245 @@
+(* The temporal half of the observability plane: windowed Series
+   sampling on the simulated clock, the JSON reader, and the black-box
+   flight recorder's dump -> load -> replay round trip. *)
+
+module Registry = Bess_obs.Registry
+module Series = Bess_obs.Series
+module Span = Bess_obs.Span
+module Flightrec = Bess_obs.Flightrec
+module Json = Bess_obs.Json
+module Stats = Bess_util.Stats
+module Fault = Bess_fault.Fault
+
+let with_series series f =
+  Series.install (Some series);
+  Fun.protect ~finally:(fun () -> Series.install None) f
+
+let test_windowed_sampling () =
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Registry.register_stats ~registry:reg "wal" st;
+  let g = ref 2 in
+  Registry.register_gauge ~registry:reg "wal" "pending" (fun () -> !g);
+  Stats.add st "forces" 10;
+  let series = Series.create ~window_ns:1000 ~registry:reg () in
+  with_series series (fun () ->
+      Stats.incr st "forces";
+      Span.advance_ns 1000;
+      (* window 0 closes: delta 1 *)
+      Stats.add st "forces" 3;
+      g := 7;
+      Span.advance_ns 400;
+      Span.advance_ns 600;
+      (* window 1 closes: delta 3 *)
+      Span.advance_ns 1000 (* window 2 closes: untouched, delta 0 *));
+  match Series.to_list series with
+  | [ w0; w1; w2 ] ->
+      Alcotest.(check int) "indices" 0 w0.Series.w_index;
+      Alcotest.(check int) "w1 index" 1 w1.Series.w_index;
+      Alcotest.(check (option int)) "w0 delta" (Some 1) (Series.sample_delta w0 "wal.forces");
+      Alcotest.(check (option int)) "w1 delta" (Some 3) (Series.sample_delta w1 "wal.forces");
+      Alcotest.(check (option int))
+        "quiet window keeps the zero (untouched /= unregistered)" (Some 0)
+        (Series.sample_delta w2 "wal.forces");
+      Alcotest.(check (option int)) "gauge at w1 end" (Some 7) (Series.sample_gauge w1 "wal.pending");
+      Alcotest.(check int) "w1 spans its true width" 1000
+        (w1.Series.w_end_ns - w1.Series.w_start_ns);
+      (* 3 counts over 1000 simulated ns = 3e6/s. *)
+      (match Series.sample_rate w1 "wal.forces" with
+      | Some r -> Alcotest.(check bool) "rate over true width" true (abs_float (r -. 3e6) < 1.0)
+      | None -> Alcotest.fail "rate missing")
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 windows, got %d" (List.length l))
+
+let test_large_jump_one_window () =
+  (* One big clock jump closes ONE window spanning the jump — no run of
+     fabricated empty windows — and the rate divides by the real width. *)
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Registry.register_stats ~registry:reg "wal" st;
+  let series = Series.create ~window_ns:1000 ~registry:reg () in
+  with_series series (fun () ->
+      Stats.add st "forces" 4;
+      Span.advance_ns 8000);
+  match Series.to_list series with
+  | [ w ] ->
+      Alcotest.(check int) "true width recorded" 8000 (w.Series.w_end_ns - w.Series.w_start_ns);
+      (match Series.sample_rate w "wal.forces" with
+      | Some r -> Alcotest.(check bool) "rate uses real width" true (abs_float (r -. 5e5) < 1.0)
+      | None -> Alcotest.fail "rate missing")
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 window, got %d" (List.length l))
+
+let test_ring_bound_and_flush () =
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Registry.register_stats ~registry:reg "wal" st;
+  let series = Series.create ~capacity:2 ~window_ns:1000 ~registry:reg () in
+  with_series series (fun () ->
+      for i = 1 to 5 do
+        Stats.add st "forces" i;
+        Span.advance_ns 1000
+      done;
+      (* A partial window: only flush records it. *)
+      Stats.incr st "forces";
+      Span.advance_ns 1;
+      Alcotest.(check int) "partial window still open" 5
+        (Series.windows series + Series.dropped series);
+      Series.flush series);
+  Alcotest.(check int) "ring bounded" 2 (Series.windows series);
+  Alcotest.(check int) "evictions counted" 4 (Series.dropped series);
+  match Series.last series with
+  | Some w ->
+      Alcotest.(check (option int)) "flushed tail carries the delta" (Some 1)
+        (Series.sample_delta w "wal.forces");
+      Alcotest.(check int) "flushed window has its real (short) width" 1
+        (w.Series.w_end_ns - w.Series.w_start_ns)
+  | None -> Alcotest.fail "no last window"
+
+let test_uninstalled_is_inert () =
+  Alcotest.(check bool) "nothing installed" true (Series.installed () = None);
+  let reg = Registry.create () in
+  let series = Series.create ~window_ns:1000 ~registry:reg () in
+  (* Clock ticks without an installed series must not sample. *)
+  Span.advance_ns 5000;
+  Alcotest.(check int) "no windows recorded" 0 (Series.windows series);
+  (* And json_of on an empty ring is still a valid document. *)
+  match Json.parse (Series.json_of series) with
+  | Ok j -> Alcotest.(check (list Alcotest.reject)) "no samples" [] (Json.get_list j "samples")
+  | Error e -> Alcotest.failf "bad series json: %s" e
+
+let test_series_json_roundtrip () =
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Registry.register_stats ~registry:reg "wal" st;
+  Registry.register_gauge ~registry:reg "wal" "pending" (fun () -> 3);
+  let series = Series.create ~window_ns:1000 ~registry:reg () in
+  with_series series (fun () ->
+      Stats.add st "forces" 2;
+      Span.advance_ns 1500);
+  match Json.parse (Series.json_of series) with
+  | Error e -> Alcotest.failf "unparseable series json: %s" e
+  | Ok j -> (
+      Alcotest.(check int) "window_ns round-trips" 1000 (Json.get_int j "window_ns");
+      match Json.get_list j "samples" with
+      | [ s ] ->
+          let counters = Option.get (Json.member "counters" s) in
+          Alcotest.(check int) "delta round-trips" 2 (Json.get_int counters "wal.forces");
+          let gauges = Option.get (Json.member "gauges" s) in
+          Alcotest.(check int) "gauge round-trips" 3 (Json.get_int gauges "wal.pending")
+      | l -> Alcotest.failf "expected 1 sample, got %d" (List.length l))
+
+(* ---- flight recorder ---- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_flightrec_roundtrip () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "bess_flightrec_test" in
+  rm_rf dir;
+  let coll = Span.create () in
+  Span.install (Some coll);
+  Flightrec.arm ~dir ();
+  Fun.protect
+    ~finally:(fun () ->
+      Flightrec.disarm ();
+      Span.install None;
+      Fault.reset ();
+      rm_rf dir)
+    (fun () ->
+      Fault.seed 11;
+      Fault.configure "wal.force.eio" (Fault.Plan [ 2 ]);
+      Span.with_span ~kind:"wal.force" (fun () ->
+          ignore (Fault.fire "wal.force.eio");
+          Span.advance_ns 100;
+          ignore (Fault.fire "wal.force.eio") (* ordinal 2: fires mid-span *);
+          Span.advance_ns 50);
+      Span.advance_ns 10;
+      Span.with_span ~kind:"wal.force" (fun () -> Span.advance_ns 25);
+      Alcotest.(check bool) "armed" true (Flightrec.armed ());
+      let path =
+        match Flightrec.dump ~reason:"chaos failure" () with
+        | Some p -> p
+        | None -> Alcotest.fail "dump returned no path while armed"
+      in
+      Alcotest.(check bool) "reason slugged into the file name" true
+        (Filename.check_suffix path "-chaos-failure.json");
+      match Flightrec.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok j ->
+          Alcotest.(check string) "reason round-trips" "chaos failure"
+            (Json.get_string j "reason");
+          let items = Flightrec.replay j in
+          let faults =
+            List.filter_map
+              (function
+                | Flightrec.Fault_item { site; ordinal; ts_ns } -> Some (site, ordinal, ts_ns)
+                | Flightrec.Span_item _ -> None)
+              items
+          in
+          Alcotest.(check (list (pair string int)))
+            "the planned firing replays"
+            [ ("wal.force.eio", 2) ]
+            (List.map (fun (s, o, _) -> (s, o)) faults);
+          (* The firing interleaves INSIDE the first span: after that
+             span's start, before the second span's. *)
+          let span_starts =
+            List.filter_map
+              (function
+                | Flightrec.Span_item { kind; start_ns; _ } -> Some (kind, start_ns)
+                | Flightrec.Fault_item _ -> None)
+              items
+          in
+          (match (span_starts, faults) with
+          | [ (_, s0); (_, s1) ], [ (_, _, ft) ] ->
+              Alcotest.(check int) "stamped 100ns into the first span" 100 (ft - s0);
+              Alcotest.(check bool) "fault before second span start" true (ft < s1)
+          | _ -> Alcotest.failf "expected 2 spans + 1 fault, got %d items" (List.length items));
+          (* Ordering: replay is sorted by timestamp. *)
+          let ts = List.map Flightrec.item_ts items in
+          Alcotest.(check (list int)) "timeline sorted" (List.sort compare ts) ts)
+
+let test_flightrec_disarmed_noop () =
+  Alcotest.(check bool) "disarmed by default" false (Flightrec.armed ());
+  Alcotest.(check (option string)) "dump is a no-op" None
+    (Flightrec.dump ~reason:"nope" ())
+
+(* ---- end to end: substrate gauges ---- *)
+
+let test_substrate_gauges_end_to_end () =
+  Registry.with_fresh (fun () ->
+      let db = Bess.Db.create_memory ~db_id:77 () in
+      let s = Bess.Db.session db in
+      Bess.Session.begin_txn s;
+      let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:1 () in
+      ignore seg;
+      Bess.Session.commit s;
+      let gauges = Registry.gauges (Registry.snapshot ()) in
+      let expect name =
+        Alcotest.(check bool)
+          (Printf.sprintf "substrate gauge %S registered" name)
+          true (List.mem_assoc name gauges)
+      in
+      List.iter expect
+        [
+          "cache.resident_pages"; "cache.dirty_pages"; "lock.table_size"; "lock.waiters";
+          "wal.unflushed_bytes"; "wal.pending_tickets"; "wal.bytes_since_checkpoint";
+          "vmem.mapped_pages"; "server.active_txns"; "session.cached_segments";
+        ];
+      Alcotest.(check bool) "committed pages resident in the cache" true
+        (List.assoc "cache.resident_pages" gauges > 0);
+      Alcotest.(check int) "no transaction in flight" 0
+        (List.assoc "server.active_txns" gauges))
+
+let suite =
+  [
+    Alcotest.test_case "windowed_sampling" `Quick test_windowed_sampling;
+    Alcotest.test_case "large_jump_one_window" `Quick test_large_jump_one_window;
+    Alcotest.test_case "ring_bound_and_flush" `Quick test_ring_bound_and_flush;
+    Alcotest.test_case "uninstalled_is_inert" `Quick test_uninstalled_is_inert;
+    Alcotest.test_case "series_json_roundtrip" `Quick test_series_json_roundtrip;
+    Alcotest.test_case "flightrec_roundtrip" `Quick test_flightrec_roundtrip;
+    Alcotest.test_case "flightrec_disarmed_noop" `Quick test_flightrec_disarmed_noop;
+    Alcotest.test_case "substrate_gauges_end_to_end" `Quick test_substrate_gauges_end_to_end;
+  ]
