@@ -817,29 +817,25 @@ let e10 () =
 
 (* Tentpole claim: a force scheduler amortises the modeled log force
    (the dominant fixed cost of commit) across concurrently committing
-   clients. 16 clients commit small update transactions in rounds,
-   collecting durability tickets and awaiting them only at the end of
-   each round; under [Group_n n] one coalesced force covers up to a
-   whole round, so forces/txn falls towards 1/n while the per-commit
-   wait (registration to durability) grows with the batch. With 16
-   concurrent committers, [Group_n 64] saturates at 16 commits/force:
-   the first await triggers a stall force covering the round. *)
+   clients. 16 closed-loop clients run on the discrete-event scheduler
+   (think, lock a private page, commit through the split-ack barrier);
+   under [Group_n n] registrations arriving inside one ack-poll window
+   share a coalesced force, so forces/txn falls below 1 while the
+   per-commit wait (registration to durability) grows with the batch.
+   The batch size saturates at the number of committers that register
+   within the ack delay, not at n — the closed loop self-limits. *)
 let e11 () =
   let n_clients = 16 in
-  let rounds = scale 100 in
+  let txns = scale 100 in
   let rows = ref [] in
   List.iter
     (fun policy ->
-      let db = Workloads.fresh_db ~cache_slots:4096 () in
+      (* Policy is an explicit argument: nothing leaks to the next run. *)
+      let db = Workloads.fresh_db ~cache_slots:4096 ~group_commit:policy () in
       let server = Bess.Db.server db in
-      let area = Bess.Db.default_area db in
-      (* Seed a segment so the area has pages to update, then switch the
-         force scheduler for the measured phase. *)
-      let s = Bess.Db.session db in
-      Bess.Session.begin_txn s;
-      ignore (Bess.Session.create_segment s ~slotted_pages:2 ~data_pages:(n_clients + 8) ());
-      Bess.Session.commit s;
-      Bess.Server.set_group_policy server policy;
+      (* Working set well above the population keeps lock conflicts rare:
+         this experiment isolates force amortisation, not contention. *)
+      let pages = Workloads.driver_pages db ~n_pages:(8 * n_clients) in
       let wal = Bess_wal.Log.stats (Bess.Store.log (Bess.Server.store server)) in
       let hist name =
         match Stats.find_histogram wal name with
@@ -849,54 +845,39 @@ let e11 () =
       let forces0 = Stats.get wal "log.forces" in
       let pf_c0, pf_s0 = hist "wal.group.commits_per_force" in
       let wt_c0, wt_s0 = hist "wal.force_wait_ticks" in
-      let t0 = Bess_obs.Span.now_ns () in
-      let committed = ref 0 in
-      for _ = 1 to rounds do
-        let tickets =
-          List.init n_clients (fun c ->
-              let txn = Bess.Server.begin_txn server ~client:(100 + c) in
-              let page = { Page_id.area; page = 1 + c } in
-              (match
-                 Bess.Server.lock server ~txn
-                   (Bess_lock.Lock_mgr.page_resource ~area ~page:page.page)
-                   Bess_lock.Lock_mode.X
-               with
-              | `Granted -> ()
-              | _ -> failwith "e11: private page lock should be granted");
-              let before = Bytes.sub (Bess.Server.read_page server page) 0 8 in
-              let after = Bytes.create 8 in
-              Bytes.set_int64_le after 0 (Int64.of_int (!committed + c));
-              let update = { Bess.Server.page; offset = 0; before; after } in
-              match Bess.Server.commit_client_begin server ~txn ~updates:[ update ] with
-              | `Committed tk ->
-                  incr committed;
-                  tk
-              | `Lock_violation -> failwith "e11: commit rejected")
-        in
-        List.iter (Bess.Server.await_commit server) tickets
-      done;
-      let elapsed = Bess_obs.Span.now_ns () - t0 in
+      let cfg =
+        { Bess_sched.Driver.default with
+          n_clients;
+          txns_per_client = txns;
+          think_ns = 200_000;
+          ack_delay_ns = 100_000;
+          seed = 11;
+        }
+      in
+      let r = Bess_sched.Driver.run server ~pages cfg in
       let forces = Stats.get wal "log.forces" - forces0 in
       let mean (c0, s0) (c1, s1) =
         if c1 > c0 then float_of_int (s1 - s0) /. float_of_int (c1 - c0) else 0.0
       in
       let per_force = mean (pf_c0, pf_s0) (hist "wal.group.commits_per_force") in
       let wait = mean (wt_c0, wt_s0) (hist "wal.force_wait_ticks") in
+      let committed = Stdlib.max 1 r.Bess_sched.Driver.r_commits in
       rows :=
         [
           Bess_wal.Group_commit.policy_to_string policy;
-          Report.count !committed;
+          Report.count r.Bess_sched.Driver.r_commits;
           Report.count forces;
-          Report.fixed (float_of_int forces /. float_of_int !committed);
+          Report.fixed (float_of_int forces /. float_of_int committed);
           Report.fixed per_force;
           Report.ns wait;
-          Report.ns (float_of_int elapsed /. float_of_int !committed);
+          Report.ns (float_of_int r.Bess_sched.Driver.r_sim_ns /. float_of_int committed);
         ]
         :: !rows)
     Bess_wal.Group_commit.[ Immediate; Group_n 4; Group_n 16; Group_n 64 ];
   Report.table ~id:"E11"
     ~caption:
-      "group commit: log forces amortised across 16 concurrent committers (modeled 100us force)"
+      "group commit: log forces amortised across 16 closed-loop committers on the event \
+       scheduler (modeled 100us force)"
     ~header:
       [ "policy"; "txns"; "forces"; "forces/txn"; "commits/force"; "commit wait"; "sim ns/txn" ]
     (List.rev !rows)
@@ -1178,6 +1159,154 @@ per window (%s)"
     n_clients rounds !acked_n !violations series_json;
   close_out oc;
   Report.note "series written to BENCH_e13.json (%s) and bench_report.json#e13_series" stamp
+
+(* ---- E14: closed-loop client-count sweep ----------------------------------- *)
+
+(* Scale tentpole: throughput and tail commit latency as the simulated
+   client population grows 10^2 -> 10^5, driven closed-loop on the
+   Bess_sched event heap — every client thinks, X-locks a Zipf-picked
+   page (with a hot set), commits through the group-commit barrier and
+   waits for its durability ack, with a little session churn mixed in.
+   Three artifacts per run: the summary table below, per-window
+   throughput/latency series (bench_report.json#e14_series and a
+   timestamped BENCH_e14.json), and a same-seed determinism check — the
+   run is re-executed at 10^3 clients and the per-substrate counter
+   snapshots must match bit for bit. A final 10^3-client run under the
+   flaky-disk fault profile checks chaos-under-load invariants (no lock
+   leaks, no stuck transactions). *)
+let e14 () =
+  let sweep = if quick then [ 100; 1_000 ] else [ 100; 1_000; 10_000; 100_000 ] in
+  let n_pages = 2048 in
+  let total_attempts = scale 40_000 in
+  let seed = 1404 in
+  (* One sweep point: fresh db + working set, its own windowed series,
+     timeout deadlock detection (the graph detector is O(table) per
+     blocked request). Returns the driver result plus a counter
+     fingerprint: the printed sched/server/lock stats of the run's own
+     fresh substrate instances — bit-identical across same-seed runs if
+     and only if the simulation is deterministic. *)
+  let run_point ?(fault_sites = []) ~seed n_clients =
+    let prev_series = Bess_obs.Series.installed () in
+    let series = Bess_obs.Series.create ~capacity:4096 ~window_ns:10_000_000 () in
+    let db =
+      Workloads.fresh_db ~cache_slots:(2 * n_pages)
+        ~group_commit:(Bess_wal.Group_commit.Group_n 16) ()
+    in
+    let server = Bess.Db.server db in
+    Bess.Server.set_detection server `Timeout;
+    let pages = Workloads.driver_pages db ~n_pages in
+    (match fault_sites with
+    | [] -> ()
+    | sites ->
+        Fault.seed !fault_seed;
+        Fault.apply_profile sites);
+    (* Create the scheduler (rebinding the registry's sched.* stats to a
+       fresh zeroed instance) before installing the series, so the first
+       window's baseline snapshot sees the new instance, not the previous
+       point's counts. *)
+    let sched = Bess_sched.Sched.create () in
+    Bess_obs.Series.install (Some series);
+    let cfg =
+      { Bess_sched.Driver.default with
+        n_clients;
+        txns_per_client = Stdlib.max 1 (total_attempts / n_clients);
+        zipf_theta = 0.8;
+        hot_fraction = 0.05;
+        hot_pages = 8;
+        churn = 0.002;
+        seed;
+      }
+    in
+    let fires0 = Stats.get (Fault.stats ()) "fault.fires" in
+    let wall0 = Unix.gettimeofday () in
+    let r = Bess_sched.Driver.run ~sched server ~pages cfg in
+    let wall = Unix.gettimeofday () -. wall0 in
+    let fires = Stats.get (Fault.stats ()) "fault.fires" - fires0 in
+    Bess_obs.Series.flush series;
+    Bess_obs.Series.install prev_series;
+    (match fault_sites with [] -> () | _ -> Fault.reset ());
+    let leaked = Bess_lock.Lock_mgr.n_locks (Bess.Server.locks server) in
+    let fingerprint =
+      Fmt.str "%a|%a|%a" Stats.pp
+        (Bess_sched.Sched.stats sched)
+        Stats.pp (Bess.Server.stats server) Stats.pp
+        (Bess_lock.Lock_mgr.stats (Bess.Server.locks server))
+    in
+    (r, series, wall, leaked, fires, fingerprint)
+  in
+  let rows = ref [] in
+  let series_sections = ref [] in
+  let fp_1000 = ref "" in
+  List.iter
+    (fun n_clients ->
+      let r, series, wall, leaked, _, fp = run_point ~seed n_clients in
+      if n_clients = 1_000 then fp_1000 := fp;
+      if leaked <> 0 then
+        Report.note "e14: LOCK LEAK at %d clients: %d entries left in the table" n_clients
+          leaked;
+      let open Bess_sched.Driver in
+      series_sections :=
+        (Printf.sprintf "\"clients_%d\":%s" n_clients (Bess_obs.Series.json_of series))
+        :: !series_sections;
+      rows :=
+        [
+          Report.count n_clients;
+          Report.count r.r_commits;
+          Report.count (r.r_aborts + r.r_give_ups);
+          Report.count r.r_indeterminate;
+          Report.count r.r_disconnects;
+          Report.count r.r_events;
+          Report.ns (float_of_int r.r_sim_ns);
+          Printf.sprintf "%.0f/s" (throughput r);
+          Report.ns (float_of_int r.r_commit_p50_ns);
+          Report.ns (float_of_int r.r_commit_p99_ns);
+          Printf.sprintf "%.0f ms" (wall *. 1e3);
+        ]
+        :: !rows)
+    sweep;
+  Report.table ~id:"E14"
+    ~caption:
+      (Printf.sprintf
+         "closed-loop client sweep on the event scheduler: ~%d txn attempts spread over \
+          each population, zipf(0.8) over %d pages + 5%% hot-8, group:16, 0.2%% churn"
+         total_attempts n_pages)
+    ~header:
+      [ "clients"; "commits"; "aborts"; "indet"; "churns"; "events"; "sim time";
+        "throughput"; "commit p50"; "commit p99"; "wall" ]
+    (List.rev !rows);
+  (* Same seed, same config, fresh substrates: the counter snapshots must
+     be bit-identical or the scheduler has a nondeterminism bug. *)
+  let _, _, _, _, _, fp2 = run_point ~seed 1_000 in
+  let deterministic = String.equal !fp_1000 fp2 in
+  Report.note "e14: same-seed determinism at 1000 clients: %s"
+    (if deterministic then "OK (counter snapshots identical)"
+     else "FAILED (counter snapshots differ)");
+  (* Chaos under load: the fault plane armed while 1000 clients run.
+     Outcomes may be lost (indeterminate) but nothing may leak. *)
+  let rc, _, _, leaked_c, fires_c, _ =
+    run_point ~fault_sites:(List.assoc "flaky-disk" Fault.profiles) ~seed 1_000
+  in
+  Report.note
+    "e14: chaos under load (flaky-disk, seed %d): %d commits, %d indeterminate, %d fault \
+     fires, %d leaked locks"
+    !fault_seed rc.Bess_sched.Driver.r_commits rc.Bess_sched.Driver.r_indeterminate fires_c
+    leaked_c;
+  let series_json = "{" ^ String.concat "," (List.rev !series_sections) ^ "}" in
+  Report.add_section "e14_series" series_json;
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let stamp =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let oc = open_out "BENCH_e14.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"e14\",\"wall_time\":%s,\"seed\":%d,\"clients\":%s,\"deterministic\":%b,\"chaos_leaked_locks\":%d,\"series\":%s}\n"
+    (Bess_obs.Registry.json_string stamp)
+    seed
+    ("[" ^ String.concat "," (List.map string_of_int sweep) ^ "]")
+    deterministic leaked_c series_json;
+  close_out oc;
+  Report.note "series written to BENCH_e14.json (%s) and bench_report.json#e14_series" stamp
 
 (* ---- F1: segment and object structure (Figure 1) ------------------------- *)
 
@@ -1715,6 +1844,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
+    ("e14", e14);
     ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4);
     ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("t1", t1);
@@ -1746,7 +1876,7 @@ let () =
         parse rest
     | "--group-commit" :: p :: rest ->
         (match Bess_wal.Group_commit.policy_of_string p with
-        | Ok policy -> Workloads.group_commit := policy
+        | Ok policy -> Workloads.default_group_commit := policy
         | Error e -> Printf.printf "bad --group-commit %S: %s (ignored)\n" p e);
         parse rest
     | "--fault-seed" :: v :: rest ->

@@ -15,20 +15,27 @@ let node_type db =
   | Some ty -> ty
   | None -> Bess.Type_desc.register types ~name:"bench_node" ~size:node_size ~ref_offsets:[| 0 |]
 
-(* Force-scheduling policy applied to every fresh database (the
-   --group-commit knob); experiments that sweep policies override it
-   per-server with [Bess.Server.set_group_policy]. *)
-let group_commit = ref Bess_wal.Group_commit.Immediate
+(* Harness-wide default force-scheduling policy (the --group-commit
+   knob). Only [fresh_db] reads it, and only when the caller passes no
+   explicit [?group_commit]: an experiment that needs a specific policy
+   states it per database, so one experiment's choice can never leak
+   into the next through shared mutable state. *)
+let default_group_commit = ref Bess_wal.Group_commit.Immediate
 
-let fresh_db =
-  let n = ref 1000 in
-  fun ?(n_areas = 1) ?cache_slots () ->
-    incr n;
-    let db = Bess.Db.create_memory ~n_areas ?cache_slots ~db_id:!n () in
-    (match !group_commit with
-    | Bess_wal.Group_commit.Immediate -> ()
-    | p -> Bess.Server.set_group_policy (Bess.Db.server db) p);
-    db
+(* Distinct db ids keep areas from colliding when several live at once;
+   the counter is bookkeeping, not workload state. *)
+let next_db_id = ref 1000
+
+let fresh_db ?(n_areas = 1) ?cache_slots ?group_commit () =
+  incr next_db_id;
+  let db = Bess.Db.create_memory ~n_areas ?cache_slots ~db_id:!next_db_id () in
+  let policy =
+    match group_commit with Some p -> p | None -> !default_group_commit
+  in
+  (match policy with
+  | Bess_wal.Group_commit.Immediate -> ()
+  | p -> Bess.Server.set_group_policy (Bess.Db.server db) p);
+  db
 
 (* Build [n] nodes spread over segments of [per_seg] objects each, linked
    into a ring with [stride] hops (stride > 1 makes consecutive hops cross
@@ -217,3 +224,32 @@ let build_oid_vm_ring ~n =
       Vmem.write_i64 store.Oid_vm.vmem addr next_onum)
     objs;
   (store, objs)
+
+(* ---- Closed-loop driver working sets -------------------------------------- *)
+
+(* Seed [n_pages] committed data pages for the Bess_sched closed-loop
+   driver, in popularity order (Zipf rank i -> element i). Segments cap
+   at one extent of contiguous pages, so the working set is built from
+   128-page segments and returned as an explicit page array. The session's
+   cached copies are dropped so driver clients never trigger callbacks to
+   the seeding session. *)
+let driver_pages db ~n_pages =
+  let s = Bess.Db.session db in
+  Bess.Session.begin_txn s;
+  let pages = ref [] in
+  let remaining = ref n_pages in
+  while !remaining > 0 do
+    let n = Stdlib.min 128 !remaining in
+    let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:n () in
+    let d = seg.Bess.Session.data_disk in
+    for i = 0 to n - 1 do
+      pages :=
+        { Bess_cache.Page_id.area = d.Bess_storage.Seg_addr.area;
+          page = d.Bess_storage.Seg_addr.first_page + i }
+        :: !pages
+    done;
+    remaining := !remaining - n
+  done;
+  Bess.Session.commit s;
+  Bess.Session.drop_all_cached s;
+  Array.of_list (List.rev !pages)

@@ -9,6 +9,7 @@
      bessctl stats   DIR [--json|--prom]               live metrics registry
      bessctl trace   DIR [--spans] [--chrome FILE]     causal span timeline
      bessctl top     DIR [--passes N]                  busiest metrics per window
+     bessctl load    DIR [--workload W] [--clients N]  closed-loop load generator
      bessctl flightrec FILE [--last N]                 replay a black-box dump
 
    Databases live in a directory: area_*.bess files, wal.log, and
@@ -277,6 +278,52 @@ let trace_cmd =
        ~doc:"Trace one full pass over the database as a causal span timeline")
     Term.(const run $ dir_arg $ spans $ chrome)
 
+(* ---- windowed-rate reporting (shared by top and load) ---- *)
+
+let print_window_report samples ~limit =
+  match samples with
+  | [] -> Printf.printf "no windows sampled (no simulated time elapsed)\n"
+  | _ ->
+      let total_width =
+        List.fold_left (fun acc s -> acc + (s.Bess_obs.Series.w_end_ns - s.w_start_ns))
+          0 samples
+      in
+      let totals : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (s : Bess_obs.Series.sample) ->
+          List.iter
+            (fun (name, d) ->
+              Hashtbl.replace totals name
+                (d + Option.value ~default:0 (Hashtbl.find_opt totals name)))
+            s.w_counters)
+        samples;
+      let last = List.nth samples (List.length samples - 1) in
+      let rows =
+        Hashtbl.fold (fun name total acc -> (name, total) :: acc) totals []
+        |> List.filter (fun (_, total) -> total <> 0)
+        |> List.sort (fun (na, a) (nb, b) ->
+               match compare b a with 0 -> compare na nb | c -> c)
+      in
+      let shown = List.filteri (fun i _ -> i < limit) rows in
+      Printf.printf "  %-36s %12s %12s %10s\n" "COUNTER" "TOTAL" "RATE/s" "LAST/s";
+      List.iter
+        (fun (name, total) ->
+          let avg = float_of_int total *. 1e9 /. float_of_int total_width in
+          let last_rate =
+            Option.value ~default:0.0 (Bess_obs.Series.sample_rate last name)
+          in
+          Printf.printf "  %-36s %12d %12.0f %10.0f\n" name total avg last_rate)
+        shown;
+      if List.length rows > limit then
+        Printf.printf "  ... %d more counters (raise --top)\n" (List.length rows - limit);
+      (match last.w_gauges with
+      | [] -> ()
+      | gauges ->
+          Printf.printf "  %-36s %12s\n" "GAUGE" "VALUE";
+          List.iter
+            (fun (name, v) -> Printf.printf "  %-36s %12d\n" name v)
+            gauges)
+
 (* ---- top ---- *)
 
 let top_cmd =
@@ -312,55 +359,135 @@ let top_cmd =
             done);
         Bess_obs.Series.flush series;
         let samples = Bess_obs.Series.to_list series in
-        match samples with
-        | [] -> Printf.printf "no windows sampled (no simulated time elapsed)\n"
-        | _ ->
-            let total_width =
-              List.fold_left (fun acc s -> acc + (s.Bess_obs.Series.w_end_ns - s.w_start_ns))
-                0 samples
-            in
-            let totals : (string, int) Hashtbl.t = Hashtbl.create 64 in
-            List.iter
-              (fun (s : Bess_obs.Series.sample) ->
-                List.iter
-                  (fun (name, d) ->
-                    Hashtbl.replace totals name
-                      (d + Option.value ~default:0 (Hashtbl.find_opt totals name)))
-                  s.w_counters)
-              samples;
-            let last = List.nth samples (List.length samples - 1) in
-            let rows =
-              Hashtbl.fold (fun name total acc -> (name, total) :: acc) totals []
-              |> List.filter (fun (_, total) -> total <> 0)
-              |> List.sort (fun (na, a) (nb, b) ->
-                     match compare b a with 0 -> compare na nb | c -> c)
-            in
-            let shown = List.filteri (fun i _ -> i < limit) rows in
-            Printf.printf "top: %d windows of >=%dus simulated time, %d passes\n"
-              (List.length samples) window_us passes;
-            Printf.printf "  %-36s %12s %12s %10s\n" "COUNTER" "TOTAL" "RATE/s" "LAST/s";
-            List.iter
-              (fun (name, total) ->
-                let avg = float_of_int total *. 1e9 /. float_of_int total_width in
-                let last_rate =
-                  Option.value ~default:0.0 (Bess_obs.Series.sample_rate last name)
-                in
-                Printf.printf "  %-36s %12d %12.0f %10.0f\n" name total avg last_rate)
-              shown;
-            if List.length rows > limit then
-              Printf.printf "  ... %d more counters (raise --top)\n" (List.length rows - limit);
-            (match last.w_gauges with
-            | [] -> ()
-            | gauges ->
-                Printf.printf "  %-36s %12s\n" "GAUGE" "VALUE";
-                List.iter
-                  (fun (name, v) -> Printf.printf "  %-36s %12d\n" name v)
-                  gauges))
+        Printf.printf "top: %d windows of >=%dus simulated time, %d passes\n"
+          (List.length samples) window_us passes;
+        print_window_report samples ~limit)
   in
   Cmd.v
     (Cmd.info "top"
        ~doc:"Sample repeated database passes into per-window rates and show the busiest metrics")
     Term.(const run $ dir_arg $ passes $ window_us $ limit)
+
+(* ---- load ---- *)
+
+(* Closed-loop load generator: N simulated clients on the discrete-event
+   scheduler run a named workload against the database, and the same
+   windowed-rate report [bessctl top] uses shows where the time went. *)
+
+let load_workloads =
+  [
+    ("uniform", fun c -> { c with Bess_sched.Driver.zipf_theta = 0.0 });
+    ("zipf", fun c -> { c with Bess_sched.Driver.zipf_theta = 0.8 });
+    ( "hotspot",
+      fun c ->
+        { c with Bess_sched.Driver.zipf_theta = 0.8; hot_fraction = 0.1; hot_pages = 8 } );
+    ( "churn",
+      fun c ->
+        { c with
+          Bess_sched.Driver.zipf_theta = 0.8;
+          hot_fraction = 0.1;
+          hot_pages = 8;
+          churn = 0.005;
+        } );
+  ]
+
+let load_cmd =
+  let workload_arg =
+    Arg.(value & opt string "zipf"
+         & info [ "workload" ] ~docv:"NAME"
+             ~doc:
+               "Named workload: $(b,uniform), $(b,zipf), $(b,hotspot) (zipf plus a hot set) \
+                or $(b,churn) (hotspot plus session churn)")
+  in
+  let clients =
+    Arg.(value & opt int 100 & info [ "clients" ] ~docv:"N" ~doc:"Simulated clients")
+  in
+  let txns =
+    Arg.(value & opt int 50 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per client")
+  in
+  let pages =
+    Arg.(value & opt int 1024 & info [ "pages" ] ~docv:"N" ~doc:"Working-set pages to seed")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed") in
+  let window_us =
+    Arg.(value & opt int 1000
+         & info [ "window-us" ] ~docv:"US" ~doc:"Sampling window in simulated microseconds")
+  in
+  let limit =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Counters to show (busiest first)")
+  in
+  let run dir workload clients txns pages seed window_us limit =
+    match List.assoc_opt workload load_workloads with
+    | None ->
+        Printf.eprintf "bad --workload %S (try uniform, zipf, hotspot, churn)\n" workload;
+        exit 2
+    | Some shape ->
+        let series =
+          Bess_obs.Series.create ~capacity:4096 ~window_ns:(Stdlib.max 1 window_us * 1000) ()
+        in
+        with_db dir (fun db ->
+            let server = Bess.Db.server db in
+            Bess.Server.set_detection server `Timeout;
+            (* Working set: committed data pages in 128-page segments
+               (extents cap contiguous allocation). *)
+            let page_ids =
+              let s = Bess.Db.session db in
+              Bess.Session.begin_txn s;
+              let acc = ref [] in
+              let remaining = ref (Stdlib.max 1 pages) in
+              while !remaining > 0 do
+                let n = Stdlib.min 128 !remaining in
+                let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:n () in
+                let d = seg.Bess.Session.data_disk in
+                for i = 0 to n - 1 do
+                  acc :=
+                    { Bess_cache.Page_id.area = d.Bess_storage.Seg_addr.area;
+                      page = d.Bess_storage.Seg_addr.first_page + i }
+                    :: !acc
+                done;
+                remaining := !remaining - n
+              done;
+              Bess.Session.commit s;
+              Bess.Session.drop_all_cached s;
+              Array.of_list (List.rev !acc)
+            in
+            let cfg =
+              shape
+                { Bess_sched.Driver.default with
+                  n_clients = clients;
+                  txns_per_client = txns;
+                  seed;
+                }
+            in
+            Bess_obs.Series.install (Some series);
+            let r =
+              Fun.protect
+                ~finally:(fun () -> Bess_obs.Series.install None)
+                (fun () -> Bess_sched.Driver.run server ~pages:page_ids cfg)
+            in
+            Bess_obs.Series.flush series;
+            let samples = Bess_obs.Series.to_list series in
+            Printf.printf "load: %S, %d clients x %d txns over %d pages, seed %d\n" workload
+              clients txns (Array.length page_ids) seed;
+            Printf.printf
+              "  commits %d  aborts %d  give-ups %d  indeterminate %d  churns %d\n"
+              r.Bess_sched.Driver.r_commits r.r_aborts r.r_give_ups r.r_indeterminate
+              r.r_disconnects;
+            Printf.printf "  %.1f ms simulated, %.0f commits/s, commit p50 %.1fus p99 %.1fus\n"
+              (float_of_int r.r_sim_ns /. 1e6)
+              (Bess_sched.Driver.throughput r)
+              (float_of_int r.r_commit_p50_ns /. 1e3)
+              (float_of_int r.r_commit_p99_ns /. 1e3);
+            Printf.printf "  %d windows of >=%dus simulated time\n" (List.length samples)
+              window_us;
+            print_window_report samples ~limit)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Run a named closed-loop workload at a given client count on the event scheduler \
+          and report windowed rates")
+    Term.(const run $ dir_arg $ workload_arg $ clients $ txns $ pages $ seed $ window_us $ limit)
 
 (* ---- flightrec ---- *)
 
@@ -601,4 +728,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "bessctl" ~doc)
           [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd; stats_cmd;
-            trace_cmd; top_cmd; flightrec_cmd; chaos_cmd ]))
+            trace_cmd; top_cmd; load_cmd; flightrec_cmd; chaos_cmd ]))

@@ -81,6 +81,8 @@ let create ?log_path ?log ?group_commit ?(cache_slots = 1024) ?(detect = `Graph)
   in
   Bess_obs.Registry.register_gauge "server" "server.active_txns" (fun () ->
       Hashtbl.length t.txns);
+  Bess_obs.Registry.register_gauge "server" "server.connected_clients" (fun () ->
+      Hashtbl.length t.sinks);
   t
 
 let store t = t.store
@@ -94,9 +96,14 @@ let set_group_policy t p = Store.set_group_policy t.store p
 
 (* ---- Clients ---- *)
 
-let connect_client t ~client ~sink = Hashtbl.replace t.sinks client sink
+let connect_client t ~client ~sink =
+  if not (Hashtbl.mem t.sinks client) then
+    Bess_util.Stats.incr t.stats "server.client_connects";
+  Hashtbl.replace t.sinks client sink
 
 let disconnect_client t ~client =
+  if Hashtbl.mem t.sinks client then
+    Bess_util.Stats.incr t.stats "server.client_disconnects";
   Hashtbl.remove t.sinks client;
   Callback.forget_client t.cb ~client
 

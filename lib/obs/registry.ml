@@ -56,6 +56,7 @@ let metric_namespaces =
     "oid_store";
     "phys";
     "reorg";
+    "sched";
     "server";
     "session";
     "smt";

@@ -1,0 +1,263 @@
+(* Closed-loop workload driver: clients as resumable state machines on
+   the event heap.
+
+   Each client cycles think -> begin -> lock -> work -> commit -> ack ->
+   think; every arrow is an event, so thousands to hundreds of thousands
+   of clients interleave on one heap with no threads. The loop is
+   *closed*: a client issues its next transaction only after the
+   previous acknowledgement (or failure), so offered load backs off as
+   latency grows, the way real attached clients behave.
+
+   Commit uses the split acknowledgement path (commit_client_begin, then
+   an await event ack_delay_ns later), so concurrent committers register
+   durability tickets inside one group-commit window and the force
+   scheduler can coalesce them — the behaviour E14 measures.
+
+   Determinism: per-client splitmix64 streams split off the config seed
+   in client order, plus the heap's (tick, seq) total order. Nothing
+   reads wall time. *)
+
+module Span = Bess_obs.Span
+module Stats = Bess_util.Stats
+module Prng = Bess_util.Prng
+module Lock_mgr = Bess_lock.Lock_mgr
+module Lock_mode = Bess_lock.Lock_mode
+module Page_id = Bess_cache.Page_id
+
+type config = {
+  n_clients : int;
+  txns_per_client : int;
+  zipf_theta : float;
+  hot_fraction : float;
+  hot_pages : int;
+  think_ns : int;
+  txn_work_ns : int;
+  ack_delay_ns : int;
+  lock_retry_ns : int;
+  max_lock_retries : int;
+  churn : float;
+  reconnect_ns : int;
+  seed : int;
+}
+
+let default =
+  {
+    n_clients = 16;
+    txns_per_client = 50;
+    zipf_theta = 0.0;
+    hot_fraction = 0.0;
+    hot_pages = 0;
+    think_ns = 200_000;
+    txn_work_ns = 5_000;
+    ack_delay_ns = 20_000;
+    lock_retry_ns = 50_000;
+    max_lock_retries = 12;
+    churn = 0.0;
+    reconnect_ns = 1_000_000;
+    seed = 42;
+  }
+
+type result = {
+  r_commits : int;
+  r_aborts : int;
+  r_give_ups : int;
+  r_indeterminate : int;
+  r_disconnects : int;
+  r_reconnects : int;
+  r_events : int;
+  r_sim_ns : int;
+  r_commit_p50_ns : int;
+  r_commit_p99_ns : int;
+}
+
+let throughput r =
+  if r.r_sim_ns <= 0 then 0.0
+  else float_of_int r.r_commits *. 1e9 /. float_of_int r.r_sim_ns
+
+type client = {
+  c_id : int;
+  c_prng : Prng.t;
+  mutable c_connected : bool;
+  mutable c_left : int; (* transaction attempts remaining *)
+}
+
+let run ?sched server ~pages cfg =
+  if cfg.n_clients <= 0 then invalid_arg "Driver.run: n_clients must be positive";
+  let n_pages = Array.length pages in
+  if n_pages = 0 then invalid_arg "Driver.run: pages must be non-empty";
+  let sched = match sched with Some s -> s | None -> Sched.create () in
+  let st = Sched.stats sched in
+  ignore (Stats.histogram st "sched.commit_latency_ns");
+  ignore (Stats.histogram st "sched.txn_latency_ns");
+  let commits = ref 0 and aborts = ref 0 and give_ups = ref 0 in
+  let indeterminate = ref 0 and disconnects = ref 0 and reconnects = ref 0 in
+  let t0 = Span.now_ns () in
+  let events0 = Sched.events_run sched in
+  (* The Zipf CDF is O(n_pages) to build, so it is shared: clients draw
+     through it with their own streams. Rank i maps to pages.(i) —
+     popularity order is working-set order. *)
+  let zipf_cdf =
+    if cfg.zipf_theta > 0.0 then begin
+      let cdf = Array.make n_pages 0.0 in
+      let acc = ref 0.0 in
+      for i = 0 to n_pages - 1 do
+        acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) cfg.zipf_theta);
+        cdf.(i) <- !acc
+      done;
+      Some cdf
+    end
+    else None
+  in
+  let pick_page prng =
+    if cfg.hot_pages > 0 && cfg.hot_fraction > 0.0 && Prng.float prng < cfg.hot_fraction
+    then Prng.int prng (Stdlib.min cfg.hot_pages n_pages)
+    else
+      match zipf_cdf with
+      | None -> Prng.int prng n_pages
+      | Some cdf ->
+          let u = Prng.float prng *. cdf.(n_pages - 1) in
+          let rec search lo hi =
+            if lo >= hi then lo
+            else
+              let mid = (lo + hi) / 2 in
+              if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+          in
+          search 0 (n_pages - 1)
+  in
+  let think prng =
+    if cfg.think_ns <= 0 then 0
+    else int_of_float (-.float_of_int cfg.think_ns *. log (1.0 -. Prng.float prng))
+  in
+  let sink _ _ = `Dropped in
+  let master = Prng.create cfg.seed in
+  let clients =
+    Array.init cfg.n_clients (fun i ->
+        { c_id = 10_000 + i;
+          c_prng = Prng.split master;
+          c_connected = true;
+          c_left = cfg.txns_per_client })
+  in
+  let churn_roll c = cfg.churn > 0.0 && Prng.float c.c_prng < cfg.churn in
+  let rec start c =
+    if c.c_left > 0 && c.c_connected then begin
+      if churn_roll c then disconnect c ~holding:false
+      else begin
+        let txn = Bess.Server.begin_txn server ~client:c.c_id in
+        attempt c ~txn ~t_begin:(Span.now_ns ()) ~page:(pick_page c.c_prng) ~retries:0
+      end
+    end
+  and attempt c ~txn ~t_begin ~page ~retries =
+    let pid = pages.(page) in
+    let r = Lock_mgr.page_resource ~area:pid.Page_id.area ~page:pid.Page_id.page in
+    match Bess.Server.lock server ~txn r Lock_mode.X with
+    | `Granted ->
+        if churn_roll c then begin
+          (* Disconnect while holding the lock: the interrupted attempt
+             is consumed, and the server must free everything — the
+             no-lock-leak test watches this path. *)
+          c.c_left <- c.c_left - 1;
+          disconnect c ~holding:true
+        end
+        else
+          Sched.schedule sched ~after:cfg.txn_work_ns (fun () ->
+              commit_txn c ~txn ~t_begin ~page)
+    | `Blocked ->
+        if retries >= cfg.max_lock_retries then begin
+          Bess.Server.abort_client server ~txn;
+          incr give_ups;
+          Stats.incr st "sched.give_ups";
+          finish_attempt c
+        end
+        else
+          (* Bounded exponential backoff keeps deep convoys from
+             generating a retry storm of events per eventual grant. *)
+          let backoff = cfg.lock_retry_ns * (1 lsl Stdlib.min retries 3) in
+          Sched.schedule sched ~after:backoff (fun () ->
+              attempt c ~txn ~t_begin ~page ~retries:(retries + 1))
+    | `Deadlock | `Timeout ->
+        Bess.Server.abort_client server ~txn;
+        incr aborts;
+        Stats.incr st "sched.aborts";
+        finish_attempt c
+  and commit_txn c ~txn ~t_begin ~page =
+    let pid = pages.(page) in
+    match
+      let bytes = Bess.Server.read_page server pid in
+      let before = Bytes.sub bytes 0 8 in
+      let after = Prng.bytes c.c_prng 8 in
+      let u = { Bess.Server.page = pid; offset = 0; before; after } in
+      Bess.Server.commit_client_begin server ~txn ~updates:[ u ]
+    with
+    | exception _ ->
+        (* Injected fault with the outcome in doubt: resolve
+           pessimistically (abort is idempotent if the commit point was
+           in fact passed). *)
+        (try Bess.Server.abort_client server ~txn with _ -> ());
+        incr indeterminate;
+        Stats.incr st "sched.indeterminate";
+        finish_attempt c
+    | `Lock_violation ->
+        Bess.Server.abort_client server ~txn;
+        incr aborts;
+        Stats.incr st "sched.aborts";
+        finish_attempt c
+    | `Committed ticket ->
+        let t_commit = Span.now_ns () in
+        Sched.schedule sched ~after:cfg.ack_delay_ns (fun () ->
+            ack c ~ticket ~t_begin ~t_commit)
+  and ack c ~ticket ~t_begin ~t_commit =
+    (match Bess.Server.await_commit server ticket with
+    | () ->
+        let now = Span.now_ns () in
+        incr commits;
+        Stats.incr st "sched.commits";
+        Stats.observe st "sched.commit_latency_ns" (now - t_commit);
+        Stats.observe st "sched.txn_latency_ns" (now - t_begin)
+    | exception _ ->
+        (* Ticket lost to a crash between registration and ack. *)
+        incr indeterminate;
+        Stats.incr st "sched.indeterminate");
+    finish_attempt c
+  and finish_attempt c =
+    c.c_left <- c.c_left - 1;
+    if c.c_left > 0 then Sched.schedule sched ~after:(think c.c_prng) (fun () -> start c)
+  and disconnect c ~holding =
+    if holding then Stats.incr st "sched.churn_holding_locks";
+    ignore (Bess.Server.abort_client_txns server ~client:c.c_id);
+    Bess.Server.disconnect_client server ~client:c.c_id;
+    c.c_connected <- false;
+    incr disconnects;
+    Stats.incr st "sched.disconnects";
+    Sched.schedule sched ~after:cfg.reconnect_ns (fun () -> reconnect c)
+  and reconnect c =
+    Bess.Server.connect_client server ~client:c.c_id ~sink;
+    c.c_connected <- true;
+    incr reconnects;
+    Stats.incr st "sched.reconnects";
+    if c.c_left > 0 then Sched.schedule sched ~after:(think c.c_prng) (fun () -> start c)
+  in
+  Array.iter
+    (fun c ->
+      Bess.Server.connect_client server ~client:c.c_id ~sink;
+      (* Stagger first arrivals over a think time so the heap does not
+         open on an n_clients-deep convoy at tick zero. *)
+      Sched.schedule sched ~after:(think c.c_prng) (fun () -> start c))
+    clients;
+  ignore (Sched.run sched);
+  let p q =
+    match Stats.find_histogram st "sched.commit_latency_ns" with
+    | Some h when !commits > 0 -> Bess_util.Histogram.percentile h q
+    | _ -> 0
+  in
+  {
+    r_commits = !commits;
+    r_aborts = !aborts;
+    r_give_ups = !give_ups;
+    r_indeterminate = !indeterminate;
+    r_disconnects = !disconnects;
+    r_reconnects = !reconnects;
+    r_events = Sched.events_run sched - events0;
+    r_sim_ns = Span.now_ns () - t0;
+    r_commit_p50_ns = p 50.0;
+    r_commit_p99_ns = p 99.0;
+  }

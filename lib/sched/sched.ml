@@ -1,0 +1,117 @@
+(* Discrete-event scheduler: a binary min-heap of (tick, seq, closure).
+
+   The heap is an array-backed implicit tree ordered by (at, seq) so
+   equal-tick events pop in scheduling order — the tie-break that makes
+   the whole simulation deterministic. No Stdlib priority queue is
+   stable, and stability is the point, so the heap is hand-rolled.
+
+   The scheduler owns time only in one direction: before running an
+   event it advances the process-wide Span clock to the event's due
+   time. Simulated work inside an event (log forces, wire hops) advances
+   the same clock further, so later events may find their due time
+   already past — they run immediately, late, like an interrupt handler
+   that was masked. *)
+
+module Span = Bess_obs.Span
+
+type event = { at : int; seq : int; run : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable events_run : int;
+  stats : Bess_util.Stats.t;
+}
+
+let dummy = { at = 0; seq = 0; run = ignore }
+
+let create () =
+  let stats = Bess_util.Stats.create () in
+  Bess_obs.Registry.register_stats "sched" stats;
+  let t = { heap = Array.make 64 dummy; size = 0; next_seq = 0; events_run = 0; stats } in
+  Bess_obs.Registry.register_gauge "sched" "sched.pending_events" (fun () -> t.size);
+  t
+
+let stats t = t.stats
+let pending t = t.size
+let events_run t = t.events_run
+
+(* Strict total order: due time first, scheduling order on ties. *)
+let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let grow t =
+  let h = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 h 0 t.size;
+  t.heap <- h
+
+let push t e =
+  if t.size = Array.length t.heap then grow t;
+  let h = t.heap in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  h.(!i) <- e;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before h.(!i) h.(parent) then begin
+      let tmp = h.(parent) in
+      h.(parent) <- h.(!i);
+      h.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  let h = t.heap in
+  let min = h.(0) in
+  t.size <- t.size - 1;
+  h.(0) <- h.(t.size);
+  h.(t.size) <- dummy;
+  (* Sift down. *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before h.(l) h.(!smallest) then smallest := l;
+    if r < t.size && before h.(r) h.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = h.(!smallest) in
+      h.(!smallest) <- h.(!i);
+      h.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  min
+
+let schedule_at t ~at f =
+  let at = Stdlib.max at (Span.now_ns ()) in
+  let e = { at; seq = t.next_seq; run = f } in
+  t.next_seq <- t.next_seq + 1;
+  push t e;
+  Bess_util.Stats.incr t.stats "sched.scheduled";
+  if t.size > Bess_util.Stats.get t.stats "sched.heap_peak" then
+    Bess_util.Stats.set t.stats "sched.heap_peak" t.size
+
+let schedule t ~after f =
+  if after < 0 then invalid_arg "Sched.schedule: negative delay";
+  schedule_at t ~at:(Span.now_ns () + after) f
+
+let run ?max_events t =
+  let budget = match max_events with Some n -> n | None -> max_int in
+  let ran = ref 0 in
+  while t.size > 0 && !ran < budget do
+    let e = pop t in
+    let now = Span.now_ns () in
+    if e.at > now then Span.advance_ns (e.at - now)
+    else if e.at < now then Bess_util.Stats.incr t.stats "sched.late_events";
+    e.run ();
+    incr ran;
+    t.events_run <- t.events_run + 1;
+    Bess_util.Stats.incr t.stats "sched.events"
+  done;
+  !ran

@@ -42,6 +42,9 @@ type t = {
   log : Log.t;
   mutable policy : policy;
   mutable pending : ticket list; (* newest first *)
+  mutable n_pending : int; (* length of [pending]: the Group_n trigger and the
+                              backlog gauge read this every registration, and a
+                              List.length there is O(group) per commit *)
   mutable window_start : int; (* span clock at oldest pending; -1 when none *)
 }
 
@@ -77,13 +80,12 @@ let policy_of_string s =
           | _ -> Error (Printf.sprintf "bad group-commit policy %S" s)))
 
 let create ?(policy = Immediate) log =
-  let t = { log; policy; pending = []; window_start = -1 } in
-  Bess_obs.Registry.register_gauge "wal" "wal.pending_tickets" (fun () ->
-      List.length t.pending);
+  let t = { log; policy; pending = []; n_pending = 0; window_start = -1 } in
+  Bess_obs.Registry.register_gauge "wal" "wal.pending_tickets" (fun () -> t.n_pending);
   t
 
 let policy t = t.policy
-let pending t = List.length t.pending
+let pending t = t.n_pending
 let stats t = Log.stats t.log
 
 (* Release every pending ticket the durable horizon already covers
@@ -106,6 +108,7 @@ let release_durable t =
               Bess_util.Stats.observe st "wal.force_wait_ticks" (now - tk.tk_registered_ns))
             released);
       t.pending <- kept;
+      t.n_pending <- List.length kept;
       if kept = [] then t.window_start <- -1
 
 (* Issue one coalesced force through the highest pending LSN and release
@@ -117,7 +120,7 @@ let force t =
   match t.pending with
   | [] -> ()
   | tickets ->
-      let n = List.length tickets in
+      let n = t.n_pending in
       let target = List.fold_left (fun acc tk -> Stdlib.max acc tk.tk_lsn) 0 tickets in
       let flush () = Log.flush t.log ~lsn:target () in
       (match t.policy with
@@ -141,9 +144,10 @@ let commit_lsn t ~lsn =
   else begin
     if t.pending = [] then t.window_start <- Span.now_ns ();
     t.pending <- tk :: t.pending;
+    t.n_pending <- t.n_pending + 1;
     match t.policy with
     | Immediate -> force t
-    | Group_n n -> if List.length t.pending >= n then force t
+    | Group_n n -> if t.n_pending >= n then force t
     | Window w -> if Span.now_ns () - t.window_start >= w then force t
   end;
   tk
@@ -168,6 +172,7 @@ let is_released tk = tk.tk_released
    back; awaiting one of these afterwards raises {!Lost_ticket}. *)
 let reset t =
   t.pending <- [];
+  t.n_pending <- 0;
   t.window_start <- -1
 
 let set_policy t p =

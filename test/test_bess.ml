@@ -29,4 +29,5 @@ let () =
       ("btree", Test_btree.suite);
       ("crash_points", Test_crash_points.suite);
       ("chaos", Test_chaos.suite);
+      ("sched", Test_sched.suite);
     ]

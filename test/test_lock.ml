@@ -208,9 +208,43 @@ let prop_release_all_is_total =
       && Lock_mgr.held_resources m ~txn:2 = []
       && Lock_mgr.held_resources m ~txn:3 = [])
 
+(* Regression for the release_all hot path: releasing must touch only the
+   entries the transaction holds or waits on, never the whole table. The
+   scenario builds an n+1-entry table (every transaction holds a private
+   page and queues on one shared hot page) and then releases everyone;
+   [lock.release_scan_entries] counts entries visited, which must grow
+   linearly in n — the old whole-table ghost-waiter purge made this
+   quadratic (~n^2/2 entries scanned across the release phase). *)
+let test_release_scan_subquadratic () =
+  let scan_entries n =
+    let m = Lock_mgr.create () in
+    let shared = Lock_mgr.page_resource ~area:9 ~page:0 in
+    for i = 1 to n do
+      (match Lock_mgr.acquire m ~txn:i (Lock_mgr.page_resource ~area:9 ~page:i) Lock_mode.X with
+      | `Granted -> ()
+      | _ -> Alcotest.fail "private page should be granted");
+      ignore (Lock_mgr.acquire m ~txn:i shared Lock_mode.X)
+    done;
+    for i = 1 to n do
+      ignore (Lock_mgr.release_all m ~txn:i)
+    done;
+    Alcotest.(check int) "no leaked entries" 0 (Lock_mgr.n_locks m);
+    Bess_util.Stats.get (Lock_mgr.stats m) "lock.release_scan_entries"
+  in
+  let small = scan_entries 200 in
+  let large = scan_entries 2000 in
+  Alcotest.(check bool) "scan entries grow" true (large > small);
+  (* Linear growth gives large = 10 * small; the old whole-table scan
+     gave ~100x. Allow slack up to 3x linear. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sub-quadratic release scans (small=%d large=%d)" small large)
+    true
+    (large <= 30 * small)
+
 let suite =
   [
     Alcotest.test_case "mode_algebra" `Quick test_mode_algebra;
+    Alcotest.test_case "release_scan_subquadratic" `Quick test_release_scan_subquadratic;
     Alcotest.test_case "grant_block_release" `Quick test_grant_block_release;
     Alcotest.test_case "upgrade" `Quick test_upgrade;
     Alcotest.test_case "fifo_no_starvation" `Quick test_fifo_no_starvation;
