@@ -1308,6 +1308,178 @@ let e14 () =
   close_out oc;
   Report.note "series written to BENCH_e14.json (%s) and bench_report.json#e14_series" stamp
 
+(* Tail-latency attribution: the e14 client sweep re-run with span
+   tracing, the critical-path sink and the SLO watch plane installed.
+   Every committed transaction's latency is decomposed into exhaustive
+   phases (lock wait, WAL force, net transit, retry backoff, server
+   work, scheduler lag, other) whose sum equals the measured latency
+   exactly; the sweep reports the blame breakdown per population,
+   checks conservation, re-runs the 10^3 point to prove the
+   decomposition and breach counts are same-seed deterministic, and
+   gates the smallest population on a commit-p99 latency budget.
+   Artifacts: bench_report.json#e15 and a timestamped BENCH_e15.json
+   with per-client-count phase fractions. *)
+let e15 () =
+  let sweep = if quick then [ 100; 1_000 ] else [ 100; 1_000; 10_000; 100_000 ] in
+  let n_pages = 2048 in
+  let total_attempts = scale 40_000 in
+  let seed = 1505 in
+  let budget_ns = 20_000_000 in
+  let rule s =
+    match Bess_obs.Slo.rule_of_string s with
+    | Ok r -> r
+    | Error e -> failwith ("e15 rule: " ^ e)
+  in
+  (* One sweep point, instrumented: fresh db + working set, a private
+     span collector feeding the critical-path sink, a windowed series
+     carrying per-window tails, and the SLO watcher on the series
+     window hook. Returns the driver result plus everything the
+     attribution plane measured. *)
+  let run_point ~seed n_clients =
+    let prev_series = Bess_obs.Series.installed () in
+    let db =
+      Workloads.fresh_db ~cache_slots:(2 * n_pages)
+        ~group_commit:(Bess_wal.Group_commit.Group_n 16) ()
+    in
+    let server = Bess.Db.server db in
+    Bess.Server.set_detection server `Timeout;
+    let pages = Workloads.driver_pages db ~n_pages in
+    let sched = Bess_sched.Sched.create () in
+    let coll = Bess_obs.Span.create () in
+    let cp = Bess_obs.Critpath.create ~top_k:8 () in
+    let slo =
+      Bess_obs.Slo.create
+        ~rules:
+          [
+            rule (Printf.sprintf "commit_p99: critpath.commit_ns.p99 < %d" budget_ns);
+            rule "no_unclosed: critpath.unclosed_roots = 0";
+            rule "no_orphans: critpath.orphan_spans = 0";
+          ]
+        ()
+    in
+    let series = Bess_obs.Series.create ~capacity:4096 ~window_ns:10_000_000 () in
+    Bess_obs.Span.install (Some coll);
+    Bess_obs.Critpath.install (Some cp);
+    Bess_obs.Series.install (Some series);
+    Bess_obs.Slo.watch slo series;
+    let cfg =
+      { Bess_sched.Driver.default with
+        n_clients;
+        txns_per_client = Stdlib.max 1 (total_attempts / n_clients);
+        zipf_theta = 0.8;
+        hot_fraction = 0.05;
+        hot_pages = 8;
+        churn = 0.002;
+        seed;
+      }
+    in
+    let wall0 = Unix.gettimeofday () in
+    let r = Bess_sched.Driver.run ~sched server ~pages cfg in
+    let wall = Unix.gettimeofday () -. wall0 in
+    Bess_obs.Series.flush series;
+    Bess_obs.Slo.unwatch series;
+    Bess_obs.Series.install prev_series;
+    Bess_obs.Critpath.install None;
+    Bess_obs.Span.install None;
+    (r, cp, slo, wall)
+  in
+  let phase_names = List.map Bess_obs.Critpath.phase_name Bess_obs.Critpath.phases in
+  let rows = ref [] in
+  let point_sections = ref [] in
+  let fp_1000 = ref "" and breaches_1000 = ref (-1) in
+  let budget_ok = ref true and conserved = ref true in
+  List.iter
+    (fun n_clients ->
+      let r, cp, slo, wall = run_point ~seed n_clients in
+      if n_clients = 1_000 then begin
+        fp_1000 := Bess_obs.Critpath.fingerprint cp;
+        breaches_1000 := Bess_obs.Slo.breaches slo
+      end;
+      let total = Bess_obs.Critpath.total_ns cp in
+      let totals = Bess_obs.Critpath.blame_totals cp in
+      (* Conservation: the per-phase sums must reproduce the measured
+         transaction time exactly (the 1% acceptance bound is met with
+         zero slack by construction; any gap is a decomposition bug). *)
+      let phase_sum = List.fold_left (fun acc (_, ns) -> acc + ns) 0 totals in
+      let gap = Stdlib.abs (phase_sum - total) in
+      if total > 0 && gap * 100 > total then conserved := false;
+      if n_clients = List.hd sweep && Bess_obs.Slo.breaches_of slo "commit_p99" > 0 then
+        budget_ok := false;
+      let frac ns =
+        if total = 0 then 0.0 else 100.0 *. float_of_int ns /. float_of_int total
+      in
+      let share name = frac (Option.value ~default:0 (List.assoc_opt name totals)) in
+      point_sections :=
+        Printf.sprintf "\"clients_%d\":{\"txns\":%d,\"total_ns\":%d,\"gap_ns\":%d,%s,\"slo\":{\"checks\":%d,\"breaches\":%d,%s}}"
+          n_clients (Bess_obs.Critpath.txns cp) total gap
+          (String.concat ","
+             (List.map
+                (fun (name, ns) ->
+                  Printf.sprintf "%s:{\"ns\":%d,\"frac\":%.4f}"
+                    (Bess_obs.Registry.json_string name) ns
+                    (if total = 0 then 0.0
+                     else float_of_int ns /. float_of_int total))
+                totals))
+          (Bess_obs.Slo.checks slo) (Bess_obs.Slo.breaches slo)
+          (String.concat ","
+             (List.map
+                (fun (name, n) ->
+                  Printf.sprintf "%s:%d" (Bess_obs.Registry.json_string name) n)
+                (Bess_obs.Slo.report slo)))
+        :: !point_sections;
+      rows :=
+        ([ Report.count n_clients; Report.count r.Bess_sched.Driver.r_commits;
+           Report.count (Bess_obs.Critpath.txns cp) ]
+        @ List.map (fun name -> Printf.sprintf "%.1f%%" (share name)) phase_names
+        @ [ Report.count (Bess_obs.Slo.breaches slo);
+            Printf.sprintf "%.0f ms" (wall *. 1e3) ])
+        :: !rows)
+    sweep;
+  Report.table ~id:"E15"
+    ~caption:
+      (Printf.sprintf
+         "critical-path blame over the closed-loop sweep: per-phase share of total \
+          transaction time, ~%d attempts per population, zipf(0.8) over %d pages, group:16; \
+          SLO budget commit p99 < %dms per 10ms window"
+         total_attempts n_pages (budget_ns / 1_000_000))
+    ~header:([ "clients"; "commits"; "txns" ] @ phase_names @ [ "breaches"; "wall" ])
+    (List.rev !rows);
+  Report.note "e15: attribution conservation (phases sum to measured latency within 1%%): %s"
+    (if !conserved then "OK" else "FAILED");
+  Report.note "e15: latency budget gate at %d clients (commit p99 < %dms): %s"
+    (List.hd sweep) (budget_ns / 1_000_000)
+    (if !budget_ok then "OK" else "BREACHED");
+  (* Same seed, fresh substrates: the blame decomposition and the SLO
+     breach counts must reproduce bit for bit. *)
+  let _, cp2, slo2, _ = run_point ~seed 1_000 in
+  let fp2 = Bess_obs.Critpath.fingerprint cp2 in
+  let deterministic =
+    String.equal !fp_1000 fp2 && !breaches_1000 = Bess_obs.Slo.breaches slo2
+  in
+  Report.note "e15: same-seed determinism at 1000 clients: %s"
+    (if deterministic then "OK (blame fingerprints and breach counts identical)"
+     else
+       Printf.sprintf "FAILED (%s vs %s; breaches %d vs %d)" !fp_1000 fp2 !breaches_1000
+         (Bess_obs.Slo.breaches slo2));
+  let json =
+    Printf.sprintf "{%s}" (String.concat "," (List.rev !point_sections))
+  in
+  Report.add_section "e15" json;
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let stamp =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let oc = open_out "BENCH_e15.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"e15\",\"wall_time\":%s,\"seed\":%d,\"clients\":%s,\"budget_ns\":%d,\"deterministic\":%b,\"conserved\":%b,\"points\":%s}\n"
+    (Bess_obs.Registry.json_string stamp)
+    seed
+    ("[" ^ String.concat "," (List.map string_of_int sweep) ^ "]")
+    budget_ns deterministic !conserved json;
+  close_out oc;
+  Report.note "blame breakdown written to BENCH_e15.json (%s) and bench_report.json#e15" stamp
+
 (* ---- F1: segment and object structure (Figure 1) ------------------------- *)
 
 let f1 () =
@@ -1844,7 +2016,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
-    ("e14", e14);
+    ("e14", e14); ("e15", e15);
     ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4);
     ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("t1", t1);

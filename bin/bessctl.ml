@@ -8,8 +8,9 @@
      bessctl compact DIR                               compact every segment
      bessctl stats   DIR [--json|--prom]               live metrics registry
      bessctl trace   DIR [--spans] [--chrome FILE]     causal span timeline
-     bessctl top     DIR [--passes N]                  busiest metrics per window
+     bessctl top     DIR [--passes N] [--json]         busiest metrics per window
      bessctl load    DIR [--workload W] [--clients N]  closed-loop load generator
+     bessctl slow    DIR [--workload W] [--clients N]  slowest txns with blame breakdown
      bessctl flightrec FILE [--last N]                 replay a black-box dump
 
    Databases live in a directory: area_*.bess files, wal.log, and
@@ -280,8 +281,11 @@ let trace_cmd =
 
 (* ---- windowed-rate reporting (shared by top and load) ---- *)
 
-let print_window_report samples ~limit =
+let print_window_report ?(json = false) samples ~limit =
   match samples with
+  | _ when json ->
+      Printf.printf "{\"windows\":[%s]}\n"
+        (String.concat "," (List.map Bess_obs.Series.json_of_sample samples))
   | [] -> Printf.printf "no windows sampled (no simulated time elapsed)\n"
   | _ ->
       let total_width =
@@ -322,7 +326,17 @@ let print_window_report samples ~limit =
           Printf.printf "  %-36s %12s\n" "GAUGE" "VALUE";
           List.iter
             (fun (name, v) -> Printf.printf "  %-36s %12d\n" name v)
-            gauges)
+            gauges);
+      (match last.w_tails with
+      | [] -> ()
+      | tails ->
+          Printf.printf "  %-36s %8s %10s %10s %10s %10s\n" "LAST-WINDOW TAIL" "COUNT" "p50"
+            "p95" "p99" "p999";
+          List.iter
+            (fun (name, (t : Bess_obs.Series.tail)) ->
+              Printf.printf "  %-36s %8d %10d %10d %10d %10d\n" name t.t_count t.t_p50
+                t.t_p95 t.t_p99 t.t_p999)
+            tails)
 
 (* ---- top ---- *)
 
@@ -337,7 +351,10 @@ let top_cmd =
   let limit =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Counters to show (busiest first)")
   in
-  let run dir passes window_us limit =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the sampled windows as JSON")
+  in
+  let run dir passes window_us limit json =
     let series =
       Bess_obs.Series.create ~capacity:4096 ~window_ns:(Stdlib.max 1 window_us * 1000) ()
     in
@@ -359,20 +376,44 @@ let top_cmd =
             done);
         Bess_obs.Series.flush series;
         let samples = Bess_obs.Series.to_list series in
-        Printf.printf "top: %d windows of >=%dus simulated time, %d passes\n"
-          (List.length samples) window_us passes;
-        print_window_report samples ~limit)
+        if not json then
+          Printf.printf "top: %d windows of >=%dus simulated time, %d passes\n"
+            (List.length samples) window_us passes;
+        print_window_report ~json samples ~limit)
   in
   Cmd.v
     (Cmd.info "top"
        ~doc:"Sample repeated database passes into per-window rates and show the busiest metrics")
-    Term.(const run $ dir_arg $ passes $ window_us $ limit)
+    Term.(const run $ dir_arg $ passes $ window_us $ limit $ json_arg)
 
 (* ---- load ---- *)
 
 (* Closed-loop load generator: N simulated clients on the discrete-event
    scheduler run a named workload against the database, and the same
    windowed-rate report [bessctl top] uses shows where the time went. *)
+
+(* Working set for the load drivers: committed data pages in 128-page
+   segments (extents cap contiguous allocation). *)
+let seed_working_set db pages =
+  let s = Bess.Db.session db in
+  Bess.Session.begin_txn s;
+  let acc = ref [] in
+  let remaining = ref (Stdlib.max 1 pages) in
+  while !remaining > 0 do
+    let n = Stdlib.min 128 !remaining in
+    let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:n () in
+    let d = seg.Bess.Session.data_disk in
+    for i = 0 to n - 1 do
+      acc :=
+        { Bess_cache.Page_id.area = d.Bess_storage.Seg_addr.area;
+          page = d.Bess_storage.Seg_addr.first_page + i }
+        :: !acc
+    done;
+    remaining := !remaining - n
+  done;
+  Bess.Session.commit s;
+  Bess.Session.drop_all_cached s;
+  Array.of_list (List.rev !acc)
 
 let load_workloads =
   [
@@ -428,29 +469,7 @@ let load_cmd =
         with_db dir (fun db ->
             let server = Bess.Db.server db in
             Bess.Server.set_detection server `Timeout;
-            (* Working set: committed data pages in 128-page segments
-               (extents cap contiguous allocation). *)
-            let page_ids =
-              let s = Bess.Db.session db in
-              Bess.Session.begin_txn s;
-              let acc = ref [] in
-              let remaining = ref (Stdlib.max 1 pages) in
-              while !remaining > 0 do
-                let n = Stdlib.min 128 !remaining in
-                let seg = Bess.Session.create_segment s ~slotted_pages:1 ~data_pages:n () in
-                let d = seg.Bess.Session.data_disk in
-                for i = 0 to n - 1 do
-                  acc :=
-                    { Bess_cache.Page_id.area = d.Bess_storage.Seg_addr.area;
-                      page = d.Bess_storage.Seg_addr.first_page + i }
-                    :: !acc
-                done;
-                remaining := !remaining - n
-              done;
-              Bess.Session.commit s;
-              Bess.Session.drop_all_cached s;
-              Array.of_list (List.rev !acc)
-            in
+            let page_ids = seed_working_set db pages in
             let cfg =
               shape
                 { Bess_sched.Driver.default with
@@ -488,6 +507,117 @@ let load_cmd =
          "Run a named closed-loop workload at a given client count on the event scheduler \
           and report windowed rates")
     Term.(const run $ dir_arg $ workload_arg $ clients $ txns $ pages $ seed $ window_us $ limit)
+
+(* ---- slow ---- *)
+
+(* Tail-latency attribution: run the same closed-loop workload [bessctl
+   load] runs, but with span tracing and the critical-path sink
+   installed, and report where the slowest transactions spent their
+   time, phase by phase. *)
+
+let slow_cmd =
+  let workload_arg =
+    Arg.(value & opt string "zipf"
+         & info [ "workload" ] ~docv:"NAME"
+             ~doc:"Named workload (same set as $(b,bessctl load))")
+  in
+  let clients =
+    Arg.(value & opt int 100 & info [ "clients" ] ~docv:"N" ~doc:"Simulated clients")
+  in
+  let txns =
+    Arg.(value & opt int 50 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per client")
+  in
+  let pages =
+    Arg.(value & opt int 1024 & info [ "pages" ] ~docv:"N" ~doc:"Working-set pages to seed")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed") in
+  let top_k =
+    Arg.(value & opt int 10
+         & info [ "slowest" ] ~docv:"K" ~doc:"Slowest transactions to capture and print")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the slow-transaction reservoir as JSON")
+  in
+  let run dir workload clients txns pages seed top_k json =
+    match List.assoc_opt workload load_workloads with
+    | None ->
+        Printf.eprintf "bad --workload %S (try uniform, zipf, hotspot, churn)\n" workload;
+        exit 2
+    | Some shape ->
+        with_db dir (fun db ->
+            let server = Bess.Db.server db in
+            Bess.Server.set_detection server `Timeout;
+            let page_ids = seed_working_set db pages in
+            let cfg =
+              shape
+                { Bess_sched.Driver.default with
+                  n_clients = clients;
+                  txns_per_client = txns;
+                  seed;
+                }
+            in
+            let coll = Bess_obs.Span.create () in
+            let cp = Bess_obs.Critpath.create ~top_k () in
+            Bess_obs.Span.install (Some coll);
+            Bess_obs.Critpath.install (Some cp);
+            let r =
+              Fun.protect
+                ~finally:(fun () ->
+                  Bess_obs.Critpath.install None;
+                  Bess_obs.Span.install None)
+                (fun () -> Bess_sched.Driver.run server ~pages:page_ids cfg)
+            in
+            if json then print_string (Bess_obs.Critpath.json_of_slow cp ^ "\n")
+            else begin
+              Printf.printf "slow: %S, %d clients x %d txns over %d pages, seed %d\n" workload
+                clients txns (Array.length page_ids) seed;
+              Printf.printf "  commits %d  aborts %d  give-ups %d  indeterminate %d\n"
+                r.Bess_sched.Driver.r_commits r.r_aborts r.r_give_ups r.r_indeterminate;
+              let total = Bess_obs.Critpath.total_ns cp in
+              Printf.printf "  %d transactions attributed, %.1f ms total\n"
+                (Bess_obs.Critpath.txns cp)
+                (float_of_int total /. 1e6);
+              Printf.printf "  %-10s %14s %7s\n" "PHASE" "TOTAL-NS" "SHARE";
+              List.iter
+                (fun (name, ns) ->
+                  if ns > 0 then
+                    Printf.printf "  %-10s %14d %6.1f%%\n" name ns
+                      (100.0 *. float_of_int ns /. float_of_int (Stdlib.max 1 total)))
+                (Bess_obs.Critpath.blame_totals cp);
+              let slow = Bess_obs.Critpath.slow cp in
+              Printf.printf "slowest %d transactions:\n" (List.length slow);
+              List.iteri
+                (fun i (st : Bess_obs.Critpath.slow_txn) ->
+                  let b = st.st_blame in
+                  let root = st.st_root in
+                  let outcome =
+                    Option.value ~default:"?" (List.assoc_opt "outcome" root.attrs)
+                  in
+                  let parts =
+                    List.concat
+                      (List.mapi
+                         (fun j p ->
+                           let ns = b.b_phase_ns.(j) in
+                           if ns > 0 then
+                             [ Printf.sprintf "%s %dns" (Bess_obs.Critpath.phase_name p) ns ]
+                           else [])
+                         Bess_obs.Critpath.phases)
+                  in
+                  Printf.printf "  #%-2d span %-6d %8dns %-13s %d spans %d faults | %s\n"
+                    (i + 1) root.id b.b_total_ns outcome
+                    (List.length st.st_spans)
+                    (List.length st.st_faults)
+                    (String.concat ", " parts))
+                slow
+            end)
+  in
+  Cmd.v
+    (Cmd.info "slow"
+       ~doc:
+         "Run a closed-loop workload with critical-path attribution installed and print the \
+          slowest transactions' phase-by-phase blame breakdown")
+    Term.(const run $ dir_arg $ workload_arg $ clients $ txns $ pages $ seed $ top_k
+          $ json_arg)
 
 (* ---- flightrec ---- *)
 
@@ -593,12 +723,16 @@ let chaos_cmd =
         exit 2
     | Ok sites ->
         (* Black box: arm the flight recorder and collect spans so the
-           dumps written on crash/recovery/failure carry a real timeline. *)
+           dumps written on crash/recovery/failure carry a real
+           timeline — and the critical-path sink, so each dump also
+           carries the slowest transactions whole (aux_slow_txns). *)
         let frdir = Option.value ~default:dir flightrec_dir in
         Bess_obs.Flightrec.arm ~dir:frdir ();
         let coll = Bess_obs.Span.create () in
         Bess_obs.Span.install (Some coll);
+        Bess_obs.Critpath.install (Some (Bess_obs.Critpath.create ~top_k:8 ()));
         Fun.protect ~finally:(fun () ->
+            Bess_obs.Critpath.install None;
             Bess_obs.Span.install None;
             Bess_obs.Flightrec.disarm ())
         @@ fun () ->
@@ -728,4 +862,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "bessctl" ~doc)
           [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd; stats_cmd;
-            trace_cmd; top_cmd; load_cmd; flightrec_cmd; chaos_cmd ]))
+            trace_cmd; top_cmd; load_cmd; slow_cmd; flightrec_cmd; chaos_cmd ]))

@@ -32,6 +32,15 @@ let state : armed_state option ref = ref None
 (* (site, ordinal, ts_ns) of recent fault firings, oldest first. *)
 let fault_source : (unit -> (string * int * int) list) ref = ref (fun () -> [])
 let set_fault_source f = fault_source := f
+let fault_firings () = !fault_source ()
+
+(* Auxiliary sections: other planes (the slow-transaction reservoir)
+   register a named JSON producer here and it rides along in every
+   dump as a top-level ["aux_<name>"] member. The producer must return
+   one complete JSON value. *)
+let aux_sources : (string, unit -> string) Hashtbl.t = Hashtbl.create 4
+let set_aux_source name fn = Hashtbl.replace aux_sources name fn
+let clear_aux_source name = Hashtbl.remove aux_sources name
 
 let arm ?(max_spans = 2048) ?(max_events = 1024) ~dir () =
   state := Some { dir; max_spans; max_events; seq = 0 }
@@ -140,6 +149,16 @@ let render ?(max_spans = 2048) ?(max_events = 1024) ~reason () =
       Series.flush series;
       Buffer.add_string buf ",\"series\":";
       Buffer.add_string buf (Series.json_of series));
+  (* Registered aux sections, sorted for a stable artifact layout. A
+     producer that raises is dropped, the same policy as gauges. *)
+  Hashtbl.fold (fun name fn acc -> (name, fn) :: acc) aux_sources []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, fn) ->
+         match fn () with
+         | body ->
+             Buffer.add_string buf (Printf.sprintf ",\"aux_%s\":" name);
+             Buffer.add_string buf body
+         | exception _ -> ());
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 

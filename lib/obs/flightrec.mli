@@ -24,6 +24,20 @@ val armed : unit -> bool
     order, so it injects its reader here at module-initialisation time. *)
 val set_fault_source : (unit -> (string * int * int) list) -> unit
 
+(** The injected reader's current view: recent fault firings as
+    [(site, ordinal, ts_ns)], oldest first. The critical-path plane
+    reads this to interleave fault firings with captured slow
+    transactions without depending on bess_fault. *)
+val fault_firings : unit -> (string * int * int) list
+
+(** [set_aux_source name fn] registers (or replaces) a named auxiliary
+    JSON section included in every rendered artifact as a top-level
+    ["aux_<name>"] member. [fn] must return one complete JSON value; a
+    producer that raises is dropped from the dump. *)
+val set_aux_source : string -> (unit -> string) -> unit
+
+val clear_aux_source : string -> unit
+
 (** Render the artifact without writing it (works while disarmed). *)
 val render : ?max_spans:int -> ?max_events:int -> reason:string -> unit -> string
 

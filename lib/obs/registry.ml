@@ -45,6 +45,7 @@ let metric_namespaces =
     "buddy";
     "cache";
     "callback";
+    "critpath";
     "event";
     "fault";
     "flat";
@@ -59,6 +60,7 @@ let metric_namespaces =
     "sched";
     "server";
     "session";
+    "slo";
     "smt";
     "soft";
     "span";
@@ -149,6 +151,8 @@ type hist_summary = {
   h_p50 : int;
   h_p90 : int;
   h_p99 : int;
+  h_p999 : int;
+  h_buckets : (int * int) list; (* cumulative (inclusive upper bound, count) *)
 }
 
 type snapshot = {
@@ -171,9 +175,24 @@ let summarize h =
     h_p50 = Bess_util.Histogram.percentile h 50.0;
     h_p90 = Bess_util.Histogram.percentile h 90.0;
     h_p99 = Bess_util.Histogram.percentile h 99.0;
+    h_p999 = Bess_util.Histogram.percentile h 99.9;
+    h_buckets = Bess_util.Histogram.buckets h;
   }
 
 let by_name (a, _) (b, _) = String.compare a b
+
+(* Iterate every live histogram — those inside registered Stats sources
+   plus the standalone table — with flattened names. The windowed
+   sampler uses the raw buckets to compute per-window tail percentiles
+   from bucket deltas, which a summarized snapshot cannot provide. *)
+let iter_histograms ?(registry = default) f =
+  Hashtbl.iter
+    (fun key st ->
+      List.iter
+        (fun (name, h) -> f (flatten_key key name) h)
+        (Bess_util.Stats.histograms st))
+    registry.sources;
+  Hashtbl.iter (fun key h -> f key h) registry.hists
 
 let snapshot ?(registry = default) () =
   let counters = ref [] and hists = ref [] in
@@ -241,8 +260,8 @@ let diff ?(keep_zeros = false) ~before ~after () =
 (* ---- Rendering ------------------------------------------------------------ *)
 
 let pp_hist_summary ppf h =
-  Fmt.pf ppf "n=%d sum=%d mean=%.1f min=%d p50=%d p90=%d p99=%d max=%d" h.h_count h.h_sum
-    h.h_mean h.h_min h.h_p50 h.h_p90 h.h_p99 h.h_max
+  Fmt.pf ppf "n=%d sum=%d mean=%.1f min=%d p50=%d p90=%d p99=%d p999=%d max=%d" h.h_count
+    h.h_sum h.h_mean h.h_min h.h_p50 h.h_p90 h.h_p99 h.h_p999 h.h_max
 
 let pp_snapshot ppf s =
   Fmt.pf ppf "@[<v>%a@]"
@@ -287,8 +306,9 @@ let json_of_snapshot s =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%.3f,\"p50\":%d,\"p90\":%d,\"p99\":%d}"
-           (json_escape k) h.h_count h.h_sum h.h_min h.h_max h.h_mean h.h_p50 h.h_p90 h.h_p99))
+           "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%.3f,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"p999\":%d}"
+           (json_escape k) h.h_count h.h_sum h.h_min h.h_max h.h_mean h.h_p50 h.h_p90 h.h_p99
+           h.h_p999))
     s.hists;
   Buffer.add_string buf "}}";
   Buffer.contents buf
@@ -362,7 +382,16 @@ let prom_of_snapshot s =
       List.iter
         (fun (q, v) ->
           Buffer.add_string buf (Printf.sprintf "%s{quantile=\"%s\"} %d\n" name q v))
-        [ ("0.5", h.h_p50); ("0.9", h.h_p90); ("0.99", h.h_p99) ];
+        [ ("0.5", h.h_p50); ("0.9", h.h_p90); ("0.99", h.h_p99); ("0.999", h.h_p999) ];
+      (* Cumulative buckets from the power-of-two bounds, Prometheus
+         histogram convention ([le] is inclusive; the bounds are
+         [2^(i+1) - 1], so they are). A scrape-side histogram_quantile
+         then agrees with the summary quantiles above. *)
+      List.iter
+        (fun (le, cum) ->
+          Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name le cum))
+        h.h_buckets;
+      Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.h_count);
       Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" name h.h_sum);
       Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.h_count))
     s.hists;

@@ -58,6 +58,10 @@ type hist_summary = {
   h_p50 : int;
   h_p90 : int;
   h_p99 : int;
+  h_p999 : int;
+  h_buckets : (int * int) list;
+      (** cumulative [(inclusive upper bound, count)] pairs up to the
+          last non-empty power-of-two bucket *)
 }
 
 type snapshot
@@ -72,6 +76,12 @@ val histograms : snapshot -> (string * hist_summary) list
 val gauges : snapshot -> (string * int) list
 
 val snapshot : ?registry:t -> unit -> snapshot
+
+(** [iter_histograms f] calls [f flattened_name hist] for every live
+    histogram — those inside registered stats sources and standalone
+    ones. The {!Series} sampler reads raw buckets through this to
+    compute per-window tail percentiles from bucket deltas. *)
+val iter_histograms : ?registry:t -> (string -> Bess_util.Histogram.t -> unit) -> unit
 
 (** Per-counter deltas, [after - before] (zero deltas dropped unless
     [keep_zeros]; missing counters count from 0; shrunken counters yield
@@ -91,8 +101,10 @@ val json_of_snapshot : snapshot -> string
 
 (** Render a snapshot in Prometheus text exposition format: dots map to
     underscores under a ["bess_"] prefix, labeled counters
-    (["net.calls{1->2}"]) become [{label="..."}] series, histograms render
-    as summaries (quantile series plus [_sum]/[_count]). *)
+    (["net.calls{1->2}"]) become [{label="..."}] series, histograms
+    render as summaries (quantile series plus cumulative
+    [_bucket{le="..."}] lines from the power-of-two bounds and
+    [_sum]/[_count]). *)
 val prom_of_snapshot : snapshot -> string
 
 (** Escape and quote a string as a JSON string literal. *)

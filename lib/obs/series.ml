@@ -14,12 +14,21 @@
    width. Deltas keep zero-valued counters ([diff ~keep_zeros:true]) so
    a quiet window still distinguishes "untouched" from "unregistered". *)
 
+type tail = {
+  t_count : int; (* samples observed inside the window *)
+  t_p50 : int;
+  t_p95 : int;
+  t_p99 : int;
+  t_p999 : int;
+}
+
 type sample = {
   w_index : int; (* monotonically increasing window number *)
   w_start_ns : int;
   w_end_ns : int;
   w_counters : (string * int) list; (* deltas over the window, zeros kept *)
   w_gauges : (string * int) list; (* values at window end *)
+  w_tails : (string * tail) list; (* window-local percentiles, active hists only *)
 }
 
 type t = {
@@ -32,24 +41,39 @@ type t = {
   mutable dropped : int;
   mutable window_start : int;
   mutable base : Registry.snapshot;
+  hist_base : (string, int array) Hashtbl.t; (* raw buckets at window start *)
   mutable sampling : bool; (* reentrancy guard: gauges must not resample *)
+  mutable on_window : (sample -> unit) option; (* SLO watcher, per closed window *)
 }
+
+let rebase_hists t =
+  Hashtbl.reset t.hist_base;
+  Registry.iter_histograms ~registry:t.registry (fun name h ->
+      Hashtbl.replace t.hist_base name (Bess_util.Histogram.raw_buckets h))
 
 let create ?(capacity = 512) ?(window_ns = 1_000_000) ?(registry = Registry.default) () =
   if capacity <= 0 then invalid_arg "Series.create: capacity must be positive";
   if window_ns <= 0 then invalid_arg "Series.create: window_ns must be positive";
-  {
-    window_ns;
-    registry;
-    ring = Array.make capacity None;
-    head = 0;
-    length = 0;
-    next_index = 0;
-    dropped = 0;
-    window_start = Span.now_ns ();
-    base = Registry.snapshot ~registry ();
-    sampling = false;
-  }
+  let t =
+    {
+      window_ns;
+      registry;
+      ring = Array.make capacity None;
+      head = 0;
+      length = 0;
+      next_index = 0;
+      dropped = 0;
+      window_start = Span.now_ns ();
+      base = Registry.snapshot ~registry ();
+      hist_base = Hashtbl.create 32;
+      sampling = false;
+      on_window = None;
+    }
+  in
+  rebase_hists t;
+  t
+
+let set_window_hook t h = t.on_window <- h
 
 let push t s =
   (match t.ring.(t.head) with
@@ -59,20 +83,53 @@ let push t s =
   t.head <- (t.head + 1) mod Array.length t.ring;
   if t.length < Array.length t.ring then t.length <- t.length + 1
 
+(* Window-local tail percentiles: the bucket-delta of each histogram
+   against its window-start copy, interpolated the same way as the
+   whole-run percentiles. Quiet histograms (no samples this window) are
+   omitted — a tail over zero observations is noise, not signal. A
+   shrunken bucket (substrate re-created mid-window) falls back to the
+   new instance whole, mirroring {!Registry.diff}. *)
+let window_tails t =
+  let out = ref [] in
+  Registry.iter_histograms ~registry:t.registry (fun name h ->
+      let cur = Bess_util.Histogram.raw_buckets h in
+      let delta =
+        match Hashtbl.find_opt t.hist_base name with
+        | None -> cur
+        | Some base ->
+            let d = Array.mapi (fun i v -> v - base.(i)) cur in
+            if Array.exists (fun v -> v < 0) d then cur else d
+      in
+      Hashtbl.replace t.hist_base name cur;
+      let n = Array.fold_left ( + ) 0 delta in
+      if n > 0 then
+        let p q = Bess_util.Histogram.percentile_of_counts delta q in
+        out :=
+          (name, { t_count = n; t_p50 = p 50.0; t_p95 = p 95.0; t_p99 = p 99.0; t_p999 = p 99.9 })
+          :: !out);
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !out
+
 let close_window t ~now =
   let snap = Registry.snapshot ~registry:t.registry () in
   let d = Registry.diff ~keep_zeros:true ~before:t.base ~after:snap () in
-  push t
+  let s =
     {
       w_index = t.next_index;
       w_start_ns = t.window_start;
       w_end_ns = now;
       w_counters = Registry.counters d;
       w_gauges = Registry.gauges snap;
-    };
+      w_tails = window_tails t;
+    }
+  in
+  push t s;
   t.next_index <- t.next_index + 1;
   t.base <- snap;
-  t.window_start <- now
+  t.window_start <- now;
+  (* The SLO watcher runs after rebasing, inside the sampling guard, so
+     the counters it moves (slo.checks, slo.breaches) land in the *next*
+     window and cannot recurse into another close. *)
+  match t.on_window with None -> () | Some f -> f s
 
 let tick t =
   if not t.sampling then begin
@@ -106,6 +163,7 @@ let install s =
   | Some t ->
       t.window_start <- Span.now_ns ();
       t.base <- Registry.snapshot ~registry:t.registry ();
+      rebase_hists t;
       Span.set_tick_hook (Some (fun () -> tick t))
 
 let installed () = !the_series
@@ -129,6 +187,7 @@ let last t =
 
 let sample_delta s name = List.assoc_opt name s.w_counters
 let sample_gauge s name = List.assoc_opt name s.w_gauges
+let sample_tail s name = List.assoc_opt name s.w_tails
 
 (* Per-second rate of [name] over sample [s]: delta divided by the true
    window width. *)
@@ -160,6 +219,14 @@ let json_of_sample s =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf (Printf.sprintf "%s:%d" (Registry.json_string k) v))
     s.w_gauges;
+  Buffer.add_string buf "},\"tails\":{";
+  List.iteri
+    (fun i (k, tl) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "%s:{\"count\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"p999\":%d}"
+           (Registry.json_string k) tl.t_count tl.t_p50 tl.t_p95 tl.t_p99 tl.t_p999))
+    s.w_tails;
   Buffer.add_string buf "}}";
   Buffer.contents buf
 

@@ -14,12 +14,23 @@
     ([Registry.diff ~keep_zeros:true]), so a quiet window still
     distinguishes "untouched" from "unregistered". *)
 
+type tail = {
+  t_count : int;  (** samples observed inside the window *)
+  t_p50 : int;
+  t_p95 : int;
+  t_p99 : int;
+  t_p999 : int;
+}
+
 type sample = {
   w_index : int;  (** monotonically increasing window number *)
   w_start_ns : int;
   w_end_ns : int;
   w_counters : (string * int) list;  (** deltas over the window, zeros kept *)
   w_gauges : (string * int) list;  (** values at window end *)
+  w_tails : (string * tail) list;
+      (** window-local percentiles from histogram bucket deltas; only
+          histograms that observed samples inside the window appear *)
 }
 
 type t
@@ -55,6 +66,13 @@ val last : t -> sample option
 
 val sample_delta : sample -> string -> int option
 val sample_gauge : sample -> string -> int option
+val sample_tail : sample -> string -> tail option
+
+(** [set_window_hook t h] installs (or, with [None], removes) a callback
+    run once per closed window with the new sample, after the ring push
+    and rebase, inside the reentrancy guard. The SLO watcher evaluates
+    its rules here; counters the hook moves land in the next window. *)
+val set_window_hook : t -> (sample -> unit) option -> unit
 
 (** Per-second rate of a counter over one sample: delta divided by the
     sample's true width. [None] if the counter is absent. *)

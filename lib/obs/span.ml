@@ -32,7 +32,7 @@ type t = {
   mutable head : int;
   mutable length : int;
   mutable next_id : int;
-  mutable open_spans : span list; (* most recently opened first *)
+  open_spans : (int, span) Hashtbl.t; (* id -> still-open span *)
   mutable dropped : int;
   by_id : (int, span) Hashtbl.t; (* open + retained completed spans *)
   stats : Bess_util.Stats.t;
@@ -58,8 +58,10 @@ let kinds =
     "wal.append"; (* one log record append *)
     "wal.force"; (* log force to durable storage *)
     "wal.group_force"; (* one coalesced group-commit force *)
+    "wal.ticket_wait"; (* durability-ticket registration to acknowledged durable *)
     "lock.acquire"; (* one lock-table request *)
     "lock.wait"; (* blocked-to-resolved queue time (root span) *)
+    "sched.txn"; (* one driver transaction attempt, across events (root span) *)
   ]
 
 let known_kinds =
@@ -110,7 +112,7 @@ let create ?(capacity = 65536) () =
     head = 0;
     length = 0;
     next_id = 1;
-    open_spans = [];
+    open_spans = Hashtbl.create 256;
     dropped = 0;
     by_id = Hashtbl.create 256;
     stats;
@@ -126,7 +128,7 @@ let open_in c ~parent ~kind ~attrs =
       start_ns = !clock; end_ns = -1; attrs }
   in
   c.next_id <- c.next_id + 1;
-  c.open_spans <- s :: c.open_spans;
+  Hashtbl.replace c.open_spans s.id s;
   Hashtbl.replace c.by_id s.id s;
   s
 
@@ -156,13 +158,20 @@ let push_completed c s =
   c.head <- (c.head + 1) mod Array.length c.ring;
   if c.length < Array.length c.ring then c.length <- c.length + 1
 
+(* An online consumer of completed spans (the critical-path sink).
+   Called after the span is fully closed, reparented and pushed; parents
+   may still be open, so consumers can walk up via [find_span]. One
+   match on a ref when absent — the usual zero-cost bar. *)
+let close_hook : (t -> span -> unit) option ref = ref None
+let set_close_hook h = close_hook := h
+
 let close_in c s ~attrs =
   if s.end_ns >= 0 then Bess_util.Stats.incr c.stats "span.double_close"
   else begin
     advance_ns 1;
     s.end_ns <- !clock;
     s.attrs <- s.attrs @ attrs;
-    c.open_spans <- List.filter (fun o -> o.id <> s.id) c.open_spans;
+    Hashtbl.remove c.open_spans s.id;
     let out_of_order =
       match s.parent with
       | None -> false
@@ -177,7 +186,8 @@ let close_in c s ~attrs =
       fix_parent c s
     end;
     Bess_util.Stats.observe c.stats ("span." ^ s.kind) (s.end_ns - s.start_ns);
-    push_completed c s
+    push_completed c s;
+    match !close_hook with None -> () | Some f -> f c s
   end
 
 (* ---- Public span API ------------------------------------------------------ *)
@@ -233,14 +243,37 @@ let finish ?(attrs = []) (h : handle) =
       | None -> ());
       close_in h_col h_span ~attrs
 
+(* Make an already-open handle the ambient span for the extent of [f]:
+   the scheduler uses this to re-enter a transaction's root span for
+   each event-callback segment, so substrate children opened inside the
+   segment parent to the right transaction. *)
+let with_handle (h : handle) f =
+  match h with
+  | None -> f ()
+  | Some { h_span; _ } ->
+      let saved = !current in
+      current := Some h_span;
+      Fun.protect ~finally:(fun () -> current := saved) f
+
 let annotate key value =
   match !current with
   | None -> ()
   | Some s -> if enabled () then s.attrs <- s.attrs @ [ (key, value) ]
 
+let annotate_handle (h : handle) key value =
+  match h with
+  | None -> ()
+  | Some { h_span; _ } -> h_span.attrs <- h_span.attrs @ [ (key, value) ]
+
 let finish_all c =
-  (* Close innermost first so each leftover nests inside its parent. *)
-  let leftovers = c.open_spans in
+  (* Close innermost first so each leftover nests inside its parent:
+     ids are monotonic, so descending id order is most-recently-opened
+     first. *)
+  let leftovers =
+    List.sort
+      (fun a b -> compare b.id a.id)
+      (Hashtbl.fold (fun _ s acc -> s :: acc) c.open_spans [])
+  in
   List.iter
     (fun s ->
       Bess_util.Stats.incr c.stats "span.unclosed";
@@ -260,6 +293,7 @@ let to_list c =
 
 let dropped c = c.dropped
 let stats c = c.stats
+let find_span c id = Hashtbl.find_opt c.by_id id
 let duration s = if s.end_ns >= 0 then s.end_ns - s.start_ns else !clock - s.start_ns
 
 let roots c =

@@ -90,8 +90,19 @@ val start : ?root:bool -> ?attrs:(string * string) list -> kind:string -> unit -
     invariant survives. *)
 val finish : ?attrs:(string * string) list -> handle -> unit
 
+(** [with_handle h f] makes the (still-open) span behind [h] the
+    ambient current span for the extent of [f], restoring the previous
+    context afterwards — for resumable work (scheduler event segments)
+    that re-enters a long-lived span across calls. A no-op with
+    {!none}. *)
+val with_handle : handle -> (unit -> 'a) -> 'a
+
 (** Attach an attribute to the ambient current span, if any. *)
 val annotate : string -> string -> unit
+
+(** Attach an attribute to the span behind a handle (open or closed);
+    a no-op with {!none}. *)
+val annotate_handle : handle -> string -> string -> unit
 
 (** Close every span still open (oldest last), marking each with an
     [unclosed] attribute and counting [span.unclosed] — call at trace
@@ -106,6 +117,17 @@ val dropped : t -> int
 
 (** The per-kind duration histograms and anomaly counters. *)
 val stats : t -> Bess_util.Stats.t
+
+(** Look up a span (open, or completed and still retained) by id. *)
+val find_span : t -> int -> span option
+
+(** Install (or, with [None], remove) the span-close hook: called once
+    per span as it completes, after reparenting and buffering, with the
+    collector and the closed span. Parents of the closed span may still
+    be open. One match on a ref when absent. The {!Critpath} sink uses
+    it to consume transaction trees online, independent of ring
+    retention. *)
+val set_close_hook : (t -> span -> unit) option -> unit
 
 val duration : span -> int
 

@@ -138,15 +138,54 @@ let run ?sched server ~pages cfg =
           c_left = cfg.txns_per_client })
   in
   let churn_roll c = cfg.churn > 0.0 && Prng.float c.c_prng < cfg.churn in
+  (* Per-attempt tracing state: the sched.txn root span spanning the
+     whole attempt (opened across events via [Span.with_handle]), the
+     currently open backoff child, the durability-ticket wait child,
+     and the scheduler lag accrued by this attempt's events. The root
+     carries the accumulated lag and the outcome as attributes, which
+     is what {!Bess_obs.Critpath} decomposes. *)
+  let module A = struct
+    type t = {
+      mutable a_span : Span.handle;
+      mutable a_backoff : Span.handle;
+      mutable a_ticket : Span.handle;
+      mutable a_lag : int;
+    }
+  end in
+  let new_attempt c =
+    let a_span =
+      if Span.enabled () then
+        Span.start ~root:true
+          ~attrs:[ ("client", string_of_int c.c_id) ]
+          ~kind:"sched.txn" ()
+      else Span.none
+    in
+    { A.a_span; a_backoff = Span.none; a_ticket = Span.none; a_lag = Sched.current_lag_ns sched }
+  in
+  let accrue_lag (a : A.t) = a.A.a_lag <- a.A.a_lag + Sched.current_lag_ns sched in
+  let close_attempt (a : A.t) ~outcome =
+    Span.finish a.A.a_backoff;
+    a.A.a_backoff <- Span.none;
+    Span.finish a.A.a_ticket;
+    a.A.a_ticket <- Span.none;
+    Span.finish
+      ~attrs:[ ("outcome", outcome); ("sched_lag_ns", string_of_int a.A.a_lag) ]
+      a.A.a_span;
+    a.A.a_span <- Span.none
+  in
   let rec start c =
     if c.c_left > 0 && c.c_connected then begin
       if churn_roll c then disconnect c ~holding:false
       else begin
-        let txn = Bess.Server.begin_txn server ~client:c.c_id in
-        attempt c ~txn ~t_begin:(Span.now_ns ()) ~page:(pick_page c.c_prng) ~retries:0
+        let a = new_attempt c in
+        Span.with_handle a.A.a_span (fun () ->
+            let txn = Bess.Server.begin_txn server ~client:c.c_id in
+            Span.annotate_handle a.A.a_span "txn" (string_of_int txn);
+            attempt c ~a ~txn ~t_begin:(Span.now_ns ()) ~page:(pick_page c.c_prng)
+              ~retries:0)
       end
     end
-  and attempt c ~txn ~t_begin ~page ~retries =
+  and attempt c ~a ~txn ~t_begin ~page ~retries =
     let pid = pages.(page) in
     let r = Lock_mgr.page_resource ~area:pid.Page_id.area ~page:pid.Page_id.page in
     match Bess.Server.lock server ~txn r Lock_mode.X with
@@ -154,32 +193,43 @@ let run ?sched server ~pages cfg =
         if churn_roll c then begin
           (* Disconnect while holding the lock: the interrupted attempt
              is consumed, and the server must free everything — the
-             no-lock-leak test watches this path. *)
+             no-lock-leak test watches this path. The cleanup runs
+             before the root closes so its server spans are attributed
+             to the churned attempt. *)
           c.c_left <- c.c_left - 1;
-          disconnect c ~holding:true
+          disconnect c ~holding:true;
+          close_attempt a ~outcome:"churn"
         end
         else
           Sched.schedule sched ~after:cfg.txn_work_ns (fun () ->
-              commit_txn c ~txn ~t_begin ~page)
+              accrue_lag a;
+              Span.with_handle a.A.a_span (fun () -> commit_txn c ~a ~txn ~t_begin ~page))
     | `Blocked ->
         if retries >= cfg.max_lock_retries then begin
           Bess.Server.abort_client server ~txn;
           incr give_ups;
           Stats.incr st "sched.give_ups";
-          finish_attempt c
+          finish_attempt c ~a ~outcome:"give_up"
         end
-        else
+        else begin
           (* Bounded exponential backoff keeps deep convoys from
              generating a retry storm of events per eventual grant. *)
           let backoff = cfg.lock_retry_ns * (1 lsl Stdlib.min retries 3) in
+          a.A.a_backoff <-
+            Span.start ~attrs:[ ("retries", string_of_int retries) ] ~kind:"client.backoff" ();
           Sched.schedule sched ~after:backoff (fun () ->
-              attempt c ~txn ~t_begin ~page ~retries:(retries + 1))
+              accrue_lag a;
+              Span.finish a.A.a_backoff;
+              a.A.a_backoff <- Span.none;
+              Span.with_handle a.A.a_span (fun () ->
+                  attempt c ~a ~txn ~t_begin ~page ~retries:(retries + 1)))
+        end
     | `Deadlock | `Timeout ->
         Bess.Server.abort_client server ~txn;
         incr aborts;
         Stats.incr st "sched.aborts";
-        finish_attempt c
-  and commit_txn c ~txn ~t_begin ~page =
+        finish_attempt c ~a ~outcome:"abort"
+  and commit_txn c ~a ~txn ~t_begin ~page =
     let pid = pages.(page) in
     match
       let bytes = Bess.Server.read_page server pid in
@@ -195,30 +245,40 @@ let run ?sched server ~pages cfg =
         (try Bess.Server.abort_client server ~txn with _ -> ());
         incr indeterminate;
         Stats.incr st "sched.indeterminate";
-        finish_attempt c
+        finish_attempt c ~a ~outcome:"indeterminate"
     | `Lock_violation ->
         Bess.Server.abort_client server ~txn;
         incr aborts;
         Stats.incr st "sched.aborts";
-        finish_attempt c
+        finish_attempt c ~a ~outcome:"abort"
     | `Committed ticket ->
         let t_commit = Span.now_ns () in
+        (* Open the ticket wait: registration to acknowledged durable.
+           The group-commit force this commit rides on lands inside
+           this window, so blame for the amortised force lands on WAL
+           rather than on unexplained self time. *)
+        a.A.a_ticket <- Span.start ~kind:"wal.ticket_wait" ();
         Sched.schedule sched ~after:cfg.ack_delay_ns (fun () ->
-            ack c ~ticket ~t_begin ~t_commit)
-  and ack c ~ticket ~t_begin ~t_commit =
+            accrue_lag a;
+            Span.with_handle a.A.a_span (fun () -> ack c ~a ~ticket ~t_begin ~t_commit))
+  and ack c ~a ~ticket ~t_begin ~t_commit =
     (match Bess.Server.await_commit server ticket with
     | () ->
         let now = Span.now_ns () in
         incr commits;
         Stats.incr st "sched.commits";
         Stats.observe st "sched.commit_latency_ns" (now - t_commit);
-        Stats.observe st "sched.txn_latency_ns" (now - t_begin)
+        Stats.observe st "sched.txn_latency_ns" (now - t_begin);
+        Span.finish a.A.a_ticket;
+        a.A.a_ticket <- Span.none;
+        finish_attempt c ~a ~outcome:"commit"
     | exception _ ->
         (* Ticket lost to a crash between registration and ack. *)
         incr indeterminate;
-        Stats.incr st "sched.indeterminate");
-    finish_attempt c
-  and finish_attempt c =
+        Stats.incr st "sched.indeterminate";
+        finish_attempt c ~a ~outcome:"indeterminate")
+  and finish_attempt c ~a ~outcome =
+    close_attempt a ~outcome;
     c.c_left <- c.c_left - 1;
     if c.c_left > 0 then Sched.schedule sched ~after:(think c.c_prng) (fun () -> start c)
   and disconnect c ~holding =

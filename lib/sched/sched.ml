@@ -21,6 +21,7 @@ type t = {
   mutable size : int;
   mutable next_seq : int;
   mutable events_run : int;
+  mutable current_lag_ns : int; (* lateness of the event running right now *)
   stats : Bess_util.Stats.t;
 }
 
@@ -29,13 +30,23 @@ let dummy = { at = 0; seq = 0; run = ignore }
 let create () =
   let stats = Bess_util.Stats.create () in
   Bess_obs.Registry.register_stats "sched" stats;
-  let t = { heap = Array.make 64 dummy; size = 0; next_seq = 0; events_run = 0; stats } in
+  let t =
+    {
+      heap = Array.make 64 dummy;
+      size = 0;
+      next_seq = 0;
+      events_run = 0;
+      current_lag_ns = 0;
+      stats;
+    }
+  in
   Bess_obs.Registry.register_gauge "sched" "sched.pending_events" (fun () -> t.size);
   t
 
 let stats t = t.stats
 let pending t = t.size
 let events_run t = t.events_run
+let current_lag_ns t = t.current_lag_ns
 
 (* Strict total order: due time first, scheduling order on ties. *)
 let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
@@ -107,9 +118,22 @@ let run ?max_events t =
   while t.size > 0 && !ran < budget do
     let e = pop t in
     let now = Span.now_ns () in
-    if e.at > now then Span.advance_ns (e.at - now)
-    else if e.at < now then Bess_util.Stats.incr t.stats "sched.late_events";
+    if e.at > now then begin
+      Span.advance_ns (e.at - now);
+      t.current_lag_ns <- 0
+    end
+    else begin
+      (* The event runs late: simulated work overran its due time. The
+         lag is visible to the callback ([current_lag_ns]) so the driver
+         can bill queueing delay to the transaction it belongs to. *)
+      t.current_lag_ns <- now - e.at;
+      if e.at < now then begin
+        Bess_util.Stats.incr t.stats "sched.late_events";
+        Bess_util.Stats.observe t.stats "sched.late_ns" (now - e.at)
+      end
+    end;
     e.run ();
+    t.current_lag_ns <- 0;
     incr ran;
     t.events_run <- t.events_run + 1;
     Bess_util.Stats.incr t.stats "sched.events"

@@ -30,6 +30,12 @@ val pending : t -> int
 (** Events executed so far. *)
 val events_run : t -> int
 
+(** Lateness (ns past due time) of the event executing right now; 0
+    outside callbacks and for on-time events. Event callbacks read
+    this to bill scheduler queueing delay to the work they resume —
+    the aggregate lives in [sched.late_events]/[sched.late_ns]. *)
+val current_lag_ns : t -> int
+
 (** [schedule_at t ~at f]: run [f] when the simulated clock reaches
     [at] (clamped to now if already past). *)
 val schedule_at : t -> at:int -> (unit -> unit) -> unit

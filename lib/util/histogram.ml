@@ -35,25 +35,62 @@ let min t = if t.count = 0 then 0 else t.min
 let max t = t.max
 let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
 
-(* Percentile from bucket boundaries: returns the upper bound of the bucket
-   containing the p-th sample, an upper estimate consistent across runs. *)
-let percentile t p =
-  if t.count = 0 then 0
+let bucket_lower i = if i = 0 then 0 else 1 lsl i
+let bucket_upper i = (1 lsl (i + 1)) - 1
+
+(* Percentile over a raw bucket-count array (shared power-of-two
+   boundaries), with linear interpolation inside the chosen bucket.
+   Power-of-two buckets are wide at the top, so the bare upper bound
+   can overstate p99 by ~2x; interpolating by rank within the bucket
+   keeps the estimate honest while staying deterministic. *)
+let percentile_of_counts counts p =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0
   else begin
-    let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+    let target = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
     let target = if target < 1 then 1 else target in
-    let acc = ref 0 and result = ref 0 in
+    let before = ref 0 and result = ref 0 in
     (try
-       for i = 0 to Array.length t.buckets - 1 do
-         acc := !acc + t.buckets.(i);
-         if !acc >= target then begin
-           result := (if i = 0 then 1 else 1 lsl (i + 1)) - 1;
+       for i = 0 to Array.length counts - 1 do
+         let n = counts.(i) in
+         if n > 0 && !before + n >= target then begin
+           let lower = bucket_lower i and upper = bucket_upper i in
+           let pos = target - !before in
+           result :=
+             lower
+             + int_of_float
+                 (float_of_int (upper - lower) *. float_of_int pos /. float_of_int n);
            raise Exit
-         end
+         end;
+         before := !before + n
        done
      with Exit -> ());
     !result
   end
+
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let v = percentile_of_counts t.buckets p in
+    (* The true extrema are known exactly: clamp the interpolation. *)
+    let v = if v < t.min then t.min else v in
+    if v > t.max then t.max else v
+  end
+
+(* Cumulative (count, inclusive upper bound) pairs for every non-empty
+   prefix of the bucket array, Prometheus-style; the last pair always
+   carries the full count. *)
+let buckets t =
+  let acc = ref 0 and out = ref [] in
+  let last_nonempty = ref (-1) in
+  Array.iteri (fun i n -> if n > 0 then last_nonempty := i) t.buckets;
+  for i = 0 to Stdlib.max 0 !last_nonempty do
+    acc := !acc + t.buckets.(i);
+    out := (bucket_upper i, !acc) :: !out
+  done;
+  List.rev !out
+
+let raw_buckets t = Array.copy t.buckets
 
 (* Bucketwise sum: exact because both sides share the same boundaries. *)
 let merge_into ~dst src =

@@ -13,9 +13,23 @@ val min : t -> int
 val max : t -> int
 val mean : t -> float
 
-(** [percentile t p] is an upper estimate (bucket upper bound) of the p-th
-    percentile, [p] in (0, 100]. *)
+(** [percentile t p] estimates the p-th percentile, [p] in (0, 100],
+    by linear interpolation within the containing power-of-two bucket,
+    clamped to the observed [min]/[max]. *)
 val percentile : t -> float -> int
+
+(** [percentile_of_counts counts p] is the same interpolated estimate
+    over a raw bucket-count array sharing the power-of-two boundaries —
+    e.g. a per-window bucket delta. 0 when the array is empty. *)
+val percentile_of_counts : int array -> float -> int
+
+(** Cumulative [(inclusive_upper_bound, cumulative_count)] pairs up to
+    the last non-empty bucket, for Prometheus-style [_bucket] export.
+    Empty when no samples were observed. *)
+val buckets : t -> (int * int) list
+
+(** A copy of the raw per-bucket counts (63 power-of-two buckets). *)
+val raw_buckets : t -> int array
 
 (** Bucketwise sum of [src] into [dst] (exact: shared boundaries). *)
 val merge_into : dst:t -> t -> unit

@@ -30,4 +30,5 @@ let () =
       ("crash_points", Test_crash_points.suite);
       ("chaos", Test_chaos.suite);
       ("sched", Test_sched.suite);
+      ("critpath", Test_critpath.suite);
     ]

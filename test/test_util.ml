@@ -99,6 +99,39 @@ let test_histogram () =
   Alcotest.(check bool) "p50 below p99" true
     (Histogram.percentile h 50.0 <= Histogram.percentile h 99.0)
 
+let test_histogram_interpolation () =
+  (* One sample: every percentile is that sample (clamped to [min, max],
+     not the bucket's upper bound as before). *)
+  let h = Histogram.create () in
+  Histogram.observe h 1000;
+  Alcotest.(check int) "single sample p50" 1000 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "single sample p999" 1000 (Histogram.percentile h 99.9);
+  (* Uniform fill of one bucket [1024, 2048): interpolation must land
+     p50 near the middle, p99 near the top, and order them. *)
+  let h = Histogram.create () in
+  for v = 1024 to 2047 do
+    Histogram.observe h v
+  done;
+  let p50 = Histogram.percentile h 50.0 and p99 = Histogram.percentile h 99.0 in
+  Alcotest.(check bool) "p50 mid-bucket" true (p50 > 1300 && p50 < 1700);
+  Alcotest.(check bool) "p99 upper-bucket" true (p99 > 1950 && p99 <= 2047);
+  Alcotest.(check bool) "monotone" true (p50 <= p99);
+  (* Raw bucket counts drive the same computation standalone — the
+     Series window-tail path uses [percentile_of_counts] on deltas. *)
+  let counts = Histogram.raw_buckets h in
+  Alcotest.(check int) "counts percentile agrees" p50
+    (Histogram.percentile_of_counts counts 50.0);
+  (* Cumulative buckets: nondecreasing, ending at the total count. *)
+  let buckets = Histogram.buckets h in
+  Alcotest.(check bool) "has buckets" true (buckets <> []);
+  let rec cumulative prev = function
+    | [] -> true
+    | (le, n) :: rest -> n >= prev && le > 0 && cumulative n rest
+  in
+  Alcotest.(check bool) "cumulative nondecreasing" true (cumulative 0 buckets);
+  Alcotest.(check int) "last bucket holds all" (Histogram.count h)
+    (snd (List.nth buckets (List.length buckets - 1)))
+
 let prop_codec_u32 =
   QCheck.Test.make ~name:"codec u32 roundtrip" ~count:500
     QCheck.(int_bound 0xFFFFFFFF)
@@ -139,6 +172,7 @@ let suite =
     Alcotest.test_case "crc_detects_change" `Quick test_crc_detects_change;
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram interpolation" `Quick test_histogram_interpolation;
     QCheck_alcotest.to_alcotest prop_codec_u32;
     QCheck_alcotest.to_alcotest prop_codec_i64;
     QCheck_alcotest.to_alcotest prop_crc_concat;
