@@ -1480,6 +1480,224 @@ let e15 () =
   close_out oc;
   Report.note "blame breakdown written to BENCH_e15.json (%s) and bench_report.json#e15" stamp
 
+(* One (population, handoff) measurement for E16. *)
+type e16_point = {
+  p_commits : int;
+  p_give_ups : int;
+  p_tp : float;
+  p_wall : float;
+  p_leaked : int;
+  p_fp : string;          (* counter-snapshot fingerprint (determinism) *)
+  p_lock_frac : float;    (* lock wait + retry backoff share of total txn time *)
+  p_parks : int;
+  p_wakeups : int;
+  p_retries : int;
+  p_handoffs : int;
+  p_w2g_count : int;      (* lock.wake_to_grant_ticks observations *)
+  p_w2g_sum : int;
+}
+
+(* Wake-on-release grant handoff vs the poll-retry convoy (the handoff
+   ablation): each population runs twice from the same seed — handoff
+   off (the old bounded decorrelated-jitter poll loop) and on (in-place
+   FIFO grants + wake subscriptions, guard timers surviving only for
+   timeout/deadlock recovery) — with the critical-path sink installed,
+   so the lock-blame fraction (lock wait + retry backoff share of total
+   transaction time), the scheduled retry-event count and the park/wake
+   traffic are directly comparable. Checks: at the 10^4 and 10^5
+   populations blame fraction and retry events must be strictly lower
+   with handoff on; throughput must be no worse at every point; both
+   variants must be same-seed deterministic (counter fingerprints);
+   and a flaky-disk chaos run with handoff on must leak zero locks.
+   Artifacts: bench_report.json#e16 and a timestamped BENCH_e16.json. *)
+let e16 () =
+  let sweep = if quick then [ 100; 1_000 ] else [ 100; 1_000; 10_000; 100_000 ] in
+  let n_pages = 2048 in
+  let total_attempts = scale 40_000 in
+  let seed = 1606 in
+  (* One sweep point: fresh db + working set, timeout detection, the
+     handoff switch set before any client runs, the span collector
+     feeding the critical-path sink so lock blame is attributable, and
+     a counter fingerprint over the run's own substrate instances. *)
+  let run_point ?(fault_sites = []) ~handoff ~seed n_clients =
+    let prev_series = Bess_obs.Series.installed () in
+    let db =
+      Workloads.fresh_db ~cache_slots:(2 * n_pages)
+        ~group_commit:(Bess_wal.Group_commit.Group_n 16) ()
+    in
+    let server = Bess.Db.server db in
+    Bess.Server.set_detection server `Timeout;
+    Bess.Server.set_lock_handoff server handoff;
+    let pages = Workloads.driver_pages db ~n_pages in
+    (match fault_sites with
+    | [] -> ()
+    | sites ->
+        Fault.seed !fault_seed;
+        Fault.apply_profile sites);
+    let sched = Bess_sched.Sched.create () in
+    let coll = Bess_obs.Span.create () in
+    let cp = Bess_obs.Critpath.create ~top_k:8 () in
+    let series = Bess_obs.Series.create ~capacity:4096 ~window_ns:10_000_000 () in
+    Bess_obs.Span.install (Some coll);
+    Bess_obs.Critpath.install (Some cp);
+    Bess_obs.Series.install (Some series);
+    let cfg =
+      { Bess_sched.Driver.default with
+        n_clients;
+        txns_per_client = Stdlib.max 1 (total_attempts / n_clients);
+        zipf_theta = 0.8;
+        hot_fraction = 0.05;
+        hot_pages = 8;
+        churn = 0.002;
+        seed;
+      }
+    in
+    let wall0 = Unix.gettimeofday () in
+    let r = Bess_sched.Driver.run ~sched server ~pages cfg in
+    let wall = Unix.gettimeofday () -. wall0 in
+    Bess_obs.Series.flush series;
+    Bess_obs.Series.install prev_series;
+    Bess_obs.Critpath.install None;
+    Bess_obs.Span.install None;
+    (match fault_sites with [] -> () | _ -> Fault.reset ());
+    let locks = Bess.Server.locks server in
+    let sst = Bess_sched.Sched.stats sched in
+    let lst = Bess_lock.Lock_mgr.stats locks in
+    let total = Bess_obs.Critpath.total_ns cp in
+    let totals = Bess_obs.Critpath.blame_totals cp in
+    let blame name = Option.value ~default:0 (List.assoc_opt name totals) in
+    let w2g = Stats.find_histogram lst "lock.wake_to_grant_ticks" in
+    {
+      p_commits = r.Bess_sched.Driver.r_commits;
+      p_give_ups = r.Bess_sched.Driver.r_give_ups;
+      p_tp = Bess_sched.Driver.throughput r;
+      p_wall = wall;
+      p_leaked = Bess_lock.Lock_mgr.n_locks locks;
+      p_fp =
+        Fmt.str "%a|%a|%a" Stats.pp sst Stats.pp (Bess.Server.stats server) Stats.pp lst;
+      p_lock_frac =
+        (if total = 0 then 0.0
+         else float_of_int (blame "lock" + blame "backoff") /. float_of_int total);
+      p_parks = Stats.get sst "sched.lock_parks";
+      p_wakeups = Stats.get sst "sched.lock_wakeups";
+      p_retries = Stats.get sst "sched.lock_retries";
+      p_handoffs = Stats.get lst "lock.handoffs";
+      p_w2g_count =
+        (match w2g with None -> 0 | Some h -> Bess_util.Histogram.count h);
+      p_w2g_sum = (match w2g with None -> 0 | Some h -> Bess_util.Histogram.sum h);
+    }
+  in
+  let point_json p =
+    Printf.sprintf
+      "{\"commits\":%d,\"give_ups\":%d,\"throughput\":%.1f,\"lock_blame_frac\":%.4f,\"parks\":%d,\"wakeups\":%d,\"retries\":%d,\"handoffs\":%d,\"wake_to_grant\":{\"count\":%d,\"sum_ticks\":%d},\"leaked_locks\":%d}"
+      p.p_commits p.p_give_ups p.p_tp p.p_lock_frac p.p_parks p.p_wakeups p.p_retries
+      p.p_handoffs p.p_w2g_count p.p_w2g_sum p.p_leaked
+  in
+  let rows = ref [] in
+  let point_sections = ref [] in
+  let blame_ok = ref true and retries_ok = ref true and tp_ok = ref true in
+  let fp_off_1000 = ref "" and fp_on_1000 = ref "" in
+  List.iter
+    (fun n_clients ->
+      let off = run_point ~handoff:false ~seed n_clients in
+      let on_ = run_point ~handoff:true ~seed n_clients in
+      if n_clients = 1_000 then begin
+        fp_off_1000 := off.p_fp;
+        fp_on_1000 := on_.p_fp
+      end;
+      if off.p_leaked <> 0 || on_.p_leaked <> 0 then
+        Report.note "e16: LOCK LEAK at %d clients (off %d, on %d)" n_clients
+          off.p_leaked on_.p_leaked;
+      if n_clients >= 10_000 then begin
+        if not (on_.p_lock_frac < off.p_lock_frac) then blame_ok := false;
+        if not (on_.p_retries < off.p_retries) then retries_ok := false
+      end;
+      if on_.p_tp < off.p_tp then tp_ok := false;
+      point_sections :=
+        Printf.sprintf "\"clients_%d\":{\"off\":%s,\"on\":%s}" n_clients (point_json off)
+          (point_json on_)
+        :: !point_sections;
+      rows :=
+        [
+          Report.count n_clients;
+          Printf.sprintf "%.0f/s" off.p_tp;
+          Printf.sprintf "%.0f/s" on_.p_tp;
+          Printf.sprintf "%.1f%%" (100. *. off.p_lock_frac);
+          Printf.sprintf "%.1f%%" (100. *. on_.p_lock_frac);
+          Report.count off.p_retries;
+          Report.count on_.p_retries;
+          Report.count on_.p_parks;
+          Report.count on_.p_wakeups;
+          Report.count on_.p_handoffs;
+          Printf.sprintf "%.0f ms" ((off.p_wall +. on_.p_wall) *. 1e3);
+        ]
+        :: !rows)
+    sweep;
+  Report.table ~id:"E16"
+    ~caption:
+      (Printf.sprintf
+         "wake-on-release grant handoff vs poll-retry: each population run twice from \
+          seed %d (handoff off / on), ~%d attempts, zipf(0.8) over %d pages + 5%% hot-8, \
+          group:16, 0.2%% churn; blame = lock-wait + retry-backoff share of total \
+          transaction time"
+         seed total_attempts n_pages)
+    ~header:
+      [ "clients"; "tp off"; "tp on"; "blame off"; "blame on"; "retries off";
+        "retries on"; "parks on"; "wakes on"; "handoffs"; "wall" ]
+    (List.rev !rows);
+  let big = List.filter (fun n -> n >= 10_000) sweep in
+  let big_desc =
+    match big with
+    | [] -> "no 10^4+ populations at --quick scale, gates vacuous"
+    | l -> String.concat "/" (List.map string_of_int l) ^ " clients"
+  in
+  Report.note "e16: lock-blame fraction strictly lower with handoff on [%s]: %s" big_desc
+    (if !blame_ok then "OK" else "FAILED");
+  Report.note "e16: scheduled retry events strictly lower with handoff on [%s]: %s"
+    big_desc
+    (if !retries_ok then "OK" else "FAILED");
+  Report.note "e16: throughput with handoff no worse at every population: %s"
+    (if !tp_ok then "OK" else "FAILED");
+  (* Same seed, fresh substrates, both variants: the counter snapshots
+     must be bit-identical or the handoff path (wake ordering, jitter
+     stream separation) has introduced nondeterminism. *)
+  let off2 = run_point ~handoff:false ~seed 1_000 in
+  let on2 = run_point ~handoff:true ~seed 1_000 in
+  let deterministic =
+    String.equal !fp_off_1000 off2.p_fp && String.equal !fp_on_1000 on2.p_fp
+  in
+  Report.note "e16: same-seed determinism at 1000 clients (both variants): %s"
+    (if deterministic then "OK (counter snapshots identical)"
+     else "FAILED (counter snapshots differ)");
+  (* Chaos with handoff on: commit outcomes may be lost to injected
+     faults, but disconnect-while-parked churn must never leak a lock
+     or a wake subscription. *)
+  let chaos =
+    run_point ~fault_sites:(List.assoc "flaky-disk" Fault.profiles) ~handoff:true ~seed
+      1_000
+  in
+  Report.note
+    "e16: chaos under load (flaky-disk, seed %d, handoff on): %d commits, %d give-ups, \
+     %d leaked locks"
+    !fault_seed chaos.p_commits chaos.p_give_ups chaos.p_leaked;
+  let json = Printf.sprintf "{%s}" (String.concat "," (List.rev !point_sections)) in
+  Report.add_section "e16" json;
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let stamp =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let oc = open_out "BENCH_e16.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"e16\",\"wall_time\":%s,\"seed\":%d,\"clients\":%s,\"deterministic\":%b,\"blame_strictly_lower\":%b,\"retries_strictly_lower\":%b,\"throughput_no_worse\":%b,\"chaos_leaked_locks\":%d,\"points\":%s}\n"
+    (Bess_obs.Registry.json_string stamp)
+    seed
+    ("[" ^ String.concat "," (List.map string_of_int sweep) ^ "]")
+    deterministic !blame_ok !retries_ok !tp_ok chaos.p_leaked json;
+  close_out oc;
+  Report.note "handoff ablation written to BENCH_e16.json (%s) and bench_report.json#e16"
+    stamp
+
 (* ---- F1: segment and object structure (Figure 1) ------------------------- *)
 
 let f1 () =
@@ -2016,7 +2234,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
-    ("e14", e14); ("e15", e15);
+    ("e14", e14); ("e15", e15); ("e16", e16);
     ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4);
     ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("t1", t1);

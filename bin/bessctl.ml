@@ -432,6 +432,15 @@ let load_workloads =
         } );
   ]
 
+(* Shared by load and slow: the e16 ablation switch, exposed so the
+   poll-retry convoy can be reproduced interactively. *)
+let no_handoff_arg =
+  Arg.(value & flag
+       & info [ "no-handoff" ]
+           ~doc:
+             "Disable wake-on-release lock handoff: blocked clients fall back to the \
+              bounded-backoff poll-retry loop (the pre-handoff behaviour)")
+
 let load_cmd =
   let workload_arg =
     Arg.(value & opt string "zipf"
@@ -457,7 +466,7 @@ let load_cmd =
   let limit =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Counters to show (busiest first)")
   in
-  let run dir workload clients txns pages seed window_us limit =
+  let run dir workload clients txns pages seed window_us limit no_handoff =
     match List.assoc_opt workload load_workloads with
     | None ->
         Printf.eprintf "bad --workload %S (try uniform, zipf, hotspot, churn)\n" workload;
@@ -469,6 +478,7 @@ let load_cmd =
         with_db dir (fun db ->
             let server = Bess.Db.server db in
             Bess.Server.set_detection server `Timeout;
+            if no_handoff then Bess.Server.set_lock_handoff server false;
             let page_ids = seed_working_set db pages in
             let cfg =
               shape
@@ -506,7 +516,8 @@ let load_cmd =
        ~doc:
          "Run a named closed-loop workload at a given client count on the event scheduler \
           and report windowed rates")
-    Term.(const run $ dir_arg $ workload_arg $ clients $ txns $ pages $ seed $ window_us $ limit)
+    Term.(const run $ dir_arg $ workload_arg $ clients $ txns $ pages $ seed $ window_us
+          $ limit $ no_handoff_arg)
 
 (* ---- slow ---- *)
 
@@ -538,7 +549,7 @@ let slow_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the slow-transaction reservoir as JSON")
   in
-  let run dir workload clients txns pages seed top_k json =
+  let run dir workload clients txns pages seed top_k json no_handoff =
     match List.assoc_opt workload load_workloads with
     | None ->
         Printf.eprintf "bad --workload %S (try uniform, zipf, hotspot, churn)\n" workload;
@@ -547,6 +558,7 @@ let slow_cmd =
         with_db dir (fun db ->
             let server = Bess.Db.server db in
             Bess.Server.set_detection server `Timeout;
+            if no_handoff then Bess.Server.set_lock_handoff server false;
             let page_ids = seed_working_set db pages in
             let cfg =
               shape
@@ -617,7 +629,7 @@ let slow_cmd =
          "Run a closed-loop workload with critical-path attribution installed and print the \
           slowest transactions' phase-by-phase blame breakdown")
     Term.(const run $ dir_arg $ workload_arg $ clients $ txns $ pages $ seed $ top_k
-          $ json_arg)
+          $ json_arg $ no_handoff_arg)
 
 (* ---- flightrec ---- *)
 

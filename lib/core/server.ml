@@ -55,74 +55,16 @@ type t = {
   mutable cb : Callback.t;
   txns : (int, txn_state) Hashtbl.t;
   sinks : (int, Lock_mgr.resource -> Lock_mode.t -> callback_reply) Hashtbl.t;
+  (* One-shot wake subscriptions for transactions whose lock request
+     returned [`Blocked] via {!lock_async}: popped and invoked when the
+     lock manager grants the transaction in place on a release. *)
+  wake_subs : (int, unit -> unit) Hashtbl.t;
   hooks : Event.hooks;
   mutable next_txn : int;
   mutable detect : [ `Graph | `Timeout ];
+  mutable lock_handoff : bool; (* survives [crash] replacing [locks] *)
   stats : Bess_util.Stats.t;
 }
-
-let create ?log_path ?log ?group_commit ?(cache_slots = 1024) ?(detect = `Graph) ~id areas =
-  let t =
-    {
-      id;
-      store = Store.create ?log_path ?log ?group_commit ~cache_slots areas;
-      locks = Lock_mgr.create ();
-      cb = Callback.create ();
-      txns = Hashtbl.create 64;
-      sinks = Hashtbl.create 8;
-      hooks = Event.hooks_create ();
-      next_txn = 1;
-      detect;
-      stats =
-        (let stats = Bess_util.Stats.create () in
-         Bess_obs.Registry.register_stats "server" stats;
-         stats);
-    }
-  in
-  Bess_obs.Registry.register_gauge "server" "server.active_txns" (fun () ->
-      Hashtbl.length t.txns);
-  Bess_obs.Registry.register_gauge "server" "server.connected_clients" (fun () ->
-      Hashtbl.length t.sinks);
-  t
-
-let store t = t.store
-let locks t = t.locks
-let hooks t = t.hooks
-let stats t = t.stats
-let callback_registry t = t.cb
-let id t = t.id
-let set_detection t d = t.detect <- d
-let set_group_policy t p = Store.set_group_policy t.store p
-
-(* ---- Clients ---- *)
-
-let connect_client t ~client ~sink =
-  if not (Hashtbl.mem t.sinks client) then
-    Bess_util.Stats.incr t.stats "server.client_connects";
-  Hashtbl.replace t.sinks client sink
-
-let disconnect_client t ~client =
-  if Hashtbl.mem t.sinks client then
-    Bess_util.Stats.incr t.stats "server.client_disconnects";
-  Hashtbl.remove t.sinks client;
-  Callback.forget_client t.cb ~client
-
-(* ---- Transactions ---- *)
-
-let begin_txn t ~client =
-  in_request "begin" @@ fun () ->
-  let txn_id = t.next_txn in
-  t.next_txn <- txn_id + 1;
-  Hashtbl.replace t.txns txn_id { txn_id; client; last_lsn = 0; status = Active };
-  Event.fire t.hooks (Txn_begin { txn = txn_id });
-  txn_id
-
-let txn t txn_id =
-  match Hashtbl.find_opt t.txns txn_id with
-  | Some ts -> ts
-  | None -> invalid_arg (Printf.sprintf "Server: unknown transaction %d" txn_id)
-
-(* ---- Locking with callbacks ---- *)
 
 (* Ask the other clients caching [r] in a conflicting mode to give it up.
    A client refuses while one of its active transactions holds the lock;
@@ -156,6 +98,102 @@ let run_callbacks t ~requester r mode =
         | `Callback_needed _ -> `Blocked)
       else `Blocked
 
+(* Wire this server into a (possibly fresh, post-crash) lock manager:
+   the grant filter makes in-place handoff respect callback locking —
+   e.g. a releasing client keeps its copy cached in S, so handing X to
+   the next waiter must call that copy back first, exactly as the
+   waiter's own re-poll would — and the wake hook pops the one-shot
+   subscription of a granted transaction. *)
+let install_lock_hooks t =
+  Lock_mgr.set_handoff t.locks t.lock_handoff;
+  Lock_mgr.set_grant_filter t.locks
+    (Some
+       (fun ~txn r mode ->
+         match Hashtbl.find_opt t.txns txn with
+         | None -> true
+         | Some ts -> run_callbacks t ~requester:ts.client r mode = `Ok));
+  Lock_mgr.set_wake_hook t.locks
+    (Some
+       (fun ~txn ->
+         match Hashtbl.find_opt t.wake_subs txn with
+         | None -> ()
+         | Some f ->
+             Hashtbl.remove t.wake_subs txn;
+             Bess_util.Stats.incr t.stats "server.lock_wakes";
+             f ()))
+
+let create ?log_path ?log ?group_commit ?(cache_slots = 1024) ?(detect = `Graph) ~id areas =
+  let t =
+    {
+      id;
+      store = Store.create ?log_path ?log ?group_commit ~cache_slots areas;
+      locks = Lock_mgr.create ();
+      cb = Callback.create ();
+      txns = Hashtbl.create 64;
+      sinks = Hashtbl.create 8;
+      wake_subs = Hashtbl.create 16;
+      hooks = Event.hooks_create ();
+      next_txn = 1;
+      detect;
+      lock_handoff = true;
+      stats =
+        (let stats = Bess_util.Stats.create () in
+         Bess_obs.Registry.register_stats "server" stats;
+         stats);
+    }
+  in
+  install_lock_hooks t;
+  Bess_obs.Registry.register_gauge "server" "server.active_txns" (fun () ->
+      Hashtbl.length t.txns);
+  Bess_obs.Registry.register_gauge "server" "server.connected_clients" (fun () ->
+      Hashtbl.length t.sinks);
+  t
+
+let store t = t.store
+let locks t = t.locks
+let hooks t = t.hooks
+let stats t = t.stats
+let callback_registry t = t.cb
+let id t = t.id
+let set_detection t d = t.detect <- d
+let set_group_policy t p = Store.set_group_policy t.store p
+
+let set_lock_handoff t b =
+  t.lock_handoff <- b;
+  Lock_mgr.set_handoff t.locks b
+
+let lock_handoff t = t.lock_handoff
+
+(* ---- Clients ---- *)
+
+let connect_client t ~client ~sink =
+  if not (Hashtbl.mem t.sinks client) then
+    Bess_util.Stats.incr t.stats "server.client_connects";
+  Hashtbl.replace t.sinks client sink
+
+let disconnect_client t ~client =
+  if Hashtbl.mem t.sinks client then
+    Bess_util.Stats.incr t.stats "server.client_disconnects";
+  Hashtbl.remove t.sinks client;
+  Callback.forget_client t.cb ~client
+
+(* ---- Transactions ---- *)
+
+let begin_txn t ~client =
+  in_request "begin" @@ fun () ->
+  let txn_id = t.next_txn in
+  t.next_txn <- txn_id + 1;
+  Hashtbl.replace t.txns txn_id { txn_id; client; last_lsn = 0; status = Active };
+  Event.fire t.hooks (Txn_begin { txn = txn_id });
+  txn_id
+
+let txn t txn_id =
+  match Hashtbl.find_opt t.txns txn_id with
+  | Some ts -> ts
+  | None -> invalid_arg (Printf.sprintf "Server: unknown transaction %d" txn_id)
+
+(* ---- Locking with callbacks ---- *)
+
 let lock t ~txn:txn_id r mode =
   in_request "lock" @@ fun () ->
   let ts = txn t txn_id in
@@ -178,6 +216,25 @@ let lock t ~txn:txn_id r mode =
              aborts for good. *)
           Bess_util.Stats.incr t.stats "server.lock_timeouts";
           `Timeout)
+
+(* Event-driven variant of {!lock}: on [`Blocked] the caller is
+   subscribed (one-shot, keyed by transaction — a transaction waits on
+   at most one request at a time) and [on_wake] fires when a release
+   hands the lock over in place, instead of the caller having to
+   re-poll. Any other verdict clears a stale subscription: a guard
+   re-poll that succeeds must not leave its park's wake armed. The
+   subscription also dies with the transaction (commit/abort) and with
+   the lock table on crash. No wake ever fires for a [`Blocked] caused
+   by cached-copy callbacks alone (nothing is queued in the lock table),
+   or when handoff is off — parked callers keep a timer as a fallback. *)
+let lock_async t ~txn:txn_id r mode ~on_wake =
+  match lock t ~txn:txn_id r mode with
+  | `Blocked ->
+      Hashtbl.replace t.wake_subs txn_id on_wake;
+      `Blocked
+  | v ->
+      Hashtbl.remove t.wake_subs txn_id;
+      v
 
 (* ---- Page service ---- *)
 
@@ -204,6 +261,9 @@ let fetch_segment t ~txn:txn_id (seg : Bess_storage.Seg_addr.t) ~mode =
 (* ---- Client-cached commit path ---- *)
 
 let release_locks_keep_cached t ts =
+  (* The ending transaction can no longer be waiting; drop its wake
+     subscription before the release below fires wakes for others. *)
+  Hashtbl.remove t.wake_subs ts.txn_id;
   (* Strict 2PL release; the client keeps its cached copies, so the
      callback registry retains them (X downgrades to S: the client's copy
      stays valid for reading until called back). *)
@@ -424,12 +484,14 @@ let checkpoint t =
 
 let crash t =
   Store.crash t.store;
-  (* All client connections, cached-copy registrations and lock state are
-     volatile server state: gone. *)
+  (* All client connections, cached-copy registrations, lock state and
+     parked wake subscriptions are volatile server state: gone. *)
   Hashtbl.reset t.txns;
   Hashtbl.reset t.sinks;
+  Hashtbl.reset t.wake_subs;
   t.cb <- Callback.create ();
-  t.locks <- Lock_mgr.create ()
+  t.locks <- Lock_mgr.create ();
+  install_lock_hooks t
 
 let recover t =
   let outcome = Store.recover t.store in

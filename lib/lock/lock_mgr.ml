@@ -21,7 +21,30 @@
    transaction actually holds or waits on. The counter
    [lock.release_scan_entries] records how many entries each release
    visited; the regression test asserts it stays linear in the number of
-   transactions. *)
+   transactions.
+
+   Grant handoff (wake-on-release): with [handoff] enabled (the default),
+   [release_all] does not merely hint at who might be grantable — it
+   grants the maximal compatible FIFO prefix of each affected queue *in
+   place*, transferring the lock before any new acquirer can barge, and
+   fires the registered wake hook once per granted transaction. Blocked
+   callers park on that wake instead of poll-retrying, so a hot resource
+   pays zero dead time between a release and the successor's grant
+   ([lock.handoffs] counts the transfers, [lock.wake_to_grant_ticks] the
+   dead time — identically zero for handoff grants). The optional grant
+   filter lets the server veto an in-place grant that still conflicts
+   with other clients' *cached* copies (callback locking): a vetoed
+   waiter keeps its queue position and is picked up by the caller's
+   timeout-guard re-poll, so FIFO order survives the veto.
+
+   Timeout discovery is event-driven too: waiters join a global expiry
+   FIFO at enqueue (the logical clock is monotonic and the timeout a
+   table constant, so enqueue order *is* deadline order), and each
+   clock advance drains the expired front, waking those transactions so
+   their re-poll observes [`Timeout] immediately. Without this, a
+   waiter doomed to time out would sleep until its guard timer fired —
+   under deep hot-key convoys that dead time, multiplied by thousands
+   of waiters, was most of the measured lock blame. *)
 
 module Span = Bess_obs.Span
 
@@ -40,6 +63,7 @@ type waiter = {
   w_mode : Lock_mode.t;
   w_enqueued : int; (* logical tick at enqueue *)
   mutable w_cancelled : bool; (* granted, purged or aborted; skipped on iteration *)
+  mutable w_woken : int; (* tick of the most recent release that woke it; -1 if never *)
 }
 
 type entry = {
@@ -56,31 +80,73 @@ type t = {
   mutable tick : int;
   timeout : int; (* ticks a request may wait before being declared deadlocked *)
   stats : Bess_util.Stats.t;
+  mutable n_waiters : int; (* live waiters across all entries, kept incrementally *)
+  mutable handoff : bool; (* grant-in-place on release vs wake-hint-only *)
+  mutable wake_hook : (txn:int -> unit) option;
+  mutable grant_filter : (txn:int -> resource -> Lock_mode.t -> bool) option;
+  (* Every waiter, in enqueue (= deadline) order; cancelled nodes are
+     discarded as the front drains. Backs the event-driven timeout
+     wake-up: see [check_expiry]. *)
+  expiry : waiter Queue.t;
   (* A wait crosses acquire calls (enqueue in one, grant or purge in
      another), so its span cannot live on the stack: it is opened as a
      root span at enqueue and parked here until the wait resolves. *)
   wait_spans : (int * resource, Span.handle) Hashtbl.t;
 }
 
-let create ?(timeout = 1000) () =
+let create ?(timeout = 1000) ?(handoff = true) () =
   let stats = Bess_util.Stats.create () in
-  (* Eager: the wait distribution is part of every report even when no
-     request ever blocked. *)
+  (* Eager: the wait and wake-to-grant distributions are part of every
+     report even when no request ever blocked. *)
   ignore (Bess_util.Stats.histogram stats "lock.wait_ticks");
+  ignore (Bess_util.Stats.histogram stats "lock.wake_to_grant_ticks");
   Bess_obs.Registry.register_stats "lock" stats;
   let t =
     { table = Hashtbl.create 256; held = Hashtbl.create 32; waits = Hashtbl.create 32;
-      tick = 0; timeout; stats; wait_spans = Hashtbl.create 16 }
+      tick = 0; timeout; stats; n_waiters = 0; handoff; wake_hook = None;
+      grant_filter = None; expiry = Queue.create (); wait_spans = Hashtbl.create 16 }
   in
   Bess_obs.Registry.register_gauge "lock" "lock.table_size" (fun () ->
       Hashtbl.length t.table);
-  Bess_obs.Registry.register_gauge "lock" "lock.waiters" (fun () ->
-      Hashtbl.fold (fun _ e acc -> acc + e.n_live) t.table 0);
+  (* Incremental: folding the whole table here made every Series window
+     O(table). *)
+  Bess_obs.Registry.register_gauge "lock" "lock.waiters" (fun () -> t.n_waiters);
   t
 
 let stats t = t.stats
-let tick t = t.tick <- t.tick + 1
+
+(* Wake waiters whose deadline has passed (handoff mode only — with it
+   off, guard re-polls discover timeouts, the pre-handoff behaviour).
+   The expiry queue is in deadline order, so this pops an expired or
+   cancelled front and stops at the first live waiter still inside its
+   budget: O(1) amortised per enqueue. The wake hook only schedules the
+   parked client's re-poll (which then observes [`Timeout]); under
+   [`Graph] detection the wake is spurious but harmless. *)
+let check_expiry t =
+  if t.handoff then begin
+    let continue_ = ref true in
+    while !continue_ do
+      match Queue.peek_opt t.expiry with
+      | Some w when w.w_cancelled -> ignore (Queue.pop t.expiry)
+      | Some w when t.tick - w.w_enqueued > t.timeout ->
+          ignore (Queue.pop t.expiry);
+          w.w_woken <- t.tick;
+          Bess_util.Stats.incr t.stats "lock.expiry_wakes";
+          (match t.wake_hook with None -> () | Some f -> f ~txn:w.w_txn)
+      | _ -> continue_ := false
+    done
+  end
+
+let tick t =
+  t.tick <- t.tick + 1;
+  check_expiry t
+
 let now t = t.tick
+let n_waiters t = t.n_waiters
+let handoff t = t.handoff
+let set_handoff t b = t.handoff <- b
+let set_wake_hook t f = t.wake_hook <- f
+let set_grant_filter t f = t.grant_filter <- f
 
 let entry t r =
   match Hashtbl.find_opt t.table r with
@@ -188,6 +254,7 @@ let remove_waiter t e ~txn r =
       w.w_cancelled <- true;
       Hashtbl.remove e.by_txn txn;
       e.n_live <- e.n_live - 1;
+      t.n_waiters <- t.n_waiters - 1;
       (match Hashtbl.find_opt t.waits txn with
       | Some s ->
           Hashtbl.remove s r;
@@ -196,17 +263,27 @@ let remove_waiter t e ~txn r =
       maybe_compact e
 
 let enqueue_waiter t e ~txn r mode =
-  let w = { w_txn = txn; w_mode = mode; w_enqueued = t.tick; w_cancelled = false } in
+  let w =
+    { w_txn = txn; w_mode = mode; w_enqueued = t.tick; w_cancelled = false; w_woken = -1 }
+  in
   Queue.push w e.waiting;
+  Queue.push w t.expiry;
   Hashtbl.replace e.by_txn txn w;
   e.n_live <- e.n_live + 1;
+  t.n_waiters <- t.n_waiters + 1;
   Hashtbl.replace (txn_set t.waits txn) r ()
 
 (* A request that waited is about to be granted: record how long it sat
-   in the queue, in logical ticks. *)
+   in the queue, and — if a release woke it — the dead time between that
+   wake and the grant, in logical ticks. Handoff grants set [w_woken] to
+   the current tick first, so their dead time is identically zero; poll
+   grants pay the gap between the waking release and the next re-poll. *)
 let observe_wait t e ~txn =
   match Hashtbl.find_opt e.by_txn txn with
-  | Some w -> Bess_util.Stats.observe t.stats "lock.wait_ticks" (t.tick - w.w_enqueued)
+  | Some w ->
+      Bess_util.Stats.observe t.stats "lock.wait_ticks" (t.tick - w.w_enqueued);
+      if w.w_woken >= 0 then
+        Bess_util.Stats.observe t.stats "lock.wake_to_grant_ticks" (t.tick - w.w_woken)
   | None -> ()
 
 (* Open the parked wait span for a newly enqueued request. Root span:
@@ -230,6 +307,7 @@ let end_wait t ~txn r ~outcome =
 
 let acquire ?(detect = `Graph) t ~txn r mode : verdict =
   t.tick <- t.tick + 1;
+  check_expiry t;
   let e = entry t r in
   let current = List.assoc_opt txn e.granted in
   let want = match current with Some m -> Lock_mode.sup m mode | None -> mode in
@@ -291,24 +369,102 @@ let acquire ?(detect = `Graph) t ~txn r mode : verdict =
                 else `Blocked
           end)
 
+(* Grant the maximal compatible FIFO prefix of [e]'s queue in place.
+   Called after a release removed a holder (or purged a ghost waiter):
+   the lock transfers to its successors *here*, before any new acquirer
+   can observe it free, so nobody barges. The scan stops at the first
+   live waiter that conflicts with the (updated) granted set — strict
+   FIFO, so writers queued behind readers are not starved — or whose
+   grant the filter vetoes (a cached-copy conflict the server must first
+   call back; the waiter keeps its position and is woken so its own
+   re-poll — which runs the full callback path — resolves the conflict
+   without waiting for a guard timer).
+
+   Cost is O(granted prefix), not O(queue): the scan peeks and pops from
+   the head, discarding cancelled nodes as it goes, and stops at the
+   first live waiter it cannot grant — a deep convoy behind an X waiter
+   costs one peek per release, however many sleep behind it. The
+   peek-then-recheck shape is because the filter may run client
+   callbacks that touch this very entry (and a grant's own bookkeeping
+   may trigger queue compaction, so the pop only lands if the head is
+   physically still ours). *)
+let grant_scan t e r =
+  let granted_txns = ref [] in
+  let stop = ref false in
+  while (not !stop) && not (Queue.is_empty e.waiting) do
+    let w = Queue.peek e.waiting in
+    if w.w_cancelled then ignore (Queue.pop e.waiting)
+    else if conflicts e ~txn:w.w_txn w.w_mode then stop := true
+    else begin
+      let ok =
+        match t.grant_filter with
+        | None -> true
+        | Some f -> f ~txn:w.w_txn r w.w_mode
+      in
+      (* The filter ran arbitrary code: re-check before transferring. *)
+      if ok && (not w.w_cancelled) && not (conflicts e ~txn:w.w_txn w.w_mode) then begin
+        let want =
+          match List.assoc_opt w.w_txn e.granted with
+          | Some m -> Lock_mode.sup m w.w_mode
+          | None -> w.w_mode
+        in
+        w.w_woken <- t.tick;
+        observe_wait t e ~txn:w.w_txn;
+        e.granted <- (w.w_txn, want) :: List.remove_assoc w.w_txn e.granted;
+        record_held t ~txn:w.w_txn r;
+        remove_waiter t e ~txn:w.w_txn r;
+        end_wait t ~txn:w.w_txn r ~outcome:"handoff";
+        Bess_util.Stats.incr t.stats "lock.grants";
+        Bess_util.Stats.incr t.stats "lock.handoffs";
+        granted_txns := w.w_txn :: !granted_txns;
+        match Queue.peek_opt e.waiting with
+        | Some w' when w' == w -> ignore (Queue.pop e.waiting)
+        | _ -> () (* compaction already rebuilt the queue without it *)
+      end
+      else begin
+        (* Vetoed (or raced): the waiter keeps its queue position, but
+           wake it now — its re-poll runs the full callback path at
+           once instead of sleeping until a guard timer fires. *)
+        if not w.w_cancelled then begin
+          w.w_woken <- t.tick;
+          Bess_util.Stats.incr t.stats "lock.veto_wakes";
+          match t.wake_hook with None -> () | Some f -> f ~txn:w.w_txn
+        end;
+        stop := true
+      end
+    end
+  done;
+  let granted = List.rev !granted_txns in
+  (match t.wake_hook with
+  | None -> ()
+  | Some f -> List.iter (fun txn -> f ~txn) granted);
+  granted
+
 (* Release everything held by [txn] (strict 2PL: only at commit/abort).
-   Returns the transactions that may now be grantable, for the scheduler
-   to retry. Cost is O(resources the transaction holds or waits on), not
+   Cost is O(resources the transaction holds or waits on), not
    O(lock table): the per-txn wait set replaces the old whole-table scan
    for ghost waiters (requests still queued on resources the transaction
    never got — those would block later requesters in FIFO order, and the
    transactions queued behind them must be woken or they stall forever,
-   since no release on those resources is coming). *)
+   since no release on those resources is coming).
+
+   With handoff on, the returned list is the transactions *granted* in
+   place (their wake hooks already fired); with it off, the transactions
+   that may now be grantable, for the scheduler to re-poll. *)
 let release_all t ~txn =
   let wake = ref [] in
   let woken = Hashtbl.create 16 in
   let scanned = ref 0 in
+  let note_woken w_txn =
+    if not (Hashtbl.mem woken w_txn) then begin
+      Hashtbl.add woken w_txn ();
+      wake := w_txn :: !wake
+    end
+  in
   let wake_live e =
     iter_live e (fun w ->
-        if not (Hashtbl.mem woken w.w_txn) then begin
-          Hashtbl.add woken w.w_txn ();
-          wake := w.w_txn :: !wake
-        end)
+        w.w_woken <- t.tick;
+        note_woken w.w_txn)
   in
   let visit r =
     incr scanned;
@@ -318,7 +474,7 @@ let release_all t ~txn =
         e.granted <- List.remove_assoc txn e.granted;
         remove_waiter t e ~txn r;
         end_wait t ~txn r ~outcome:"released";
-        wake_live e;
+        if t.handoff then List.iter note_woken (grant_scan t e r) else wake_live e;
         if entry_empty e then Hashtbl.remove t.table r
   in
   (match Hashtbl.find_opt t.held txn with
@@ -336,12 +492,15 @@ let release_all t ~txn =
   Bess_util.Stats.add t.stats "lock.release_scan_entries" !scanned;
   List.rev !wake
 
-(* Drop one resource early (used by callback processing, not by 2PL). *)
+(* Drop one resource early (used by callback processing, not by 2PL).
+   Successors are handed the lock in place here too, so an early release
+   under group commit moves the queue without waiting for the re-poll. *)
 let release_one t ~txn r =
   (match Hashtbl.find_opt t.table r with
   | None -> ()
   | Some e ->
       e.granted <- List.remove_assoc txn e.granted;
+      if t.handoff then ignore (grant_scan t e r);
       if entry_empty e then Hashtbl.remove t.table r);
   match Hashtbl.find_opt t.held txn with
   | Some s ->

@@ -1,9 +1,19 @@
-(** The lock table: strict two-phase locking with FIFO wait queues.
+(** The lock table: strict two-phase locking with FIFO wait queues and
+    wake-on-release grant handoff.
 
-    Cooperative (non-blocking): {!acquire} returns a verdict; blocked
-    callers retry after a {!release_all} elsewhere. Deadlocks are
-    detected either by an exact waits-for-graph cycle check or by
-    timeouts on a logical clock (the paper's distributed mechanism). *)
+    Cooperative (non-blocking): {!acquire} returns a verdict; with
+    handoff enabled (the default) a {!release_all} elsewhere grants the
+    maximal compatible FIFO prefix of each affected queue *in place* —
+    the lock transfers before any new acquirer can barge — and fires the
+    registered wake hook per granted transaction, so blocked callers
+    park on the wake instead of poll-retrying; waiters whose timeout
+    budget expires are woken the same way, so a doomed request discovers
+    [`Timeout] on its immediate re-poll instead of sleeping until a
+    guard timer fires. With handoff disabled, blocked callers re-poll
+    after the release (the pre-handoff behaviour, kept for ablation).
+    Deadlocks are detected either by an exact waits-for-graph cycle
+    check or by timeouts on a logical clock (the paper's distributed
+    mechanism). *)
 
 (** A lockable resource: [space] separates the page / object / file
     namespaces; [a]/[b] are namespace-specific coordinates. *)
@@ -16,9 +26,10 @@ val pp_resource : Format.formatter -> resource -> unit
 
 type t
 
-(** [create ~timeout ()]: [timeout] is in logical ticks for the
-    [`Timeout] detector. *)
-val create : ?timeout:int -> unit -> t
+(** [create ~timeout ~handoff ()]: [timeout] is in logical ticks for the
+    [`Timeout] detector; [handoff] (default [true]) selects grant-in-
+    place on release vs wake-hint-only re-polling. *)
+val create : ?timeout:int -> ?handoff:bool -> unit -> t
 
 val stats : t -> Bess_util.Stats.t
 
@@ -26,6 +37,30 @@ val stats : t -> Bess_util.Stats.t
 val tick : t -> unit
 
 val now : t -> int
+
+(** Live waiters across all entries, maintained incrementally (also
+    backs the [lock.waiters] gauge). *)
+val n_waiters : t -> int
+
+val handoff : t -> bool
+val set_handoff : t -> bool -> unit
+
+(** Fired once per transaction granted in place by a release (in grant
+    order), and once per waiter whose timeout budget expires (so its
+    re-poll can observe [`Timeout] without waiting for a guard timer).
+    The hook runs inside the releasing (or clock-advancing) call —
+    receivers should only note the event (e.g. schedule the parked
+    client's resumption), not reenter the lock table. *)
+val set_wake_hook : t -> (txn:int -> unit) option -> unit
+
+(** Veto for in-place grants: called before a handoff transfers the
+    lock; returning [false] leaves the waiter queued — it keeps its
+    FIFO position and is woken immediately so its own re-poll (which
+    runs the full callback path) resolves the conflict. The server uses
+    this to run callback locking — an in-place grant must not bypass
+    other clients' cached-copy conflicts. The filter may run arbitrary
+    client callbacks; the scan re-checks state after it. *)
+val set_grant_filter : t -> (txn:int -> resource -> Lock_mode.t -> bool) option -> unit
 
 type verdict = [ `Granted | `Blocked | `Deadlock | `Timeout ]
 
@@ -44,11 +79,13 @@ val held_mode : t -> txn:int -> resource -> Lock_mode.t option
 val holds : t -> txn:int -> resource -> Lock_mode.t -> bool
 
 (** Strict 2PL release at commit/abort; also purges the transaction's
-    queued waiters everywhere. Returns transactions that may now be
-    grantable. *)
+    queued waiters everywhere. With handoff on, returns the transactions
+    granted in place (their wake hooks already fired); with it off, the
+    transactions that may now be grantable, for the caller to re-poll. *)
 val release_all : t -> txn:int -> int list
 
-(** Drop one resource early (callback processing, not 2PL). *)
+(** Drop one resource early (callback processing, not 2PL). Handoff
+    applies here too: successors are granted in place. *)
 val release_one : t -> txn:int -> resource -> unit
 
 val held_resources : t -> txn:int -> resource list

@@ -13,9 +13,23 @@
    durability tickets inside one group-commit window and the force
    scheduler can coalesce them — the behaviour E14 measures.
 
+   Blocked lock requests park instead of polling: the client subscribes
+   to the lock manager's wake-on-release handoff via
+   [Server.lock_async] and hops back onto the heap only when the lock
+   has already been transferred to it in place ([sched.lock_parks] /
+   [sched.lock_wakeups]). A decorrelated-jitter timer is kept per park
+   purely as a [`Timeout]/[`Deadlock] recovery guard — with handoff on
+   it starts an order of magnitude later than a poll interval and
+   almost never fires ([sched.lock_retries]); with handoff off (the
+   pre-handoff ablation, [Server.set_lock_handoff]) no wake ever comes
+   and the same guard degenerates into the old bounded-backoff poll
+   loop, now jittered so equal-seed cohorts cannot thundering-herd in
+   lockstep.
+
    Determinism: per-client splitmix64 streams split off the config seed
-   in client order, plus the heap's (tick, seq) total order. Nothing
-   reads wall time. *)
+   in client order (a separate per-client jitter stream keeps guard
+   timing from perturbing the workload draws), plus the heap's
+   (tick, seq) total order. Nothing reads wall time. *)
 
 module Span = Bess_obs.Span
 module Stats = Bess_util.Stats
@@ -77,8 +91,11 @@ let throughput r =
 type client = {
   c_id : int;
   c_prng : Prng.t;
+  c_jitter : Prng.t; (* guard-timer jitter only: keeps workload draws stable *)
   mutable c_connected : bool;
   mutable c_left : int; (* transaction attempts remaining *)
+  mutable c_park : int; (* generation token: stale wakes/guards no-op *)
+  mutable c_backoff_ns : int; (* previous guard delay (decorrelated jitter state) *)
 }
 
 let run ?sched server ~pages cfg =
@@ -92,6 +109,13 @@ let run ?sched server ~pages cfg =
   let commits = ref 0 and aborts = ref 0 and give_ups = ref 0 in
   let indeterminate = ref 0 and disconnects = ref 0 and reconnects = ref 0 in
   let t0 = Span.now_ns () in
+  (* The run's simulated span ends at its last *state-changing* event:
+     a guard timer whose park token went stale is a tombstone, and the
+     heap draining those after the final commit must not stretch
+     [r_sim_ns] (it would understate throughput for whichever variant
+     schedules the longer guards). Every real handler touches this. *)
+  let last_ns = ref t0 in
+  let touch () = last_ns := Span.now_ns () in
   let events0 = Sched.events_run sched in
   (* The Zipf CDF is O(n_pages) to build, so it is shared: clients draw
      through it with their own streams. Rank i maps to pages.(i) —
@@ -132,12 +156,32 @@ let run ?sched server ~pages cfg =
   let master = Prng.create cfg.seed in
   let clients =
     Array.init cfg.n_clients (fun i ->
+        let prng = Prng.split master in
         { c_id = 10_000 + i;
-          c_prng = Prng.split master;
+          c_prng = prng;
+          c_jitter = Prng.split prng;
           c_connected = true;
-          c_left = cfg.txns_per_client })
+          c_left = cfg.txns_per_client;
+          c_park = 0;
+          c_backoff_ns = 0 })
   in
   let churn_roll c = cfg.churn > 0.0 && Prng.float c.c_prng < cfg.churn in
+  let handoff = Bess.Server.lock_handoff server in
+  (* Guard-timer delay with decorrelated jitter (base..3x previous,
+     capped), drawn from the client's own jitter stream: equal-seed
+     cohorts no longer re-poll in lockstep, yet every delay is a pure
+     function of the master seed. With handoff the timer is only
+     [`Timeout]/[`Deadlock] recovery behind a guaranteed wake, so it
+     starts 16x later and escalates to a matching cap. *)
+  let next_backoff c ~retries =
+    if retries = 0 then c.c_backoff_ns <- 0;
+    let base = cfg.lock_retry_ns * if handoff then 16 else 1 in
+    let cap = base * 8 in
+    let prev = Stdlib.max base c.c_backoff_ns in
+    let d = Stdlib.min cap (base + Prng.int c.c_jitter (Stdlib.max 1 ((prev * 3) - base))) in
+    c.c_backoff_ns <- d;
+    d
+  in
   (* Per-attempt tracing state: the sched.txn root span spanning the
      whole attempt (opened across events via [Span.with_handle]), the
      currently open backoff child, the durability-ticket wait child,
@@ -174,6 +218,7 @@ let run ?sched server ~pages cfg =
     a.A.a_span <- Span.none
   in
   let rec start c =
+    touch ();
     if c.c_left > 0 && c.c_connected then begin
       if churn_roll c then disconnect c ~holding:false
       else begin
@@ -188,7 +233,28 @@ let run ?sched server ~pages cfg =
   and attempt c ~a ~txn ~t_begin ~page ~retries =
     let pid = pages.(page) in
     let r = Lock_mgr.page_resource ~area:pid.Page_id.area ~page:pid.Page_id.page in
-    match Bess.Server.lock server ~txn r Lock_mode.X with
+    c.c_park <- c.c_park + 1;
+    let park = c.c_park in
+    let resume ~retries () =
+      touch ();
+      accrue_lag a;
+      Span.finish a.A.a_backoff;
+      a.A.a_backoff <- Span.none;
+      Span.with_handle a.A.a_span (fun () -> attempt c ~a ~txn ~t_begin ~page ~retries)
+    in
+    let on_wake () =
+      (* Fires synchronously inside the releasing transaction's event,
+         with the lock already transferred to us in place. Invalidate
+         the pending guard timer and hop back onto the heap so the
+         resumed attempt runs as its own event (zero simulated dead
+         time: the hop lands at the current tick). *)
+      if c.c_park = park then begin
+        c.c_park <- c.c_park + 1;
+        Stats.incr st "sched.lock_wakeups";
+        Sched.schedule sched ~after:0 (resume ~retries)
+      end
+    in
+    match Bess.Server.lock_async server ~txn r Lock_mode.X ~on_wake with
     | `Granted ->
         if churn_roll c then begin
           (* Disconnect while holding the lock: the interrupted attempt
@@ -202,27 +268,32 @@ let run ?sched server ~pages cfg =
         end
         else
           Sched.schedule sched ~after:cfg.txn_work_ns (fun () ->
+              touch ();
               accrue_lag a;
               Span.with_handle a.A.a_span (fun () -> commit_txn c ~a ~txn ~t_begin ~page))
     | `Blocked ->
         if retries >= cfg.max_lock_retries then begin
+          (* The abort also purges our queued waiter and drops the wake
+             subscription just registered above. *)
           Bess.Server.abort_client server ~txn;
           incr give_ups;
           Stats.incr st "sched.give_ups";
           finish_attempt c ~a ~outcome:"give_up"
         end
         else begin
-          (* Bounded exponential backoff keeps deep convoys from
-             generating a retry storm of events per eventual grant. *)
-          let backoff = cfg.lock_retry_ns * (1 lsl Stdlib.min retries 3) in
+          (* Park on the wake; the timer below is only the recovery
+             guard. It re-polls so the lock manager's logical clock can
+             return the [`Timeout] verdict, and it is the sole path
+             forward for waits no wake can resolve (handoff off, or a
+             block caused by cached-copy callbacks alone). *)
+          Stats.incr st "sched.lock_parks";
           a.A.a_backoff <-
             Span.start ~attrs:[ ("retries", string_of_int retries) ] ~kind:"client.backoff" ();
-          Sched.schedule sched ~after:backoff (fun () ->
-              accrue_lag a;
-              Span.finish a.A.a_backoff;
-              a.A.a_backoff <- Span.none;
-              Span.with_handle a.A.a_span (fun () ->
-                  attempt c ~a ~txn ~t_begin ~page ~retries:(retries + 1)))
+          Sched.schedule sched ~after:(next_backoff c ~retries) (fun () ->
+              if c.c_park = park then begin
+                Stats.incr st "sched.lock_retries";
+                resume ~retries:(retries + 1) ()
+              end)
         end
     | `Deadlock | `Timeout ->
         Bess.Server.abort_client server ~txn;
@@ -259,6 +330,7 @@ let run ?sched server ~pages cfg =
            rather than on unexplained self time. *)
         a.A.a_ticket <- Span.start ~kind:"wal.ticket_wait" ();
         Sched.schedule sched ~after:cfg.ack_delay_ns (fun () ->
+            touch ();
             accrue_lag a;
             Span.with_handle a.A.a_span (fun () -> ack c ~a ~ticket ~t_begin ~t_commit))
   and ack c ~a ~ticket ~t_begin ~t_commit =
@@ -290,6 +362,7 @@ let run ?sched server ~pages cfg =
     Stats.incr st "sched.disconnects";
     Sched.schedule sched ~after:cfg.reconnect_ns (fun () -> reconnect c)
   and reconnect c =
+    touch ();
     Bess.Server.connect_client server ~client:c.c_id ~sink;
     c.c_connected <- true;
     incr reconnects;
@@ -317,7 +390,7 @@ let run ?sched server ~pages cfg =
     r_disconnects = !disconnects;
     r_reconnects = !reconnects;
     r_events = Sched.events_run sched - events0;
-    r_sim_ns = Span.now_ns () - t0;
+    r_sim_ns = !last_ns - t0;
     r_commit_p50_ns = p 50.0;
     r_commit_p99_ns = p 99.0;
   }

@@ -5,15 +5,24 @@
     picker, do modeled work, commit through the group-commit barrier,
     await the durability acknowledgement, think again — the classic
     closed-loop methodology, so offered load self-regulates with
-    latency. Blocked lock requests retry with bounded exponential
-    backoff; proven deadlocks and timeout suspicions abort and consume
-    the attempt. Session churn disconnects clients (optionally while
+    latency. Blocked lock requests park on the lock manager's
+    wake-on-release handoff ([Bess.Server.lock_async]) and resume the
+    moment the lock is transferred to them in place; a
+    decorrelated-jitter guard timer survives per park solely for
+    [`Timeout]/[`Deadlock] recovery (with handoff disabled via
+    [Bess.Server.set_lock_handoff] it degenerates into the old bounded
+    backoff poll loop — the e16 ablation). Proven deadlocks and timeout
+    suspicions abort and consume the attempt; [sched.lock_parks],
+    [sched.lock_wakeups] and [sched.lock_retries] count the park/wake
+    traffic. Session churn disconnects clients (optionally while
     holding locks — the server must abort their transactions and free
     the lock table) and reconnects them after a delay.
 
     All randomness comes from per-client splitmix64 streams split off
-    [seed], and all interleaving from the deterministic event heap, so
-    the same config produces identical event orders and counters. *)
+    [seed] (guard jitter has its own per-client stream so timer noise
+    never perturbs the workload draws), and all interleaving from the
+    deterministic event heap, so the same config produces identical
+    event orders and counters. *)
 
 type config = {
   n_clients : int;
@@ -24,8 +33,8 @@ type config = {
   think_ns : int;         (** mean think time (exponential) *)
   txn_work_ns : int;      (** modeled in-transaction work between lock and commit *)
   ack_delay_ns : int;     (** delay before a committer polls its durability ticket *)
-  lock_retry_ns : int;    (** base retry delay for blocked lock requests *)
-  max_lock_retries : int; (** retry budget before a blocked attempt gives up *)
+  lock_retry_ns : int;    (** base guard-timer delay for blocked lock requests *)
+  max_lock_retries : int; (** guard-fire budget before a blocked attempt gives up *)
   churn : float;          (** per-decision-point probability of disconnecting *)
   reconnect_ns : int;     (** delay before a churned client reconnects *)
   seed : int;
@@ -43,7 +52,8 @@ type result = {
   r_disconnects : int;
   r_reconnects : int;
   r_events : int;          (** scheduler events executed *)
-  r_sim_ns : int;          (** simulated time the run spanned *)
+  r_sim_ns : int;          (** simulated time through the last state-changing event
+                               (stale guard-timer tombstones past the end don't stretch it) *)
   r_commit_p50_ns : int;   (** commit-begin to durability-ack latency *)
   r_commit_p99_ns : int;
 }

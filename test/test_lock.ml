@@ -116,6 +116,216 @@ let test_ghost_waiter_followers_woken () =
   Alcotest.(check bool) "t3's retry is granted" true
     (Lock_mgr.acquire m ~txn:3 r1 Lock_mode.S = `Granted)
 
+(* ---- Grant handoff (wake-on-release) ---- *)
+
+(* A release transfers the lock to the FIFO head in place: the waiter
+   holds X before any re-poll, the wake hook names it, and the transfer
+   is counted as a handoff. *)
+let test_handoff_grants_in_place () =
+  let m = Lock_mgr.create () in
+  let wakes = ref [] in
+  Lock_mgr.set_wake_hook m (Some (fun ~txn -> wakes := txn :: !wakes));
+  Alcotest.(check bool) "t1 X" true (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X = `Granted);
+  Alcotest.(check bool) "t2 queues" true (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X = `Blocked);
+  Alcotest.(check bool) "t3 queues" true (Lock_mgr.acquire m ~txn:3 r1 Lock_mode.X = `Blocked);
+  let granted = Lock_mgr.release_all m ~txn:1 in
+  Alcotest.(check (list int)) "t2 granted in place" [ 2 ] granted;
+  Alcotest.(check (list int)) "wake hook fired for t2" [ 2 ] !wakes;
+  Alcotest.(check bool) "t2 already holds X" true (Lock_mgr.holds m ~txn:2 r1 Lock_mode.X);
+  Alcotest.(check bool) "t3 still waiting" true (not (Lock_mgr.holds m ~txn:3 r1 Lock_mode.X));
+  (* The woken client's own acquire is now a regrant, not a re-queue. *)
+  Alcotest.(check bool) "t2 re-poll regrants" true
+    (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X = `Granted);
+  Alcotest.(check int) "one handoff" 1 (Bess_util.Stats.get (Lock_mgr.stats m) "lock.handoffs");
+  let granted = Lock_mgr.release_all m ~txn:2 in
+  Alcotest.(check (list int)) "then t3" [ 3 ] granted;
+  Alcotest.(check (list int)) "hook order is grant order" [ 2; 3 ] (List.rev !wakes)
+
+(* The maximal compatible FIFO prefix is granted — both readers share,
+   the writer queued behind them stays barred (no starvation, no barge). *)
+let test_handoff_shared_prefix () =
+  let m = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  Alcotest.(check bool) "t2 S queues" true (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.S = `Blocked);
+  Alcotest.(check bool) "t3 S queues" true (Lock_mgr.acquire m ~txn:3 r1 Lock_mode.S = `Blocked);
+  Alcotest.(check bool) "t4 X queues" true (Lock_mgr.acquire m ~txn:4 r1 Lock_mode.X = `Blocked);
+  let granted = Lock_mgr.release_all m ~txn:1 in
+  Alcotest.(check (list int)) "both readers granted" [ 2; 3 ] (List.sort compare granted);
+  Alcotest.(check bool) "writer still barred" true
+    (Lock_mgr.acquire m ~txn:4 r1 Lock_mode.X = `Blocked);
+  ignore (Lock_mgr.release_all m ~txn:2);
+  let granted = Lock_mgr.release_all m ~txn:3 in
+  Alcotest.(check (list int)) "writer granted once readers drain" [ 4 ] granted
+
+(* Handoff off: release only hints (wake list), nothing is transferred,
+   and the poll grant pays its wake-to-grant dead time in ticks. *)
+let test_handoff_off_poll_path () =
+  let m = Lock_mgr.create ~handoff:false () in
+  let wakes = ref [] in
+  Lock_mgr.set_wake_hook m (Some (fun ~txn -> wakes := txn :: !wakes));
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  ignore (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X);
+  let woken = Lock_mgr.release_all m ~txn:1 in
+  Alcotest.(check (list int)) "wake hint only" [ 2 ] woken;
+  Alcotest.(check (list int)) "no hook fires" [] !wakes;
+  Alcotest.(check bool) "nothing transferred" true
+    (not (Lock_mgr.holds m ~txn:2 r1 Lock_mode.X));
+  Alcotest.(check int) "no handoffs" 0 (Bess_util.Stats.get (Lock_mgr.stats m) "lock.handoffs");
+  (* Three dead polls by an unrelated resource advance the clock... *)
+  for _ = 1 to 3 do
+    ignore (Lock_mgr.acquire m ~txn:9 r2 Lock_mode.S);
+    ignore (Lock_mgr.release_all m ~txn:9)
+  done;
+  (* ...so the eventual poll grant observes the gap since the release. *)
+  Alcotest.(check bool) "poll grant" true (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X = `Granted);
+  match Bess_util.Stats.find_histogram (Lock_mgr.stats m) "lock.wake_to_grant_ticks" with
+  | None -> Alcotest.fail "wake_to_grant_ticks histogram missing"
+  | Some h ->
+      Alcotest.(check int) "one observed grant-after-wake" 1 (Bess_util.Histogram.count h);
+      Alcotest.(check bool) "dead time paid in ticks" true (Bess_util.Histogram.sum h > 0)
+
+(* The grant filter vetoes a handoff (a cached-copy conflict the server
+   must resolve first): the waiter keeps its FIFO position but is woken
+   at once — its re-poll, after the veto lifts, still gets the lock
+   without waiting for a guard timer. *)
+let test_grant_filter_veto () =
+  let m = Lock_mgr.create () in
+  let veto = ref true in
+  let asked = ref [] in
+  let wakes = ref [] in
+  Lock_mgr.set_wake_hook m (Some (fun ~txn -> wakes := txn :: !wakes));
+  Lock_mgr.set_grant_filter m
+    (Some (fun ~txn _r _mode -> asked := txn :: !asked; not !veto));
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  ignore (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X);
+  let granted = Lock_mgr.release_all m ~txn:1 in
+  Alcotest.(check (list int)) "veto: nothing granted" [] granted;
+  Alcotest.(check (list int)) "filter consulted for t2" [ 2 ] !asked;
+  Alcotest.(check int) "still queued" 1 (Lock_mgr.n_waiters m);
+  Alcotest.(check (list int)) "vetoed waiter woken for its own re-poll" [ 2 ] !wakes;
+  Alcotest.(check int) "veto wake counted" 1
+    (Bess_util.Stats.get (Lock_mgr.stats m) "lock.veto_wakes");
+  veto := false;
+  Alcotest.(check bool) "re-poll succeeds once veto lifts" true
+    (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X = `Granted)
+
+(* No starvation: in an N-deep X convoy drained release by release, every
+   handoff grant happens at the release itself — the wake-to-grant dead
+   time is identically zero ticks for all N-1 transfers. *)
+let test_wake_to_grant_bounded () =
+  let n = 20 in
+  let m = Lock_mgr.create () in
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  for i = 2 to n do
+    Alcotest.(check bool) "queues" true (Lock_mgr.acquire m ~txn:i r1 Lock_mode.X = `Blocked)
+  done;
+  for i = 1 to n - 1 do
+    match Lock_mgr.release_all m ~txn:i with
+    | [ next ] -> Alcotest.(check int) "FIFO successor" (i + 1) next
+    | other -> Alcotest.failf "expected one grant, got %d" (List.length other)
+  done;
+  ignore (Lock_mgr.release_all m ~txn:n);
+  Alcotest.(check int) "all handoffs" (n - 1)
+    (Bess_util.Stats.get (Lock_mgr.stats m) "lock.handoffs");
+  (match Bess_util.Stats.find_histogram (Lock_mgr.stats m) "lock.wake_to_grant_ticks" with
+  | None -> Alcotest.fail "wake_to_grant_ticks histogram missing"
+  | Some h ->
+      Alcotest.(check int) "every transfer observed" (n - 1) (Bess_util.Histogram.count h);
+      Alcotest.(check int) "zero dead ticks end to end" 0 (Bess_util.Histogram.sum h));
+  Alcotest.(check int) "no leaked entries" 0 (Lock_mgr.n_locks m)
+
+(* Event-driven timeout discovery: a waiter whose budget expires is
+   woken by the clock advance itself — its immediate re-poll observes
+   [`Timeout] — instead of sleeping until some guard timer re-polls. *)
+let test_expiry_wake_on_timeout () =
+  let m = Lock_mgr.create ~timeout:5 () in
+  let wakes = ref [] in
+  Lock_mgr.set_wake_hook m (Some (fun ~txn -> wakes := txn :: !wakes));
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  Alcotest.(check bool) "queues" true
+    (Lock_mgr.acquire ~detect:`Timeout m ~txn:2 r1 Lock_mode.X = `Blocked);
+  for _ = 1 to 10 do
+    Lock_mgr.tick m
+  done;
+  Alcotest.(check (list int)) "expiry wake for the doomed waiter" [ 2 ] !wakes;
+  Alcotest.(check int) "counted" 1
+    (Bess_util.Stats.get (Lock_mgr.stats m) "lock.expiry_wakes");
+  Alcotest.(check bool) "re-poll observes the timeout" true
+    (Lock_mgr.acquire ~detect:`Timeout m ~txn:2 r1 Lock_mode.X = `Timeout);
+  (* Woken once: further clock advances stay quiet. *)
+  for _ = 1 to 10 do
+    Lock_mgr.tick m
+  done;
+  Alcotest.(check (list int)) "no repeat wakes" [ 2 ] !wakes
+
+(* The lock.waiters gauge is maintained incrementally, not by folding
+   the table: the count must track enqueues, handoffs and purges. *)
+let test_waiters_count_incremental () =
+  let m = Lock_mgr.create () in
+  Alcotest.(check int) "empty" 0 (Lock_mgr.n_waiters m);
+  ignore (Lock_mgr.acquire m ~txn:1 r1 Lock_mode.X);
+  ignore (Lock_mgr.acquire m ~txn:1 r2 Lock_mode.X);
+  ignore (Lock_mgr.acquire m ~txn:2 r1 Lock_mode.X);
+  ignore (Lock_mgr.acquire m ~txn:3 r1 Lock_mode.X);
+  ignore (Lock_mgr.acquire m ~txn:3 r2 Lock_mode.X);
+  Alcotest.(check int) "three live waiters" 3 (Lock_mgr.n_waiters m);
+  (* t1's release hands r1 to t2 and r2 to t3: two waiters drain. *)
+  ignore (Lock_mgr.release_all m ~txn:1);
+  Alcotest.(check int) "handoffs drain the count" 1 (Lock_mgr.n_waiters m);
+  ignore (Lock_mgr.release_all m ~txn:2);
+  ignore (Lock_mgr.release_all m ~txn:3);
+  Alcotest.(check int) "all drained" 0 (Lock_mgr.n_waiters m)
+
+(* Fairness under random interleavings: X-only traffic on one resource
+   against a reference model (holder + FIFO queue). Handoff grants must
+   occur exactly in enqueue order, and the table must agree with the
+   model about who holds the lock after every step. *)
+let prop_handoff_fifo =
+  QCheck.Test.make ~name:"handoff grants respect FIFO enqueue order" ~count:200
+    QCheck.(small_list (pair (int_bound 4) bool))
+    (fun ops ->
+      let m = Lock_mgr.create () in
+      let grants = ref [] in
+      Lock_mgr.set_wake_hook m (Some (fun ~txn -> grants := txn :: !grants));
+      (* Model: [holder] plus FIFO [queue]; a release drains the head. *)
+      let holder = ref None and queue = ref [] and expected = ref [] in
+      let model_grant_head () =
+        match !queue with
+        | [] -> ()
+        | next :: rest ->
+            queue := rest;
+            holder := Some next;
+            expected := next :: !expected
+      in
+      List.iter
+        (fun (txn, release) ->
+          let txn = txn + 1 in
+          if release then begin
+            ignore (Lock_mgr.release_all m ~txn);
+            if !holder = Some txn then begin
+              holder := None;
+              model_grant_head ()
+            end
+            else queue := List.filter (fun t -> t <> txn) !queue
+          end
+          else if !holder <> Some txn && not (List.mem txn !queue) then begin
+            match Lock_mgr.acquire m ~txn r1 Lock_mode.X with
+            | `Granted ->
+                if !holder = None && !queue = [] then holder := Some txn
+                else QCheck.Test.fail_report "granted against model"
+            | `Blocked -> queue := !queue @ [ txn ]
+            | `Deadlock | `Timeout -> QCheck.Test.fail_report "unexpected verdict"
+          end)
+        ops;
+      (* Table and model agree on the holder... *)
+      (match !holder with
+      | Some h ->
+          if not (Lock_mgr.holds m ~txn:h r1 Lock_mode.X) then
+            QCheck.Test.fail_report "model holder does not hold in table"
+      | None -> ());
+      (* ...and every in-place grant happened in FIFO order. *)
+      List.rev !grants = List.rev !expected)
+
 let test_callback_registry () =
   let cb = Callback.create () in
   (* Two clients cache the page in S. *)
@@ -253,8 +463,16 @@ let suite =
     Alcotest.test_case "namespaces_disjoint" `Quick test_object_and_page_namespaces_disjoint;
     Alcotest.test_case "regrant_cheap" `Quick test_regrant_is_cheap;
     Alcotest.test_case "ghost_waiter_followers_woken" `Quick test_ghost_waiter_followers_woken;
+    Alcotest.test_case "handoff_grants_in_place" `Quick test_handoff_grants_in_place;
+    Alcotest.test_case "handoff_shared_prefix" `Quick test_handoff_shared_prefix;
+    Alcotest.test_case "handoff_off_poll_path" `Quick test_handoff_off_poll_path;
+    Alcotest.test_case "grant_filter_veto" `Quick test_grant_filter_veto;
+    Alcotest.test_case "wake_to_grant_bounded" `Quick test_wake_to_grant_bounded;
+    Alcotest.test_case "expiry_wake_on_timeout" `Quick test_expiry_wake_on_timeout;
+    Alcotest.test_case "waiters_count_incremental" `Quick test_waiters_count_incremental;
     Alcotest.test_case "callback_registry" `Quick test_callback_registry;
     Alcotest.test_case "callback_downgrade_forget" `Quick test_callback_downgrade_and_forget;
+    QCheck_alcotest.to_alcotest prop_handoff_fifo;
     QCheck_alcotest.to_alcotest prop_sup_is_lub;
     QCheck_alcotest.to_alcotest prop_release_unblocks;
     QCheck_alcotest.to_alcotest prop_no_incompatible_grants;
