@@ -1698,6 +1698,200 @@ let e16 () =
   Report.note "handoff ablation written to BENCH_e16.json (%s) and bench_report.json#e16"
     stamp
 
+(* ---- E17: sharded presumed-abort 2PC fleets ------------------------------ *)
+
+type e17_point = {
+  s_commits : int;
+  s_cross : int;
+  s_aborts : int;
+  s_give_ups : int;
+  s_indet : int;
+  s_tp : float;
+  s_wall : float;
+  s_msgs_per_commit : float;
+  s_twopc_frac : float; (* 2pc prepare/decide share of critical-path time *)
+  s_counters : (string * int) list; (* select 2pc.* counters *)
+  s_leaked : int;
+  s_in_doubt : int;
+  s_fp : string; (* Fleet fingerprint: outcome counts + image CRC *)
+}
+
+(* Closed-loop client fleets against a shard ring committing through
+   presumed-abort 2PC: shards x clients sweep with a fixed cross-shard
+   mix, the critical-path sink attributing the 2pc prepare/decide share,
+   message amplification per committed transaction, and the 2pc.*
+   counter plane. Gates: cross-shard commits > 0 at every point (the
+   coordinator is really exercised), zero leaked locks and nothing left
+   in doubt once every point quiesces, same-seed fingerprint (outcome
+   counts + working-set CRC) byte-identical on a fresh ring, and a
+   chaos-2pc run (message faults + coordinator/participant crashes)
+   that still quiesces to zero leaks after re-drive + query resolution.
+   Artifacts: bench_report.json#e17 and a timestamped BENCH_e17.json. *)
+let e17 () =
+  let sweep =
+    if quick then [ (2, 16); (3, 32) ]
+    else [ (2, 16); (2, 64); (4, 64); (4, 256); (8, 256) ]
+  in
+  let total_attempts = scale 8_000 in
+  let seed = 1707 in
+  let run_point ?(fault_sites = []) ~seed ~n_shards n_clients =
+    let prev_series = Bess_obs.Series.installed () in
+    let sh = Bess_shard.Shard.create ~n:n_shards ~pages_per_shard:64 () in
+    (match fault_sites with
+    | [] -> ()
+    | sites ->
+        Fault.seed !fault_seed;
+        Fault.apply_profile sites);
+    let coll = Bess_obs.Span.create () in
+    let cp = Bess_obs.Critpath.create ~top_k:8 () in
+    Bess_obs.Span.install (Some coll);
+    Bess_obs.Critpath.install (Some cp);
+    let cfg =
+      { Bess_shard.Fleet.default with
+        n_clients;
+        txns_per_client = Stdlib.max 1 (total_attempts / n_clients);
+        cross_fraction = 0.25;
+        zipf_theta = 0.8;
+        seed;
+      }
+    in
+    let wall0 = Unix.gettimeofday () in
+    let r = Bess_shard.Fleet.run sh cfg in
+    let wall = Unix.gettimeofday () -. wall0 in
+    Bess_obs.Critpath.install None;
+    Bess_obs.Span.install None;
+    Bess_obs.Series.install prev_series;
+    (* Quiesce: disarm, re-drive unacked decisions, resolve survivors by
+       coordinator query — the same protocol a real restart runs. *)
+    (match fault_sites with [] -> () | _ -> Fault.reset ());
+    ignore (Bess_shard.Twopc.redrive (Bess_shard.Shard.coord sh));
+    ignore (Bess_shard.Shard.resolve_in_doubt sh);
+    let st = Bess_shard.Twopc.stats (Bess_shard.Shard.coord sh) in
+    let total = Bess_obs.Critpath.total_ns cp in
+    let totals = Bess_obs.Critpath.blame_totals cp in
+    let twopc_ns = Option.value ~default:0 (List.assoc_opt "2pc" totals) in
+    {
+      s_commits = r.Bess_shard.Fleet.f_commits;
+      s_cross = r.Bess_shard.Fleet.f_cross_commits;
+      s_aborts = r.Bess_shard.Fleet.f_aborts;
+      s_give_ups = r.Bess_shard.Fleet.f_give_ups;
+      s_indet = r.Bess_shard.Fleet.f_indeterminate;
+      s_tp = Bess_shard.Fleet.throughput r;
+      s_wall = wall;
+      s_msgs_per_commit =
+        (if r.Bess_shard.Fleet.f_commits = 0 then 0.0
+         else
+           float_of_int (Bess_net.Net.messages (Bess_shard.Shard.net sh))
+           /. float_of_int r.Bess_shard.Fleet.f_commits);
+      s_twopc_frac =
+        (if total = 0 then 0.0 else float_of_int twopc_ns /. float_of_int total);
+      s_counters =
+        List.map
+          (fun k -> (k, Stats.get st k))
+          [
+            "2pc.begins"; "2pc.commits"; "2pc.aborts"; "2pc.vote_lost";
+            "2pc.decisions_logged"; "2pc.redrives"; "2pc.presumed_aborts";
+            "2pc.coord_crashes"; "2pc.queries";
+          ];
+      s_leaked = Bess_shard.Shard.locks_held sh;
+      s_in_doubt = Bess_shard.Shard.in_doubt sh;
+      s_fp = r.Bess_shard.Fleet.f_fingerprint;
+    }
+  in
+  let point_json p =
+    Printf.sprintf
+      "{\"commits\":%d,\"cross_commits\":%d,\"aborts\":%d,\"give_ups\":%d,\"indeterminate\":%d,\"throughput\":%.1f,\"msgs_per_commit\":%.2f,\"twopc_blame_frac\":%.4f,\"leaked_locks\":%d,\"in_doubt\":%d,%s,\"fingerprint\":%s}"
+      p.s_commits p.s_cross p.s_aborts p.s_give_ups p.s_indet p.s_tp p.s_msgs_per_commit
+      p.s_twopc_frac p.s_leaked p.s_in_doubt
+      (String.concat ","
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s:%d" (Bess_obs.Registry.json_string k) v)
+            p.s_counters))
+      (Bess_obs.Registry.json_string p.s_fp)
+  in
+  let rows = ref [] in
+  let point_sections = ref [] in
+  let cross_ok = ref true and clean_ok = ref true in
+  let fp_mid = ref "" in
+  let mid = List.nth sweep (List.length sweep / 2) in
+  List.iter
+    (fun (n_shards, n_clients) ->
+      let p = run_point ~seed ~n_shards n_clients in
+      if (n_shards, n_clients) = mid then fp_mid := p.s_fp;
+      if p.s_cross = 0 then cross_ok := false;
+      if p.s_leaked <> 0 || p.s_in_doubt <> 0 then clean_ok := false;
+      point_sections :=
+        Printf.sprintf "\"shards_%d_clients_%d\":%s" n_shards n_clients (point_json p)
+        :: !point_sections;
+      rows :=
+        [
+          Report.count n_shards;
+          Report.count n_clients;
+          Report.count p.s_commits;
+          Report.count p.s_cross;
+          Report.count p.s_aborts;
+          Report.count p.s_give_ups;
+          Printf.sprintf "%.0f/s" p.s_tp;
+          Printf.sprintf "%.1f" p.s_msgs_per_commit;
+          Printf.sprintf "%.1f%%" (100. *. p.s_twopc_frac);
+          Printf.sprintf "%.0f ms" (p.s_wall *. 1e3);
+        ]
+        :: !rows)
+    sweep;
+  Report.table ~id:"E17"
+    ~caption:
+      (Printf.sprintf
+         "sharded presumed-abort 2PC: closed-loop fleets over a shard ring (seed %d, \
+          ~%d attempts, 25%% cross-shard, zipf(0.8) over 64 pages/shard); msgs/commit \
+          counts every wire message, 2pc blame = prepare+decide share of critical-path \
+          time"
+         seed total_attempts)
+    ~header:
+      [ "shards"; "clients"; "commits"; "cross"; "aborts"; "give-ups"; "tp";
+        "msgs/commit"; "2pc blame"; "wall" ]
+    (List.rev !rows);
+  Report.note "e17: cross-shard commits at every point: %s"
+    (if !cross_ok then "OK" else "FAILED (a point never exercised 2PC)");
+  Report.note "e17: zero leaked locks / zero in-doubt after quiesce at every point: %s"
+    (if !clean_ok then "OK" else "FAILED");
+  (* Same seed, fresh ring: the Fleet fingerprint (outcome counts + the
+     CRC of every shard's working set) must be byte-identical. *)
+  let n_shards_mid, n_clients_mid = mid in
+  let again = run_point ~seed ~n_shards:n_shards_mid n_clients_mid in
+  let deterministic = String.equal !fp_mid again.s_fp in
+  Report.note "e17: same-seed fingerprint determinism at %dx%d: %s" n_shards_mid
+    n_clients_mid
+    (if deterministic then "OK (" ^ again.s_fp ^ ")" else "FAILED");
+  (* Chaos under load: message faults plus coordinator and participant
+     crash sites; commits may be lost, but after re-drive + query
+     resolution nothing may stay locked or in doubt. *)
+  let chaos =
+    run_point
+      ~fault_sites:(List.assoc "chaos-2pc" Fault.profiles)
+      ~seed ~n_shards:n_shards_mid n_clients_mid
+  in
+  Report.note
+    "e17: chaos under load (chaos-2pc, seed %d): %d commits, %d indeterminate, %d \
+     redrives, %d leaked locks, %d in doubt"
+    !fault_seed chaos.s_commits chaos.s_indet
+    (Option.value ~default:0 (List.assoc_opt "2pc.redrives" chaos.s_counters))
+    chaos.s_leaked chaos.s_in_doubt;
+  let json = Printf.sprintf "{%s}" (String.concat "," (List.rev !point_sections)) in
+  Report.add_section "e17" json;
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let stamp =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let oc = open_out "BENCH_e17.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"e17\",\"wall_time\":%s,\"seed\":%d,\"deterministic\":%b,\"cross_shard_everywhere\":%b,\"quiesced_clean\":%b,\"chaos_leaked_locks\":%d,\"chaos_in_doubt\":%d,\"points\":%s}\n"
+    (Bess_obs.Registry.json_string stamp)
+    seed deterministic !cross_ok !clean_ok chaos.s_leaked chaos.s_in_doubt json;
+  close_out oc;
+  Report.note "sharded 2PC sweep written to BENCH_e17.json (%s) and bench_report.json#e17"
+    stamp
+
 (* ---- F1: segment and object structure (Figure 1) ------------------------- *)
 
 let f1 () =
@@ -2234,7 +2428,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
-    ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
     ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4);
     ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("t1", t1);

@@ -868,10 +868,123 @@ let chaos_cmd =
     Term.(const run $ dir_arg $ seed_arg $ profile_arg $ clients_arg $ rounds_arg
           $ flightrec_arg)
 
+let shard_cmd =
+  let module Fault = Bess_fault.Fault in
+  let module Shard = Bess_shard.Shard in
+  let module Fleet = Bess_shard.Fleet in
+  let module Twopc = Bess_shard.Twopc in
+  let shards_arg =
+    Arg.(value & opt int 2
+         & info [ "shards" ] ~docv:"N" ~doc:"Shard servers in the in-process ring")
+  in
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Closed-loop clients in the fleet")
+  in
+  let txns_arg =
+    Arg.(value & opt int 25 & info [ "txns" ] ~doc:"Transactions per client")
+  in
+  let cross_arg =
+    Arg.(value & opt float 0.2
+         & info [ "cross" ] ~docv:"FRAC"
+             ~doc:"Probability a transaction spans two shards (two-phase commit)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ]
+             ~doc:"Workload seed: the same seed replays the same fleet byte-for-byte")
+  in
+  let profile_arg =
+    Arg.(value & opt string "off"
+         & info [ "fault-profile" ] ~docv:"PROFILE"
+             ~doc:
+               "Named fault profile ($(b,off), $(b,flaky-net), $(b,chaos-2pc), ...) or an \
+                explicit $(i,site=policy) list; $(b,chaos-2pc) adds coordinator and \
+                prepared-participant crashes to the message faults")
+  in
+  let run n_shards n_clients txns cross seed profile =
+    match Fault.profile_of_string profile with
+    | Error e ->
+        Printf.eprintf "bad --fault-profile %S: %s\n" profile e;
+        exit 2
+    | Ok sites ->
+        Fun.protect ~finally:Fault.reset @@ fun () ->
+        let sh = Shard.create ~n:n_shards ~pages_per_shard:64 () in
+        if sites <> [] then begin
+          Fault.seed seed;
+          Fault.apply_profile sites
+        end;
+        let cfg =
+          { Fleet.default with
+            n_clients;
+            txns_per_client = txns;
+            cross_fraction = cross;
+            zipf_theta = 0.8;
+            seed;
+          }
+        in
+        let r = Fleet.run sh cfg in
+        let schedules =
+          List.filter_map
+            (fun (site, _) ->
+              match Fault.schedule site with [] -> None | ords -> Some (site, ords))
+            (Fault.configured ())
+        in
+        (* Quiesce exactly like a restart would: disarm faults, re-drive
+           unacked commit decisions, resolve the prepared stragglers by
+           coordinator query (absent decision = presumed abort). *)
+        Fault.reset ();
+        let unacked = Twopc.redrive (Shard.coord sh) in
+        let resolved, unresolved = Shard.resolve_in_doubt sh in
+        Printf.printf "shard: %d shards, %d clients x %d txns, cross %.2f, seed %d, profile %S\n"
+          n_shards n_clients txns cross seed profile;
+        Printf.printf
+          "  commits %d (cross-shard %d), aborts %d, give-ups %d, indeterminate %d\n"
+          r.Fleet.f_commits r.Fleet.f_cross_commits r.Fleet.f_aborts r.Fleet.f_give_ups
+          r.Fleet.f_indeterminate;
+        Printf.printf "  throughput %.0f commits/s simulated, %d events, %.1f msgs/commit\n"
+          (Fleet.throughput r) r.Fleet.f_events
+          (if r.Fleet.f_commits = 0 then 0.0
+           else
+             float_of_int (Bess_net.Net.messages (Shard.net sh))
+             /. float_of_int r.Fleet.f_commits);
+        Printf.printf "  fingerprint %s\n" r.Fleet.f_fingerprint;
+        Printf.printf "2pc counters:\n";
+        List.iter
+          (fun (name, v) -> Printf.printf "  %-28s %d\n" name v)
+          (Bess_util.Stats.to_list (Twopc.stats (Shard.coord sh)));
+        if schedules <> [] then begin
+          Printf.printf "fault schedules:\n";
+          List.iter
+            (fun (site, ords) ->
+              Printf.printf "  %-28s %s\n" site
+                (String.concat "+" (List.map string_of_int ords)))
+            schedules
+        end;
+        let leaked = Shard.locks_held sh in
+        let in_doubt = Shard.in_doubt sh in
+        Printf.printf "quiesce: %d redriven-unacked, %d resolved by query, %d unresolved, \
+                       %d locks held, %d in doubt\n"
+          unacked resolved unresolved leaked in_doubt;
+        if leaked = 0 && in_doubt = 0 && unresolved = 0 then
+          Printf.printf "verdict: OK -- ring quiesced, nothing locked or in doubt\n"
+        else begin
+          Printf.printf "verdict: FAILED (%d locks, %d in doubt, %d unresolved)\n" leaked
+            in_doubt unresolved;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run a closed-loop cross-shard workload against N in-process shards committing \
+          through presumed-abort two-phase commit, then print the 2pc counter plane")
+    Term.(const run $ shards_arg $ clients_arg $ txns_arg $ cross_arg $ seed_arg
+          $ profile_arg)
+
 let () =
   let doc = "administer BeSS storage-manager databases" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bessctl" ~doc)
           [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd; stats_cmd;
-            trace_cmd; top_cmd; load_cmd; slow_cmd; flightrec_cmd; chaos_cmd ]))
+            trace_cmd; top_cmd; load_cmd; slow_cmd; flightrec_cmd; chaos_cmd; shard_cmd ]))

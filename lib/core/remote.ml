@@ -32,6 +32,8 @@ type req =
   | Abort of { rid : int; txn : int }
   | Prepare of { rid : int; txn : int; coordinator : int; updates : Server.update list }
   | Decide of { rid : int; txn : int; commit : bool }
+  | Query_decision of { rid : int; shard : int; txn : int }
+      (* participant -> coordinator: the fate of a recovered in-doubt txn *)
   | Alloc of { rid : int; area : int; npages : int }
   | Free of { rid : int; seg : Bess_storage.Seg_addr.t }
   | Callback of { r : Lock_mgr.resource; mode : Lock_mode.t } (* server -> client *)
@@ -44,6 +46,7 @@ type resp =
   | R_page of Bytes.t
   | R_ok
   | R_vote of bool
+  | R_decision of bool (* true = commit; false = (presumed) abort *)
   | R_seg of Bess_storage.Seg_addr.t
   | R_callback of Server.callback_reply
   | R_error of string
@@ -64,12 +67,13 @@ let req_cost = function
   | Abort _ -> 16
   | Prepare { updates; _ } -> 24 + update_bytes updates
   | Decide _ -> 16
+  | Query_decision _ -> 24
   | Alloc _ -> 16
   | Free _ -> 24
   | Callback _ -> 32
 
 let resp_cost = function
-  | R_txn _ | R_ticket _ | R_verdict _ | R_ok | R_vote _ | R_callback _ -> 16
+  | R_txn _ | R_ticket _ | R_verdict _ | R_ok | R_vote _ | R_decision _ | R_callback _ -> 16
   | R_pages pages -> List.fold_left (fun acc p -> acc + Bytes.length p) 16 pages
   | R_page p -> 16 + Bytes.length p
   | R_seg _ -> 24
@@ -185,6 +189,7 @@ let serve (net : network) (server : Server.t) =
         dedup ~src ~rid (fun () ->
             Bess_storage.Area_set.free (Store.areas (Server.store server)) seg;
             R_ok)
+    | Query_decision _ -> R_error "servers do not answer decision queries"
     | Callback _ -> R_error "servers do not accept callbacks"
   in
   Net.register net ~id:(Server.id server) (fun ~src req ->

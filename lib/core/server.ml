@@ -44,6 +44,7 @@ type txn_state = {
   client : int;
   mutable last_lsn : int;
   mutable status : txn_status;
+  mutable coord : int; (* 2PC coordinator endpoint while Prepared; -1 = none *)
 }
 
 type callback_reply = [ `Dropped | `Refused ]
@@ -145,6 +146,10 @@ let create ?log_path ?log ?group_commit ?(cache_slots = 1024) ?(detect = `Graph)
   install_lock_hooks t;
   Bess_obs.Registry.register_gauge "server" "server.active_txns" (fun () ->
       Hashtbl.length t.txns);
+  (* Prepared-but-undecided transactions: they hold X locks until their
+     coordinator's verdict arrives, so a stuck coordinator shows up here. *)
+  Bess_obs.Registry.register_gauge "server" "server.in_doubt" (fun () ->
+      Hashtbl.fold (fun _ ts n -> if ts.status = Prepared then n + 1 else n) t.txns 0);
   Bess_obs.Registry.register_gauge "server" "server.connected_clients" (fun () ->
       Hashtbl.length t.sinks);
   t
@@ -183,7 +188,7 @@ let begin_txn t ~client =
   in_request "begin" @@ fun () ->
   let txn_id = t.next_txn in
   t.next_txn <- txn_id + 1;
-  Hashtbl.replace t.txns txn_id { txn_id; client; last_lsn = 0; status = Active };
+  Hashtbl.replace t.txns txn_id { txn_id; client; last_lsn = 0; status = Active; coord = -1 };
   Event.fire t.hooks (Txn_begin { txn = txn_id });
   txn_id
 
@@ -409,57 +414,98 @@ let abort_inplace t ~txn:txn_id =
 (* ---- Two-phase commit (participant side) ---- *)
 
 (* Phase 1: make the transaction durable-but-undecided. For client-cached
-   transactions the updates arrive with the prepare. *)
+   transactions the updates arrive with the prepare.
+
+   A no vote is a unilateral abort: the participant rolls back anything it
+   logged and releases its locks immediately, because presumed abort means
+   the coordinator will never send it a decision (it learns the global
+   abort from the vote itself and logs nothing). Leaving the transaction
+   active would leak its locks forever.
+
+   Idempotency, since duplicate delivery is legal on the wire: a retried
+   prepare that finds the transaction already Prepared re-votes yes; one
+   that finds no transaction at all (the first copy voted no and aborted,
+   or the participant crashed and lost it) votes no. *)
 let prepare t ~txn:txn_id ~coordinator ~(updates : update list) =
   in_request "prepare" @@ fun () ->
-  let ts = txn t txn_id in
-  if ts.status <> Active then invalid_arg "Server.prepare: transaction not active";
-  let covered =
-    List.for_all
-      (fun u ->
-        Lock_mgr.holds t.locks ~txn:txn_id
-          (Lock_mgr.page_resource ~area:u.page.area ~page:u.page.page)
-          Lock_mode.X)
-      updates
-  in
-  if not covered then `Vote_no
-  else begin
-    List.iter
-      (fun u ->
-        ts.last_lsn <-
-          Store.apply_update t.store ~txn:txn_id ~prev_lsn:ts.last_lsn u.page ~offset:u.offset
-            ~before:u.before ~after:u.after)
-      updates;
-    ts.last_lsn <- Store.log_prepare t.store ~txn:txn_id ~prev_lsn:ts.last_lsn ~coordinator;
-    ts.status <- Prepared;
-    Bess_util.Stats.incr t.stats "server.prepares";
-    `Vote_yes
-  end
+  match Hashtbl.find_opt t.txns txn_id with
+  | None ->
+      Bess_util.Stats.incr t.stats "server.prepare_noops";
+      `Vote_no
+  | Some ts when ts.status = Prepared -> `Vote_yes
+  | Some ts ->
+      if ts.status <> Active then invalid_arg "Server.prepare: transaction not active";
+      let covered =
+        List.for_all
+          (fun u ->
+            Lock_mgr.holds t.locks ~txn:txn_id
+              (Lock_mgr.page_resource ~area:u.page.area ~page:u.page.page)
+              Lock_mode.X)
+          updates
+      in
+      if not covered then begin
+        if ts.last_lsn <> 0 then
+          ignore (Store.rollback t.store ~txn:txn_id ~last_lsn:ts.last_lsn);
+        ts.status <- Ended;
+        release_locks_keep_cached t ts;
+        Hashtbl.remove t.txns txn_id;
+        Event.fire t.hooks (Txn_abort { txn = txn_id });
+        Bess_util.Stats.incr t.stats "server.aborts";
+        Bess_util.Stats.incr t.stats "server.vote_no";
+        `Vote_no
+      end
+      else begin
+        List.iter
+          (fun u ->
+            ts.last_lsn <-
+              Store.apply_update t.store ~txn:txn_id ~prev_lsn:ts.last_lsn u.page
+                ~offset:u.offset ~before:u.before ~after:u.after)
+          updates;
+        ts.last_lsn <- Store.log_prepare t.store ~txn:txn_id ~prev_lsn:ts.last_lsn ~coordinator;
+        ts.status <- Prepared;
+        ts.coord <- coordinator;
+        Bess_util.Stats.incr t.stats "server.prepares";
+        `Vote_yes
+      end
 
-(* Phase 2 decisions. *)
+(* Phase 2 decisions. Both are no-ops on an unknown or already-decided
+   transaction: the coordinator re-drives decisions after its crash and
+   the network may duplicate them, so the second delivery must find
+   nothing left to do and still acknowledge. *)
 let commit_prepared t ~txn:txn_id =
   in_request "decide" @@ fun () ->
-  let ts = txn t txn_id in
-  if ts.status <> Prepared then invalid_arg "Server.commit_prepared: not prepared";
-  ignore (Store.log_commit t.store ~txn:txn_id ~prev_lsn:ts.last_lsn);
-  ts.status <- Ended;
-  release_locks_keep_cached t ts;
-  Hashtbl.remove t.txns txn_id;
-  Bess_util.Stats.incr t.stats "server.commits"
+  match Hashtbl.find_opt t.txns txn_id with
+  | Some ts when ts.status = Prepared ->
+      ignore (Store.log_commit t.store ~txn:txn_id ~prev_lsn:ts.last_lsn);
+      ts.status <- Ended;
+      release_locks_keep_cached t ts;
+      Hashtbl.remove t.txns txn_id;
+      Bess_util.Stats.incr t.stats "server.commits"
+  | Some _ | None -> Bess_util.Stats.incr t.stats "server.decide_noops"
 
 let abort_prepared t ~txn:txn_id =
   in_request "decide" @@ fun () ->
-  let ts = txn t txn_id in
-  if ts.status <> Prepared then invalid_arg "Server.abort_prepared: not prepared";
-  ignore (Store.rollback t.store ~txn:txn_id ~last_lsn:ts.last_lsn);
-  ts.status <- Ended;
-  release_locks_keep_cached t ts;
-  Hashtbl.remove t.txns txn_id;
-  Bess_util.Stats.incr t.stats "server.aborts"
+  match Hashtbl.find_opt t.txns txn_id with
+  | Some ts when ts.status = Prepared ->
+      ignore (Store.rollback t.store ~txn:txn_id ~last_lsn:ts.last_lsn);
+      ts.status <- Ended;
+      release_locks_keep_cached t ts;
+      Hashtbl.remove t.txns txn_id;
+      Bess_util.Stats.incr t.stats "server.aborts"
+  | Some _ | None -> Bess_util.Stats.incr t.stats "server.decide_noops"
 
 (* Transactions re-created as in-doubt by recovery. *)
-let adopt_in_doubt t ~txn:txn_id ~last_lsn =
-  Hashtbl.replace t.txns txn_id { txn_id; client = -1; last_lsn; status = Prepared }
+let adopt_in_doubt t ~txn:txn_id ~last_lsn ?(coordinator = -1) () =
+  Hashtbl.replace t.txns txn_id
+    { txn_id; client = -1; last_lsn; status = Prepared; coord = coordinator }
+
+(* Prepared transactions with the coordinator each is waiting on — what a
+   shard hands to its resolver after restart. *)
+let prepared_txns t =
+  Hashtbl.fold
+    (fun id ts acc -> if ts.status = Prepared then (id, ts.coord) :: acc else acc)
+    t.txns []
+  |> List.sort compare
 
 (* Abort every active transaction of a client (used when a node server
    reconnects after a crash and its old transactions are orphans). *)
@@ -496,17 +542,47 @@ let crash t =
 let recover t =
   let outcome = Store.recover t.store in
   (* In-doubt transactions come back as prepared, positioned at their last
-     log record so a later coordinator abort can still roll them back. *)
-  let last = Hashtbl.create 8 in
+     log record so a later coordinator abort can still roll them back.
+     They also take their X locks back (strict 2PL holds across the
+     restart): until the coordinator's verdict arrives, no other
+     transaction may read or overwrite a prepared transaction's writes —
+     releasing early would let a reader observe updates that presumed
+     abort may yet roll back. The pages come from the transaction's own
+     Update/Clr records; the fresh post-crash lock table grants them
+     uncontended. *)
+  let in_doubt = Hashtbl.create 8 in
+  List.iter (fun tx -> Hashtbl.replace in_doubt tx (0, -1)) outcome.in_doubt;
+  let relock = Hashtbl.create 8 in
   Bess_wal.Log.iter (Store.log t.store) (fun lsn r ->
       match Bess_wal.Log_record.txn_of r with
-      | Some tx -> Hashtbl.replace last tx lsn
-      | None -> ());
-  List.iter
-    (fun txn_id ->
-      let last_lsn = Option.value ~default:0 (Hashtbl.find_opt last txn_id) in
-      adopt_in_doubt t ~txn:txn_id ~last_lsn)
-    outcome.in_doubt;
+      | Some tx when Hashtbl.mem in_doubt tx ->
+          let _, coord = Hashtbl.find in_doubt tx in
+          let coord =
+            match r.body with
+            | Bess_wal.Log_record.Prepare p -> p.coordinator
+            | _ -> coord
+          in
+          Hashtbl.replace in_doubt tx (lsn, coord);
+          (match r.body with
+          | Bess_wal.Log_record.Update { page; _ } | Bess_wal.Log_record.Clr { page; _ } ->
+              Hashtbl.replace relock
+                (tx, Lock_mgr.page_resource ~area:page.area ~page:page.page)
+                ()
+          | _ -> ())
+      | _ -> ());
+  Hashtbl.iter
+    (fun txn_id (last_lsn, coordinator) ->
+      adopt_in_doubt t ~txn:txn_id ~last_lsn ~coordinator ())
+    in_doubt;
+  Hashtbl.iter
+    (fun (tx, r) () ->
+      (match Lock_mgr.acquire t.locks ~txn:tx r Lock_mode.X with
+      | `Granted -> Bess_util.Stats.incr t.stats "server.indoubt_relocks"
+      | `Blocked | `Deadlock | `Timeout ->
+          (* Two in-doubt transactions never overlap on a page (both held
+             X before the crash), so this cannot happen. *)
+          assert false))
+    relock;
   outcome
 
 let shutdown t = Store.flush_all t.store

@@ -210,6 +210,22 @@ let profiles =
         ("wal.force.torn", Prob 0.01);
         ("page.flush.eio", Prob 0.01);
       ] );
+    (* Distributed-commit torture: message-level faults on the vote and
+       decide round trips plus process crashes at the two protocol-critical
+       instants — before the decision is forced (in-doubt participants must
+       presume abort) and after it (the coordinator must re-drive), and a
+       participant crash while prepared (its locks must survive
+       recovery). *)
+    ( "chaos-2pc",
+      [
+        ("net.drop_request", Prob 0.04);
+        ("net.drop_reply", Prob 0.04);
+        ("net.dup", Prob 0.03);
+        ("net.delay", Prob 0.03);
+        ("2pc.coord.crash_undecided", Prob 0.02);
+        ("2pc.coord.crash_decided", Prob 0.02);
+        ("2pc.part.crash_prepared", Prob 0.02);
+      ] );
   ]
 
 let profile_of_string spec =

@@ -30,9 +30,9 @@
    attributed the moment the root closes, so attribution never depends
    on span-ring retention even with 10^5 concurrently open roots. *)
 
-type phase = Lock | Wal | Net | Backoff | Server | Sched | Other
+type phase = Lock | Wal | Net | Backoff | Server | Sched | Twopc | Other
 
-let phases = [ Lock; Wal; Net; Backoff; Server; Sched; Other ]
+let phases = [ Lock; Wal; Net; Backoff; Server; Sched; Twopc; Other ]
 
 let phase_name = function
   | Lock -> "lock"
@@ -41,6 +41,7 @@ let phase_name = function
   | Backoff -> "backoff"
   | Server -> "server"
   | Sched -> "sched"
+  | Twopc -> "2pc"
   | Other -> "other"
 
 let phase_index = function
@@ -50,9 +51,10 @@ let phase_index = function
   | Backoff -> 3
   | Server -> 4
   | Sched -> 5
-  | Other -> 6
+  | Twopc -> 6
+  | Other -> 7
 
-let n_phases = 7
+let n_phases = 8
 
 (* Ownership of a span kind's *self* time (children always win over the
    parent). Kinds not listed — future substrates — count as server
@@ -63,6 +65,10 @@ let phase_of_kind = function
   | "wal.append" | "wal.force" | "wal.group_force" | "wal.ticket_wait" -> Wal
   | "net.rpc" | "net.wire" | "net.send" -> Net
   | "client.backoff" -> Backoff
+  (* Coordinator self time: vote collection bookkeeping and the decide
+     fan-out — the child net/wal spans underneath still claim their own
+     windows, so this is pure 2PC protocol overhead. *)
+  | "2pc.prepare" | "2pc.decide" -> Twopc
   | "session.txn" | "sched.txn" | "bench.workload" -> Other
   | _ -> Server
 

@@ -22,7 +22,7 @@
     buffered per open root as they close, so attribution never depends
     on span-ring retention. *)
 
-type phase = Lock | Wal | Net | Backoff | Server | Sched | Other
+type phase = Lock | Wal | Net | Backoff | Server | Sched | Twopc | Other
 
 val phases : phase list
 val phase_name : phase -> string

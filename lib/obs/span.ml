@@ -62,6 +62,8 @@ let kinds =
     "lock.acquire"; (* one lock-table request *)
     "lock.wait"; (* blocked-to-resolved queue time (root span) *)
     "sched.txn"; (* one driver transaction attempt, across events (root span) *)
+    "2pc.prepare"; (* coordinator vote collection across all participants *)
+    "2pc.decide"; (* coordinator decision fan-out until every ack *)
   ]
 
 let known_kinds =

@@ -88,6 +88,50 @@ let throughput r =
   if r.r_sim_ns <= 0 then 0.0
   else float_of_int r.r_commits *. 1e9 /. float_of_int r.r_sim_ns
 
+(* ---- Workload-shape helpers ------------------------------------------- *)
+
+(* Shared with the multi-shard fleet (Bess_shard.Fleet): pure functions
+   of the supplied stream, so equal seeds draw equal workloads whether a
+   run is single-server or sharded. *)
+
+(* The Zipf CDF is O(n) to build, so it is built once and shared:
+   clients draw through it with their own streams. Rank i maps to
+   working-set index i — popularity order is working-set order. *)
+let zipf_cdf ~theta n =
+  if theta <= 0.0 || n <= 0 then None
+  else begin
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) theta);
+      cdf.(i) <- !acc
+    done;
+    Some cdf
+  end
+
+let make_picker ~zipf_theta ~hot_fraction ~hot_pages ~n =
+  if n <= 0 then invalid_arg "Driver.make_picker: empty working set";
+  let cdf = zipf_cdf ~theta:zipf_theta n in
+  fun prng ->
+    if hot_pages > 0 && hot_fraction > 0.0 && Prng.float prng < hot_fraction then
+      Prng.int prng (Stdlib.min hot_pages n)
+    else
+      match cdf with
+      | None -> Prng.int prng n
+      | Some cdf ->
+          let u = Prng.float prng *. cdf.(n - 1) in
+          let rec search lo hi =
+            if lo >= hi then lo
+            else
+              let mid = (lo + hi) / 2 in
+              if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+          in
+          search 0 (n - 1)
+
+let exp_think ~mean_ns prng =
+  if mean_ns <= 0 then 0
+  else int_of_float (-.float_of_int mean_ns *. log (1.0 -. Prng.float prng))
+
 type client = {
   c_id : int;
   c_prng : Prng.t;
@@ -117,41 +161,11 @@ let run ?sched server ~pages cfg =
   let last_ns = ref t0 in
   let touch () = last_ns := Span.now_ns () in
   let events0 = Sched.events_run sched in
-  (* The Zipf CDF is O(n_pages) to build, so it is shared: clients draw
-     through it with their own streams. Rank i maps to pages.(i) —
-     popularity order is working-set order. *)
-  let zipf_cdf =
-    if cfg.zipf_theta > 0.0 then begin
-      let cdf = Array.make n_pages 0.0 in
-      let acc = ref 0.0 in
-      for i = 0 to n_pages - 1 do
-        acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) cfg.zipf_theta);
-        cdf.(i) <- !acc
-      done;
-      Some cdf
-    end
-    else None
+  let pick_page =
+    make_picker ~zipf_theta:cfg.zipf_theta ~hot_fraction:cfg.hot_fraction
+      ~hot_pages:cfg.hot_pages ~n:n_pages
   in
-  let pick_page prng =
-    if cfg.hot_pages > 0 && cfg.hot_fraction > 0.0 && Prng.float prng < cfg.hot_fraction
-    then Prng.int prng (Stdlib.min cfg.hot_pages n_pages)
-    else
-      match zipf_cdf with
-      | None -> Prng.int prng n_pages
-      | Some cdf ->
-          let u = Prng.float prng *. cdf.(n_pages - 1) in
-          let rec search lo hi =
-            if lo >= hi then lo
-            else
-              let mid = (lo + hi) / 2 in
-              if cdf.(mid) < u then search (mid + 1) hi else search lo mid
-          in
-          search 0 (n_pages - 1)
-  in
-  let think prng =
-    if cfg.think_ns <= 0 then 0
-    else int_of_float (-.float_of_int cfg.think_ns *. log (1.0 -. Prng.float prng))
-  in
+  let think prng = exp_think ~mean_ns:cfg.think_ns prng in
   let sink _ _ = `Dropped in
   let master = Prng.create cfg.seed in
   let clients =

@@ -61,6 +61,20 @@ type result = {
 (** Commits per simulated second. *)
 val throughput : result -> float
 
+(** Workload-shape helpers, shared with the multi-shard fleet so equal
+    seeds draw equal workloads whether a run is single-server or
+    sharded. [make_picker] returns a closure drawing working-set
+    indices: a [hot_fraction] of picks land uniformly in the first
+    [hot_pages] entries, the rest follow a Zipf([zipf_theta]) over all
+    [n] ranks (uniform when the theta is 0). [exp_think] draws an
+    exponentially distributed think time with the given mean. Both are
+    pure functions of the supplied stream. *)
+val make_picker :
+  zipf_theta:float -> hot_fraction:float -> hot_pages:int -> n:int ->
+  Bess_util.Prng.t -> int
+
+val exp_think : mean_ns:int -> Bess_util.Prng.t -> int
+
 (** [run server ~pages cfg] drives [cfg.n_clients] clients against
     [server] until every client has consumed its attempt budget.
     [pages] is the working set, in popularity order: the Zipf picker

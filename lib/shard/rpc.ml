@@ -1,0 +1,33 @@
+(* Shared retrying RPC for the shard plane: the same bounded
+   exponential backoff the remote client uses ({!Bess.Remote.fetcher}),
+   factored out so the 2PC coordinator and the shard router speak the
+   wire with identical retry semantics. Retries resend the SAME request
+   (same rid) — the server's (src, rid) dedup makes re-execution safe —
+   and only advance the simulated clock. *)
+
+module Net = Bess_net.Net
+module Span = Bess_obs.Span
+
+exception Unreachable of int
+exception Exhausted of int (* dst: retries exhausted without an answer *)
+
+let backoff_base_ns = 200_000
+let backoff_max_shift = 6
+let max_attempts = 8
+
+let call (net : Bess.Remote.network) ~src ~dst req =
+  let rec go attempt =
+    match Net.call net ~src ~dst req with
+    | resp -> resp
+    | exception Net.Timeout _ ->
+        if attempt >= max_attempts then raise (Exhausted dst)
+        else begin
+          let delay = backoff_base_ns * (1 lsl Stdlib.min (attempt - 1) backoff_max_shift) in
+          Span.with_span ~kind:"client.backoff" (fun () -> Span.advance_ns delay);
+          Bess_util.Stats.incr (Net.stats net) "net.client_retries";
+          Bess_util.Stats.add (Net.stats net) "net.client_backoff_ns" delay;
+          go (attempt + 1)
+        end
+    | exception Net.No_such_endpoint id -> raise (Unreachable id)
+  in
+  go 1

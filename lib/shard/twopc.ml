@@ -1,0 +1,293 @@
+(* Presumed-abort two-phase commit coordinator (section 3: "distributed
+   transaction management ... using the two phase commit protocol with
+   the presumed abort optimization").
+
+   The coordinator owns a decision log separate from any data server's
+   WAL. The protocol costs, per the presumed-abort rules:
+
+   - COMMIT decisions are force-logged ({!Log_record.Decision}) through
+     the coordinator's own group-commit before any participant hears the
+     verdict: once any shard commits, a coordinator crash must still
+     find the decision.
+   - ABORT decisions are never logged. A participant in doubt that asks
+     about a transaction with no Decision record is told to abort --
+     the absence of the record IS the abort record.
+   - Participant acknowledgements retire the in-doubt entry: when every
+     participant has acked a commit decision, an [End] record lets a
+     post-crash scan forget the gid; until then {!redrive} re-sends the
+     decision (idempotent under the servers' (src,rid) dedup and the
+     no-op semantics of a repeated decide).
+
+   Request ids are a pure function of (gid, participant index, round
+   kind), so a re-driven decide carries the same rid as the original --
+   the dedup table answers for deliveries that did land -- while
+   distinct transactions can never collide. Gids restart past a forced
+   epoch marker after a crash, so recycled rids never alias a pre-crash
+   request.
+
+   Crash injection: the [2pc.coord.crash_undecided] and
+   [2pc.coord.crash_decided] fault sites fire at the two instants the
+   protocol is most exposed -- after the votes but before the decision
+   is durable (participants must presume abort), and after the force
+   but before any decide is delivered (recovery must re-drive). Both
+   lose the coordinator's volatile state and raise {!Crashed}. *)
+
+module Net = Bess_net.Net
+module Remote = Bess.Remote
+module Log = Bess_wal.Log
+module Log_record = Bess_wal.Log_record
+module Group_commit = Bess_wal.Group_commit
+module Stats = Bess_util.Stats
+module Span = Bess_obs.Span
+module Fault = Bess_fault.Fault
+
+type t = {
+  id : int; (* network endpoint *)
+  net : Remote.network;
+  log : Log.t;
+  gc : Group_commit.t;
+  (* Durable commit decisions by participant, INCLUDING fully acked
+     ones: a participant that crashed after committing may still query
+     long after the End record retired the gid, and must hear commit. *)
+  decided : (int * int, int) Hashtbl.t; (* (shard, txn) -> gid *)
+  (* Commit decisions not yet acked by every participant, as
+     (original index, shard, txn) so re-driven rids match the first
+     send. *)
+  pending : (int, (int * int * int) list) Hashtbl.t;
+  mutable next_gid : int;
+  mutable up : bool;
+  stats : Stats.t;
+}
+
+exception Crashed
+
+(* Participants per transaction bounded so rids can be packed below the
+   per-gid stride. *)
+let max_participants = 63
+let rid_stride = 128
+
+(* Gid headroom claimed by the epoch marker on recovery: covers every
+   gid handed out since the last durable record (aborts log nothing). *)
+let epoch_gap = 1_000_000
+
+let prepare_rid ~gid ~idx = (gid * rid_stride) + (2 * idx) + 1
+let decide_rid ~gid ~idx = (gid * rid_stride) + (2 * idx) + 2
+
+(* Coordinator processing cost per participant message: vote tally and
+   decision bookkeeping advance the simulated clock, so the 2pc spans
+   own self time on the critical path (the wire and the decision force
+   belong to their child net/wal spans). *)
+let vote_work_ns = 2_000
+let decide_work_ns = 1_000
+
+let register_endpoint t =
+  Net.register t.net ~id:t.id (fun ~src:_ req ->
+      match req with
+      | Remote.Query_decision { shard; txn; _ } ->
+          Stats.incr t.stats "2pc.queries";
+          let known = Hashtbl.mem t.decided (shard, txn) in
+          if not known then Stats.incr t.stats "2pc.presumed_aborts";
+          Remote.R_decision known
+      | _ -> Remote.R_error "coordinator only answers decision queries")
+
+let create ?(id = 900) ?log_path ?(policy = Group_commit.Immediate) ~net () =
+  let log = Log.create ?path:log_path () in
+  let gc = Group_commit.create ~policy log in
+  let stats = Stats.create () in
+  Bess_obs.Registry.register_stats "2pc" stats;
+  let t =
+    {
+      id;
+      net;
+      log;
+      gc;
+      decided = Hashtbl.create 256;
+      pending = Hashtbl.create 32;
+      next_gid = 1;
+      up = true;
+      stats;
+    }
+  in
+  Bess_obs.Registry.register_gauge "2pc" "2pc.unresolved" (fun () ->
+      Hashtbl.length t.pending);
+  register_endpoint t;
+  t
+
+let id t = t.id
+let stats t = t.stats
+let log t = t.log
+let up t = t.up
+let unresolved t = Hashtbl.length t.pending
+let has_decision t ~shard ~txn = Hashtbl.mem t.decided (shard, txn)
+
+(* Lose everything volatile; only the forced log prefix survives. The
+   endpoint drops off the network, so participant queries bounce until
+   {!recover}. *)
+let crash t =
+  if t.up then begin
+    Stats.incr t.stats "2pc.coord_crashes";
+    Log.crash t.log ();
+    Group_commit.reset t.gc;
+    Hashtbl.reset t.decided;
+    Hashtbl.reset t.pending;
+    Net.unregister t.net ~id:t.id;
+    t.up <- false
+  end
+
+let force t lsn =
+  let ticket = Group_commit.commit_lsn t.gc ~lsn in
+  match Group_commit.await t.gc ticket with
+  | () -> ()
+  | exception Fault.Injected _ ->
+      (* The decision's durability is unknown: indistinguishable from a
+         crash at this instant, so fail the same way. *)
+      crash t;
+      raise Crashed
+
+(* One round of commit-decide fan-out for [gid]: every ack retires its
+   participant; when none remain the End record closes the entry. *)
+let decide_round t gid =
+  match Hashtbl.find_opt t.pending gid with
+  | None -> ()
+  | Some unacked ->
+      let still =
+        Span.with_span ~kind:"2pc.decide" @@ fun () ->
+        List.filter
+          (fun (idx, shard, txn) ->
+            Span.advance_ns decide_work_ns;
+            let rid = decide_rid ~gid ~idx in
+            match
+              Rpc.call t.net ~src:t.id ~dst:shard (Remote.Decide { rid; txn; commit = true })
+            with
+            | Remote.R_ok ->
+                Stats.incr t.stats "2pc.acks";
+                false
+            | _ -> true
+            | exception (Rpc.Unreachable _ | Rpc.Exhausted _) -> true)
+          unacked
+      in
+      if still = [] then begin
+        ignore (Log.append t.log { prev_lsn = 0; body = End { txn = gid } });
+        Hashtbl.remove t.pending gid
+      end
+      else Hashtbl.replace t.pending gid still
+
+(* Re-send every unacked commit decision (after a crash, or after decide
+   deliveries were lost); returns how many gids remain unacked. *)
+let redrive t =
+  if not t.up then invalid_arg "Twopc.redrive: coordinator is down";
+  let gids = Hashtbl.fold (fun g _ acc -> g :: acc) t.pending [] |> List.sort compare in
+  List.iter
+    (fun g ->
+      Stats.incr t.stats "2pc.redrives";
+      decide_round t g)
+    gids;
+  Hashtbl.length t.pending
+
+let recover t =
+  Hashtbl.reset t.decided;
+  Hashtbl.reset t.pending;
+  let max_gid = ref 0 in
+  Log.iter t.log (fun _ (r : Log_record.t) ->
+      match r.body with
+      | Decision { gid; participants } ->
+          max_gid := Stdlib.max !max_gid gid;
+          List.iter (fun k -> Hashtbl.replace t.decided k gid) participants;
+          if participants <> [] then
+            Hashtbl.replace t.pending gid
+              (List.mapi (fun i (s, x) -> (i, s, x)) participants)
+      | End { txn } -> Hashtbl.remove t.pending txn
+      | _ -> ());
+  t.up <- true;
+  (* Epoch marker: an empty forced Decision record claiming gid
+     headroom, so gids (hence rids) handed out after the crash can never
+     alias pre-crash traffic surviving in a server's dedup table. *)
+  let base = !max_gid + epoch_gap in
+  let lsn = Log.append t.log { prev_lsn = 0; body = Decision { gid = base; participants = [] } } in
+  force t lsn;
+  t.next_gid <- base + 1;
+  register_endpoint t;
+  Stats.incr t.stats "2pc.recoveries";
+  redrive t
+
+(* Run one global transaction to a decision.
+
+   [parts] is [(shard endpoint, local txn, updates)] per participant;
+   the participants must hold the X locks their updates need (the
+   prepare re-checks). [chaos] runs after the votes are in and before
+   the decision -- the chaos harness uses it to crash participants
+   while they are prepared. Raises {!Crashed} if an injected
+   coordinator crash fires; the caller recovers with {!recover}. *)
+let commit ?(chaos = fun () -> ()) t ~parts =
+  if not t.up then invalid_arg "Twopc.commit: coordinator is down";
+  (match parts with
+  | [] -> invalid_arg "Twopc.commit: no participants"
+  | _ when List.length parts > max_participants ->
+      invalid_arg "Twopc.commit: too many participants"
+  | _ -> ());
+  Stats.incr t.stats "2pc.begins";
+  let gid = t.next_gid in
+  t.next_gid <- gid + 1;
+  let votes =
+    Span.with_span ~kind:"2pc.prepare" @@ fun () ->
+    List.mapi
+      (fun idx (shard, txn, updates) ->
+        Stats.incr t.stats "2pc.prepares_sent";
+        Span.advance_ns vote_work_ns;
+        let rid = prepare_rid ~gid ~idx in
+        match
+          Rpc.call t.net ~src:t.id ~dst:shard
+            (Remote.Prepare { rid; txn; coordinator = t.id; updates })
+        with
+        | Remote.R_vote true ->
+            Stats.incr t.stats "2pc.votes_yes";
+            `Yes
+        | Remote.R_vote false ->
+            Stats.incr t.stats "2pc.votes_no";
+            `No
+        | _ -> `No_answer
+        | exception (Rpc.Unreachable _ | Rpc.Exhausted _) ->
+            Stats.incr t.stats "2pc.vote_lost";
+            `No_answer)
+      parts
+  in
+  chaos ();
+  if List.for_all (fun v -> v = `Yes) votes then begin
+    if Fault.fire "2pc.coord.crash_undecided" then begin
+      crash t;
+      raise Crashed
+    end;
+    let pl = List.map (fun (s, x, _) -> (s, x)) parts in
+    let lsn = Log.append t.log { prev_lsn = 0; body = Decision { gid; participants = pl } } in
+    force t lsn;
+    List.iter (fun k -> Hashtbl.replace t.decided k gid) pl;
+    Hashtbl.replace t.pending gid (List.mapi (fun i (s, x) -> (i, s, x)) pl);
+    Stats.incr t.stats "2pc.decisions_logged";
+    if Fault.fire "2pc.coord.crash_decided" then begin
+      crash t;
+      raise Crashed
+    end;
+    decide_round t gid;
+    Stats.incr t.stats "2pc.commits";
+    `Committed
+  end
+  else begin
+    (* Presumed abort: no log write at all. Best-effort abort decides
+       release the yes-voters' locks promptly; a lost one is resolved by
+       the participant's own in-doubt query (absence of a decision).
+       No-voters already aborted unilaterally and hear nothing. *)
+    Span.with_span ~kind:"2pc.decide" @@ fun () ->
+    List.iteri
+      (fun idx ((shard, txn, _), vote) ->
+        match vote with
+        | `Yes | `No_answer -> (
+            Span.advance_ns decide_work_ns;
+            let rid = decide_rid ~gid ~idx in
+            try ignore (Rpc.call t.net ~src:t.id ~dst:shard
+                          (Remote.Decide { rid; txn; commit = false }))
+            with Rpc.Unreachable _ | Rpc.Exhausted _ -> ())
+        | `No -> ())
+      (List.combine parts votes);
+    Stats.incr t.stats "2pc.aborts";
+    `Aborted
+  end

@@ -18,6 +18,7 @@ type body =
   | Abort of { txn : int }
   | End of { txn : int }
   | Prepare of { txn : int; coordinator : int }
+  | Decision of { gid : int; participants : (int * int) list }
   | Begin_checkpoint
   | End_checkpoint of {
       active : (int * int) list; (* txn, last_lsn *)
@@ -31,7 +32,7 @@ let txn_of t =
   | Update { txn; _ } | Clr { txn; _ } | Commit { txn } | Abort { txn } | End { txn }
   | Prepare { txn; _ } ->
       Some txn
-  | Begin_checkpoint | End_checkpoint _ -> None
+  | Decision _ | Begin_checkpoint | End_checkpoint _ -> None
 
 let tag_of_body = function
   | Update _ -> 1
@@ -42,6 +43,7 @@ let tag_of_body = function
   | Prepare _ -> 6
   | Begin_checkpoint -> 7
   | End_checkpoint _ -> 8
+  | Decision _ -> 9
 
 let pp ppf t =
   match t.body with
@@ -55,6 +57,10 @@ let pp ppf t =
   | Abort a -> Fmt.pf ppf "ABORT txn=%d" a.txn
   | End e -> Fmt.pf ppf "END txn=%d" e.txn
   | Prepare p -> Fmt.pf ppf "PREPARE txn=%d coord=%d" p.txn p.coordinator
+  | Decision d ->
+      Fmt.pf ppf "DECISION gid=%d participants=[%a]" d.gid
+        Fmt.(list ~sep:comma (pair ~sep:(any ":") int int))
+        d.participants
   | Begin_checkpoint -> Fmt.pf ppf "BEGIN_CKPT"
   | End_checkpoint e ->
       Fmt.pf ppf "END_CKPT active=%d dirty=%d" (List.length e.active) (List.length e.dirty)
@@ -92,6 +98,14 @@ let encode_body buf body =
   | Prepare p ->
       put_u32 p.txn;
       put_u32 p.coordinator
+  | Decision d ->
+      put_u32 d.gid;
+      put_u32 (List.length d.participants);
+      List.iter
+        (fun (shard, txn) ->
+          put_u32 shard;
+          put_u32 txn)
+        d.participants
   | Begin_checkpoint -> ()
   | End_checkpoint e ->
       put_u32 (List.length e.active);
@@ -197,6 +211,15 @@ let decode b off =
             (pg, lsn))
         in
         End_checkpoint { active; dirty }
+    | 9 ->
+        let gid = u32 () in
+        let n = u32 () in
+        let participants = List.init n (fun _ ->
+            let shard = u32 () in
+            let txn = u32 () in
+            (shard, txn))
+        in
+        Decision { gid; participants }
     | _ -> raise Torn_record
   in
   ({ prev_lsn; body }, off + 8 + len)

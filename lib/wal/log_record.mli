@@ -17,6 +17,14 @@ type body =
   | Abort of { txn : int }
   | End of { txn : int }
   | Prepare of { txn : int; coordinator : int }
+  | Decision of { gid : int; participants : (int * int) list }
+      (** A 2PC coordinator's force-logged COMMIT decision for global
+          transaction [gid], naming every participant as
+          [(server endpoint, local txn)]. Presumed abort: abort decisions
+          are never logged, so an absent Decision record {e is} the abort
+          record. [End { txn = gid }] retires a fully acknowledged
+          decision. Lives in coordinator decision logs, never in a data
+          server's WAL. *)
   | Begin_checkpoint
   | End_checkpoint of { active : (int * int) list; dirty : (page_id * int) list }
 

@@ -76,6 +76,7 @@ let analyse log =
           let last = match Hashtbl.find_opt att a.txn with Some (_, l) -> l | None -> lsn in
           Hashtbl.replace att a.txn (Running, last)
       | End e -> Hashtbl.remove att e.txn
+      | Decision _ (* coordinator-log record; carries no page or txn state *)
       | Begin_checkpoint | End_checkpoint _ -> ());
   let redo_from = Hashtbl.fold (fun _ rec_lsn acc -> Stdlib.min acc rec_lsn) dpt max_int in
   { att; dpt; redo_from = (if redo_from = max_int then Log.last_lsn log + 1 else redo_from) }
@@ -147,7 +148,7 @@ let undo_losers log io losers =
         | Abort _ | Prepare _ | Commit _ ->
             if record.prev_lsn = 0 then Hashtbl.remove next txn
             else Hashtbl.replace next txn record.prev_lsn
-        | End _ | Begin_checkpoint | End_checkpoint _ -> Hashtbl.remove next txn);
+        | End _ | Decision _ | Begin_checkpoint | End_checkpoint _ -> Hashtbl.remove next txn);
         loop ()
   in
   loop ();

@@ -31,4 +31,6 @@ let () =
       ("chaos", Test_chaos.suite);
       ("sched", Test_sched.suite);
       ("critpath", Test_critpath.suite);
+      ("shard", Test_shard.suite);
+      ("shard_chaos", Test_shard_chaos.suite);
     ]

@@ -1,0 +1,230 @@
+(* Cross-shard chaos torture: deterministic fault schedules swept over
+   many seeds against a shard ring committing through presumed-abort
+   2PC, with coordinator crashes between prepare and commit, lost
+   prepare/decide messages, duplicate deliveries, and participants
+   crashing while prepared. The atomicity contract under all of it:
+   - a global transaction lands on ALL of its shards or NONE of them;
+   - no phantoms: a slot only ever holds 0 or the one value the one
+     transaction assigned to it really wrote;
+   - a transaction with no durable commit decision record resolves to
+     abort on every shard (presumed abort), one WITH a decision record
+     lands everywhere once re-driven;
+   - no locks stay held and nothing stays in doubt once every decision
+     is re-driven and every prepared transaction has queried the
+     coordinator;
+   - the final images survive crash + recovery of every shard AND the
+     coordinator, byte for byte;
+   - any seed replays its exact fault schedule, outcomes and images. *)
+
+module Fault = Bess_fault.Fault
+module Prng = Bess_util.Prng
+module Shard = Bess_shard.Shard
+module Twopc = Bess_shard.Twopc
+
+let i64 v =
+  let b = Bytes.create 8 in
+  Bess_util.Codec.set_i64 b 0 v;
+  b
+
+let nclients = 3
+let nrounds = 6
+let nshards = 3
+
+type outcome =
+  | Commit
+  | Abort
+  | Skipped (* blocked: rolled back everywhere, never prepared through *)
+  | Maybe of (int * int) list (* coordinator crashed mid-commit; its participants *)
+
+type attempt = { a_value : int; a_shards : int list; a_outcome : outcome }
+
+(* One run: [nclients] clients take [nrounds] turns each; turn k writes
+   the unique nonzero value for k into slot k (its own 8-byte offset of
+   every involved shard's hottest page) — single-shard usually, cross-
+   shard every third turn. The chaos hook crashes AND recovers a drawn
+   participant between the vote and the decision, so decides land on a
+   freshly recovered server that replayed the prepare into in-doubt and
+   reacquired its X locks. A coordinator crash makes the attempt
+   [Maybe]: recover re-drives what was decided and the participants
+   query out the rest. Returns the reproducibility witness. *)
+let run_torture ~seed ~profile =
+  Bess_obs.Registry.with_fresh @@ fun () ->
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  let sh = Shard.create ~n:nshards ~pages_per_shard:2 () in
+  let prng = Prng.create (seed * 7919) in
+  Fault.seed seed;
+  Fault.apply_profile (List.assoc profile Fault.profiles);
+  let chaos () =
+    if Fault.fire "2pc.part.crash_prepared" then begin
+      let s = Fault.draw "2pc.part.crash_prepared" ~bound:nshards in
+      Shard.crash_shard sh s;
+      ignore (Shard.recover_shard sh s)
+    end
+  in
+  let attempts = ref [] in
+  for k = 0 to (nclients * nrounds) - 1 do
+    let v = (seed * 1000) + k + 1 in
+    let primary = Prng.int prng nshards in
+    let shards =
+      if k mod 3 = 0 then [ primary; (primary + 1) mod nshards ] else [ primary ]
+    in
+    let writes = List.map (fun s -> (s, 0, k * 8, i64 v)) shards in
+    let outcome =
+      match Shard.txn ~chaos sh ~client:(3000 + (k mod nclients)) ~writes () with
+      | `Committed -> Commit
+      | `Aborted -> Abort
+      | `Blocked -> Skipped
+      | exception Twopc.Crashed ->
+          (* Mid-commit coordinator loss: participants are prepared and
+             holding X locks. Bring the coordinator back (re-driving any
+             decision it forced) and let the prepared survivors query
+             out their fate, or the rest of the fleet starves. *)
+          let parts = Shard.last_parts sh in
+          ignore (Twopc.recover (Shard.coord sh));
+          ignore (Shard.resolve_in_doubt sh);
+          Maybe parts
+    in
+    attempts := { a_value = v; a_shards = shards; a_outcome = outcome } :: !attempts
+  done;
+  let attempts = List.rev !attempts in
+  let schedules =
+    List.map (fun (site, _) -> (site, Fault.schedule site)) (Fault.configured ())
+  in
+  (* Disarm, then finish the protocol: re-drive every unacked decision
+     and resolve every still-prepared transaction by query. After that,
+     strictly nothing may be in doubt, pending or locked. *)
+  Fault.reset ();
+  ignore (Twopc.redrive (Shard.coord sh));
+  let _, unresolved = Shard.resolve_in_doubt sh in
+  if unresolved <> 0 then
+    Alcotest.failf "seed %d (%s): %d transactions still in doubt after resolution" seed
+      profile unresolved;
+  if Twopc.unresolved (Shard.coord sh) <> 0 then
+    Alcotest.failf "seed %d (%s): coordinator still holds unacked decisions" seed profile;
+  if Shard.in_doubt sh <> 0 then
+    Alcotest.failf "seed %d (%s): prepared transactions leaked" seed profile;
+  let leaked = Shard.locks_held sh in
+  if leaked <> 0 then Alcotest.failf "seed %d (%s): %d locks leaked" seed profile leaked;
+  (* Atomicity + phantom check, slot by slot. Slot k may hold only 0 or
+     its own transaction's value, uniformly across the shards the
+     transaction touched, and nothing on shards it did not touch. *)
+  let slot shard k = Bess_util.Codec.get_i64 (Shard.page_image sh shard 0) (k * 8) in
+  List.iteri
+    (fun k a ->
+      let values = List.map (fun s -> slot s k) a.a_shards in
+      List.iter
+        (fun v ->
+          if v <> 0 && v <> a.a_value then
+            Alcotest.failf "seed %d (%s): slot %d holds phantom %d" seed profile k v)
+        values;
+      let landed = List.for_all (fun v -> v = a.a_value) values in
+      let clean = List.for_all (fun v -> v = 0) values in
+      if not (landed || clean) then
+        Alcotest.failf "seed %d (%s): txn %d is torn across shards" seed profile k;
+      (match a.a_outcome with
+      | Commit ->
+          if not landed then
+            Alcotest.failf "seed %d (%s): committed txn %d missing" seed profile k
+      | Abort | Skipped ->
+          if not clean then
+            Alcotest.failf "seed %d (%s): aborted txn %d left writes" seed profile k
+      | Maybe parts ->
+          (* The presumed-abort contract: visible iff a durable commit
+             decision names it at the coordinator. *)
+          let decided =
+            List.for_all
+              (fun (ep, tx) -> Twopc.has_decision (Shard.coord sh) ~shard:ep ~txn:tx)
+              parts
+            && parts <> []
+          in
+          if decided && not landed then
+            Alcotest.failf "seed %d (%s): decided txn %d not re-driven" seed profile k;
+          if (not decided) && not clean then
+            Alcotest.failf "seed %d (%s): undecided txn %d violated presumed abort" seed
+              profile k);
+      (* No stray writes on shards the transaction never touched. *)
+      for s = 0 to nshards - 1 do
+        if (not (List.mem s a.a_shards)) && slot s k <> 0 then
+          Alcotest.failf "seed %d (%s): txn %d leaked onto shard %d" seed profile k s
+      done)
+    attempts;
+  (* Durability: everything above must survive losing every process. *)
+  let crc = Shard.images_crc sh in
+  for s = 0 to nshards - 1 do
+    Shard.crash_shard sh s
+  done;
+  Twopc.crash (Shard.coord sh);
+  for s = 0 to nshards - 1 do
+    ignore (Shard.recover_shard sh s)
+  done;
+  ignore (Twopc.recover (Shard.coord sh));
+  ignore (Shard.resolve_in_doubt sh);
+  if Shard.images_crc sh <> crc then
+    Alcotest.failf "seed %d (%s): images changed across full-ring crash + recovery" seed
+      profile;
+  if Shard.locks_held sh <> 0 || Shard.in_doubt sh <> 0 then
+    Alcotest.failf "seed %d (%s): ring not quiesced after full recovery" seed profile;
+  let outcomes =
+    List.map
+      (fun a ->
+        match a.a_outcome with
+        | Commit -> "C"
+        | Abort -> "A"
+        | Skipped -> "S"
+        | Maybe _ -> "M")
+      attempts
+  in
+  (schedules, crc, String.concat "" outcomes)
+
+(* 200 distinct seeds alternating the full 2PC chaos profile (message
+   faults + coordinator and participant crashes) with a network-only
+   profile. The fire count guards against the sweep silently testing
+   nothing. *)
+let test_torture_sweep () =
+  let total_fires = ref 0 in
+  let coord_crashes = ref 0 and part_crashes = ref 0 in
+  for seed = 1 to 200 do
+    let profile = if seed mod 2 = 0 then "chaos-2pc" else "flaky-net" in
+    let schedules, _, _ = run_torture ~seed ~profile in
+    List.iter
+      (fun (site, ords) ->
+        total_fires := !total_fires + List.length ords;
+        if site = "2pc.coord.crash_undecided" || site = "2pc.coord.crash_decided" then
+          coord_crashes := !coord_crashes + List.length ords;
+        if site = "2pc.part.crash_prepared" then
+          part_crashes := !part_crashes + List.length ords)
+      schedules
+  done;
+  Alcotest.(check bool) "faults actually fired across the sweep" true (!total_fires > 100);
+  Alcotest.(check bool) "coordinator crashes exercised" true (!coord_crashes > 5);
+  Alcotest.(check bool) "prepared-participant crashes exercised" true (!part_crashes > 5)
+
+let test_replay_byte_for_byte () =
+  List.iter
+    (fun seed ->
+      let a = run_torture ~seed ~profile:"chaos-2pc" in
+      let b = run_torture ~seed ~profile:"chaos-2pc" in
+      if a <> b then
+        Alcotest.failf "seed %d: schedule/images/outcomes not reproducible" seed;
+      let schedules, _, _ = a in
+      Alcotest.(check bool) "schedules recorded for every site" true
+        (List.length schedules > 0))
+    [ 1; 7; 42; 137; 9999 ]
+
+(* The presumed-abort invariant (and everything else run_torture
+   asserts) under arbitrary seeds, plus byte-for-byte replay of each. *)
+let prop_presumed_abort =
+  QCheck.Test.make ~name:"presumed abort + replay hold for arbitrary fault seeds"
+    ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let a = run_torture ~seed:(seed + 1) ~profile:"chaos-2pc" in
+      let b = run_torture ~seed:(seed + 1) ~profile:"chaos-2pc" in
+      a = b)
+
+let suite =
+  [
+    Alcotest.test_case "torture_sweep_200_seeds" `Quick test_torture_sweep;
+    Alcotest.test_case "replay_byte_for_byte" `Quick test_replay_byte_for_byte;
+    QCheck_alcotest.to_alcotest prop_presumed_abort;
+  ]
