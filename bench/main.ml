@@ -1892,6 +1892,192 @@ let e17 () =
   Report.note "sharded 2PC sweep written to BENCH_e17.json (%s) and bench_report.json#e17"
     stamp
 
+(* ---- E18: the memory X-ray ------------------------------------------------ *)
+
+(* Online memory observability swept over Zipf skew x cache size on the
+   closed-loop driver: the SHARDS miss-ratio curve sampler and the
+   decayed page-heat sketch ride the cache's access hook while
+   write-amplification accounting (WAL bytes forced + page writebacks
+   per logical byte updated) comes from the always-on counters. Gates:
+   (a) the MRC's predicted hit rate at the configured cache size lands
+   within 5 points of the measured rate on every zipf(0.8) point;
+   (b) a same-seed re-run renders byte-identical MRC and heat JSON;
+   (c) a run that never installed the X-ray has bit-identical substrate
+   counter fingerprints to one that installed it — the observer must
+   not perturb the observed. Artifacts: bench_report.json#e18 and a
+   timestamped BENCH_e18.json. *)
+let e18 () =
+  let n_pages = 2048 in
+  let total_attempts = scale 20_000 in
+  let seed = 1818 in
+  let n_clients = 200 in
+  let skews = if quick then [ 0.0; 0.8 ] else [ 0.0; 0.8; 0.99 ] in
+  let sizes = if quick then [ 256; 1024 ] else [ 128; 256; 1024 ] in
+  let gate_skew = 0.8 in
+  let run_point ~xray ~skew ~cache_slots =
+    (* Pinned db_id: area ids (hence page keys, hence the key-labeled
+       heat JSON) derive from it, and gate (b) compares those bytes
+       across re-runs. *)
+    let db =
+      Workloads.fresh_db ~cache_slots ~group_commit:(Bess_wal.Group_commit.Group_n 16)
+        ~db_id:9181 ()
+    in
+    let server = Bess.Db.server db in
+    Bess.Server.set_detection server `Timeout;
+    let pages = Workloads.driver_pages db ~n_pages in
+    let store = Bess.Server.store server in
+    let cache = Bess.Store.cache store in
+    let cstats = Bess_cache.Cache.stats cache in
+    (* The working-set loader warms the cache before the X-ray goes in:
+       both sketches and the measured hit rate see workload traffic
+       only. *)
+    let h0 = Stats.get cstats "cache.hits" and m0 = Stats.get cstats "cache.misses" in
+    let sched = Bess_sched.Sched.create () in
+    (* 1/4 spatial sampling: coarser rates leave too few sampled depths
+       below the smallest swept cache size for a 5-point gate. *)
+    let memx = if xray then Some (Bess_cache.Memx.install ~rate_bits:2 cache) else None in
+    let cfg =
+      { Bess_sched.Driver.default with
+        n_clients;
+        txns_per_client = Stdlib.max 1 (total_attempts / n_clients);
+        zipf_theta = skew;
+        seed;
+      }
+    in
+    let wall0 = Unix.gettimeofday () in
+    let r = Bess_sched.Driver.run ~sched server ~pages cfg in
+    let wall = Unix.gettimeofday () -. wall0 in
+    let dh = Stats.get cstats "cache.hits" - h0 in
+    let dm = Stats.get cstats "cache.misses" - m0 in
+    let measured =
+      if dh + dm = 0 then 0.0 else float_of_int dh /. float_of_int (dh + dm)
+    in
+    let logical = Stats.get (Bess.Store.stats store) "store.logical_bytes" in
+    let durable =
+      Stats.get (Bess_wal.Log.stats (Bess.Store.log store)) "log.forced_bytes"
+      + Stats.get (Bess.Store.stats store) "store.page_flush_bytes"
+    in
+    let wamp = if logical = 0 then 0.0 else float_of_int durable /. float_of_int logical in
+    let fp =
+      Fmt.str "%a|%a|%a" Stats.pp
+        (Bess_sched.Sched.stats sched)
+        Stats.pp (Bess.Server.stats server) Stats.pp cstats
+    in
+    let x =
+      Option.map
+        (fun m ->
+          let predicted = Bess_cache.Memx.predicted_hit_rate m in
+          let mrc_json = Bess_cache.Memx.json_of_mrc m in
+          let heat_json = Bess_cache.Memx.json_of_heat ~k:10 m in
+          Bess_cache.Memx.uninstall m;
+          (predicted, mrc_json, heat_json))
+        memx
+    in
+    ( r,
+      measured,
+      wamp,
+      Stats.get cstats "cache.evict_clean",
+      Stats.get cstats "cache.evict_dirty",
+      fp,
+      wall,
+      x )
+  in
+  let rows = ref [] in
+  let sections = ref [] in
+  let accuracy_ok = ref true in
+  let gate_fp = ref "" and gate_mrc = ref "" and gate_heat = ref "" in
+  let gate_size = List.hd sizes in
+  List.iter
+    (fun skew ->
+      List.iter
+        (fun cache_slots ->
+          let r, measured, wamp, evc, evd, fp, wall, x =
+            run_point ~xray:true ~skew ~cache_slots
+          in
+          let predicted, mrc_json, heat_json =
+            match x with Some v -> v | None -> assert false
+          in
+          let delta = abs_float (predicted -. measured) in
+          let gated = abs_float (skew -. gate_skew) < 1e-9 in
+          if gated && delta > 0.05 then begin
+            accuracy_ok := false;
+            Report.note "e18: ACCURACY MISS at skew %.2f slots %d: predicted %.1f%% vs \
+                         measured %.1f%%"
+              skew cache_slots (100.0 *. predicted) (100.0 *. measured)
+          end;
+          if gated && cache_slots = gate_size then begin
+            gate_fp := fp;
+            gate_mrc := mrc_json;
+            gate_heat := heat_json
+          end;
+          sections :=
+            Printf.sprintf "\"skew%.2f_slots%d\":{\"mrc\":%s,\"heat\":%s}" skew cache_slots
+              mrc_json heat_json
+            :: !sections;
+          rows :=
+            [
+              Printf.sprintf "%.2f" skew;
+              Report.count cache_slots;
+              Report.count r.Bess_sched.Driver.r_commits;
+              Printf.sprintf "%.1f%%" (100.0 *. measured);
+              Printf.sprintf "%.1f%%" (100.0 *. predicted);
+              Printf.sprintf "%.1f" (100.0 *. delta);
+              Printf.sprintf "%.2fx" wamp;
+              Report.count evc;
+              Report.count evd;
+              Printf.sprintf "%.0f ms" (wall *. 1e3);
+            ]
+            :: !rows)
+        sizes)
+    skews;
+  Report.table ~id:"E18"
+    ~caption:
+      (Printf.sprintf
+         "memory X-ray over zipf skew x cache size: ~%d txn attempts, %d clients over %d \
+          pages, group:16; predicted = SHARDS MRC (rate 1/4) at the configured size, \
+          measured = cache hits/(hits+misses) over the workload, wamp = durable bytes \
+          (WAL forces + page writebacks) per logical byte"
+         total_attempts n_clients n_pages)
+    ~header:
+      [ "skew"; "slots"; "commits"; "measured"; "predicted"; "delta pts"; "write-amp";
+        "evict clean"; "evict dirty"; "wall" ]
+    (List.rev !rows);
+  Report.note "e18: MRC accuracy gate (<= 5 points at configured size, zipf %.1f): %s"
+    gate_skew
+    (if !accuracy_ok then "OK" else "FAILED");
+  (* Same seed, fresh substrates: both sketches must render byte for
+     byte the same artifacts (heat stamps are epoch-relative exactly so
+     this holds at any absolute clock offset). *)
+  let _, _, _, _, _, fp2, _, x2 = run_point ~xray:true ~skew:gate_skew ~cache_slots:gate_size in
+  let mrc2, heat2 = match x2 with Some (_, m, h) -> (m, h) | None -> assert false in
+  let deterministic = String.equal !gate_mrc mrc2 && String.equal !gate_heat heat2 in
+  Report.note "e18: same-seed byte-identical MRC/heat JSON: %s"
+    (if deterministic then "OK" else "FAILED");
+  (* Observer effect: the same point with the X-ray never installed must
+     produce bit-identical sched/server/cache counter snapshots. *)
+  let _, _, _, _, _, fp_bare, _, _ =
+    run_point ~xray:false ~skew:gate_skew ~cache_slots:gate_size
+  in
+  let zero_cost = String.equal !gate_fp fp2 && String.equal fp2 fp_bare in
+  Report.note "e18: zero observer effect (counter fingerprints bit-identical without the \
+               X-ray): %s"
+    (if zero_cost then "OK" else "FAILED");
+  let json = Printf.sprintf "{%s}" (String.concat "," (List.rev !sections)) in
+  Report.add_section "e18" json;
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let stamp =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let oc = open_out "BENCH_e18.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"e18\",\"wall_time\":%s,\"seed\":%d,\"accuracy_ok\":%b,\"deterministic\":%b,\"zero_cost\":%b,\"points\":%s}\n"
+    (Bess_obs.Registry.json_string stamp)
+    seed !accuracy_ok deterministic zero_cost json;
+  close_out oc;
+  Report.note "memory X-ray sweep written to BENCH_e18.json (%s) and bench_report.json#e18"
+    stamp
+
 (* ---- F1: segment and object structure (Figure 1) ------------------------- *)
 
 let f1 () =
@@ -2428,7 +2614,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7);
     ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13);
-    ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
+    ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
     ("f1", f1); ("f2", f2); ("f3", f3);
     ("f4", f4);
     ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("t1", t1);

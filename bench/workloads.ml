@@ -26,9 +26,19 @@ let default_group_commit = ref Bess_wal.Group_commit.Immediate
    the counter is bookkeeping, not workload state. *)
 let next_db_id = ref 1000
 
-let fresh_db ?(n_areas = 1) ?cache_slots ?group_commit () =
-  incr next_db_id;
-  let db = Bess.Db.create_memory ~n_areas ?cache_slots ~db_id:!next_db_id () in
+(* [db_id] pins the id instead of drawing from the counter: area ids
+   (and therefore page-key encodings) derive from it, so experiments
+   that compare artifacts byte-for-byte across re-runs need the same id
+   both times. *)
+let fresh_db ?(n_areas = 1) ?cache_slots ?group_commit ?db_id () =
+  let db_id =
+    match db_id with
+    | Some id -> id
+    | None ->
+        incr next_db_id;
+        !next_db_id
+  in
+  let db = Bess.Db.create_memory ~n_areas ?cache_slots ~db_id () in
   let policy =
     match group_commit with Some p -> p | None -> !default_group_commit
   in

@@ -11,6 +11,8 @@
      bessctl top     DIR [--passes N] [--json]         busiest metrics per window
      bessctl load    DIR [--workload W] [--clients N]  closed-loop load generator
      bessctl slow    DIR [--workload W] [--clients N]  slowest txns with blame breakdown
+     bessctl mrc     DIR [--workload W] [--rate-bits B] online miss-ratio curve vs measured
+     bessctl heat    DIR [--workload W] [--top K]      hottest pages, decayed frequencies
      bessctl flightrec FILE [--last N]                 replay a black-box dump
 
    Databases live in a directory: area_*.bess files, wal.log, and
@@ -631,6 +633,147 @@ let slow_cmd =
     Term.(const run $ dir_arg $ workload_arg $ clients $ txns $ pages $ seed $ top_k
           $ json_arg $ no_handoff_arg)
 
+(* ---- mrc / heat: the memory X-ray ---- *)
+
+(* Shared runner: install the X-ray on the server's page cache AFTER
+   seeding (so the sketches see the workload, not the loader), drive the
+   named workload, and hand the sketches plus the workload-only hit/miss
+   deltas to the reporter. *)
+let run_xray dir ~workload ~clients ~txns ~pages ~seed ~rate_bits ~heat_window_us f =
+  match List.assoc_opt workload load_workloads with
+  | None ->
+      Printf.eprintf "bad --workload %S (try uniform, zipf, hotspot, churn)\n" workload;
+      exit 2
+  | Some shape ->
+      with_db dir (fun db ->
+          let server = Bess.Db.server db in
+          Bess.Server.set_detection server `Timeout;
+          let page_ids = seed_working_set db pages in
+          let cache = Bess.Store.cache (Bess.Server.store server) in
+          let stats = Bess_cache.Cache.stats cache in
+          let h0 = Bess_util.Stats.get stats "cache.hits" in
+          let m0 = Bess_util.Stats.get stats "cache.misses" in
+          let memx =
+            Bess_cache.Memx.install ~rate_bits
+              ~heat_window_ns:(Stdlib.max 1 heat_window_us * 1000)
+              cache
+          in
+          let cfg =
+            shape
+              { Bess_sched.Driver.default with
+                n_clients = clients;
+                txns_per_client = txns;
+                seed;
+              }
+          in
+          Fun.protect
+            ~finally:(fun () -> Bess_cache.Memx.uninstall memx)
+            (fun () ->
+              let r = Bess_sched.Driver.run server ~pages:page_ids cfg in
+              let dh = Bess_util.Stats.get stats "cache.hits" - h0 in
+              let dm = Bess_util.Stats.get stats "cache.misses" - m0 in
+              let measured =
+                if dh + dm = 0 then 0.0 else float_of_int dh /. float_of_int (dh + dm)
+              in
+              f ~cache ~memx ~result:r ~measured ~n_pages:(Array.length page_ids)))
+
+let xray_workload_arg =
+  Arg.(value & opt string "zipf"
+       & info [ "workload" ] ~docv:"NAME"
+           ~doc:"Named workload (same set as $(b,bessctl load))")
+
+let xray_clients = Arg.(value & opt int 100 & info [ "clients" ] ~docv:"N" ~doc:"Simulated clients")
+let xray_txns = Arg.(value & opt int 50 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per client")
+
+let xray_pages =
+  Arg.(value & opt int 1024 & info [ "pages" ] ~docv:"N" ~doc:"Working-set pages to seed")
+
+let xray_seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed")
+
+let xray_json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the sketch as deterministic JSON")
+
+let mrc_cmd =
+  let rate_bits =
+    Arg.(value & opt int 4
+         & info [ "rate-bits" ] ~docv:"B"
+             ~doc:"SHARDS spatial sampling rate 2^-B (0 = track every access)")
+  in
+  let run dir workload clients txns pages seed rate_bits json =
+    run_xray dir ~workload ~clients ~txns ~pages ~seed ~rate_bits ~heat_window_us:1000
+      (fun ~cache ~memx ~result:r ~measured ~n_pages ->
+        let mrc = Bess_cache.Memx.mrc memx in
+        if json then print_string (Bess_cache.Memx.json_of_mrc memx ^ "\n")
+        else begin
+          Printf.printf "mrc: %S, %d clients x %d txns over %d pages, seed %d, rate 1/%d\n"
+            workload clients txns n_pages seed (1 lsl rate_bits);
+          Printf.printf "  commits %d  aborts %d  accesses %d  sampled %d  tracked keys %d\n"
+            r.Bess_sched.Driver.r_commits r.r_aborts (Bess_obs.Mrc.n_total mrc)
+            (Bess_obs.Mrc.n_sampled mrc) (Bess_obs.Mrc.tracked_keys mrc);
+          Printf.printf "  %8s  %9s\n" "SIZE" "PREDICTED";
+          let max_size =
+            let rec up s = if s >= 2 * n_pages then s else up (2 * s) in
+            up 1
+          in
+          List.iter
+            (fun (size, rate) ->
+              if size >= 8 then Printf.printf "  %8d  %8.1f%%\n" size (100.0 *. rate))
+            (Bess_obs.Mrc.curve mrc ~max_size);
+          let nslots = Bess_cache.Cache.nslots cache in
+          let predicted = Bess_cache.Memx.predicted_hit_rate memx in
+          Printf.printf
+            "  configured cache %d slots: predicted %.1f%%, measured %.1f%% (delta %.1f points)\n"
+            nslots (100.0 *. predicted) (100.0 *. measured)
+            (100.0 *. abs_float (predicted -. measured))
+        end)
+  in
+  Cmd.v
+    (Cmd.info "mrc"
+       ~doc:
+         "Run a closed-loop workload with the SHARDS miss-ratio-curve sampler installed and \
+          print the predicted hit rate at every power-of-two cache size against the measured \
+          rate at the configured size")
+    Term.(const run $ dir_arg $ xray_workload_arg $ xray_clients $ xray_txns $ xray_pages
+          $ xray_seed $ rate_bits $ xray_json)
+
+let heat_cmd =
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Hottest pages to print")
+  in
+  let window_us =
+    Arg.(value & opt int 1000
+         & info [ "window-us" ] ~docv:"US"
+             ~doc:"Decay window in simulated microseconds (frequencies halve once per window)")
+  in
+  let run dir workload clients txns pages seed top window_us json =
+    run_xray dir ~workload ~clients ~txns ~pages ~seed ~rate_bits:4 ~heat_window_us:window_us
+      (fun ~cache:_ ~memx ~result:r ~measured ~n_pages ->
+        let heat = Bess_cache.Memx.heat memx in
+        if json then print_string (Bess_cache.Memx.json_of_heat ~k:top memx ^ "\n")
+        else begin
+          Printf.printf "heat: %S, %d clients x %d txns over %d pages, seed %d\n" workload
+            clients txns n_pages seed;
+          Printf.printf
+            "  commits %d  aborts %d  accesses %d  tracked pages %d  decays %d  hit %.1f%%\n"
+            r.Bess_sched.Driver.r_commits r.r_aborts (Bess_obs.Heat.n_total heat)
+            (Bess_obs.Heat.tracked_keys heat) (Bess_obs.Heat.n_decays heat)
+            (100.0 *. measured);
+          Printf.printf "  %-12s %8s %14s\n" "PAGE" "FREQ" "LAST-NS";
+          List.iter
+            (fun (page, freq, last_ns) ->
+              Printf.printf "  %-12s %8d %14d\n"
+                (Fmt.str "%a" Bess_cache.Page_id.pp page)
+                freq last_ns)
+            (Bess_cache.Memx.top_pages memx top)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "heat"
+       ~doc:
+         "Run a closed-loop workload with the decayed page-heat sketch installed and print \
+          the hottest pages")
+    Term.(const run $ dir_arg $ xray_workload_arg $ xray_clients $ xray_txns $ xray_pages
+          $ xray_seed $ top_arg $ window_us $ xray_json)
+
 (* ---- flightrec ---- *)
 
 let flightrec_cmd =
@@ -987,4 +1130,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "bessctl" ~doc)
           [ create_cmd; info_cmd; seed_cmd; scan_cmd; verify_cmd; compact_cmd; stats_cmd;
-            trace_cmd; top_cmd; load_cmd; slow_cmd; flightrec_cmd; chaos_cmd; shard_cmd ]))
+            trace_cmd; top_cmd; load_cmd; slow_cmd; mrc_cmd; heat_cmd; flightrec_cmd;
+            chaos_cmd; shard_cmd ]))

@@ -28,6 +28,10 @@ type t = {
   map : int Page_id.Tbl.t; (* page -> slot index *)
   mutable writeback : Page_id.t -> Bytes.t -> unit;
   mutable choose_victim : unit -> int option;
+  mutable n_dirty : int; (* slots with [dirty] set, kept incrementally *)
+  (* Observer of every counted lookup (the memory X-ray feeds off this);
+     one match on [None] when absent, so the hot path stays free. *)
+  mutable access_hook : (Page_id.t -> hit:bool -> unit) option;
   stats : Bess_util.Stats.t;
 }
 
@@ -47,6 +51,8 @@ let create ~nslots ~page_size =
       map = Page_id.Tbl.create (2 * nslots);
       writeback = (fun _ _ -> ());
       choose_victim = (fun () -> None);
+      n_dirty = 0;
+      access_hook = None;
       stats;
     }
   in
@@ -63,8 +69,7 @@ let create ~nslots ~page_size =
       !found);
   Bess_obs.Registry.register_gauge "cache" "cache.resident_pages" (fun () ->
       Page_id.Tbl.length t.map);
-  Bess_obs.Registry.register_gauge "cache" "cache.dirty_pages" (fun () ->
-      Array.fold_left (fun acc s -> if s.dirty then acc + 1 else acc) 0 t.slots);
+  Bess_obs.Registry.register_gauge "cache" "cache.dirty_pages" (fun () -> t.n_dirty);
   t
 
 let nslots t = Array.length t.slots
@@ -73,14 +78,24 @@ let stats t = t.stats
 let slot t i = t.slots.(i)
 let set_writeback t f = t.writeback <- f
 let set_victim_chooser t f = t.choose_victim <- f
+let set_access_hook t h = t.access_hook <- h
+
+(* Clear a slot's dirty bit, maintaining the incremental gauge count. *)
+let clear_dirty t s =
+  if s.dirty then begin
+    s.dirty <- false;
+    t.n_dirty <- t.n_dirty - 1
+  end
 
 let lookup t page =
   match Page_id.Tbl.find_opt t.map page with
   | Some i ->
       Bess_util.Stats.incr t.stats "cache.hits";
+      (match t.access_hook with None -> () | Some f -> f page ~hit:true);
       Some t.slots.(i)
   | None ->
       Bess_util.Stats.incr t.stats "cache.misses";
+      (match t.access_hook with None -> () | Some f -> f page ~hit:false);
       None
 
 (* Peek without touching hit/miss counters (for assertions and tools). *)
@@ -101,15 +116,21 @@ let evict_one t =
           if s.pins > 0 then invalid_arg "Cache: policy chose a pinned slot";
           (match s.page with
           | Some page ->
+              (* Clean/dirty split: a dirty eviction is a page written to
+                 storage only to make room — the write-amplification
+                 signal — while a clean one costs nothing downstream.
+                 [cache.evictions] stays as the total. *)
               if s.dirty then begin
                 t.writeback page s.bytes;
-                Bess_util.Stats.incr t.stats "cache.dirty_writebacks"
-              end;
+                Bess_util.Stats.incr t.stats "cache.dirty_writebacks";
+                Bess_util.Stats.incr t.stats "cache.evict_dirty"
+              end
+              else Bess_util.Stats.incr t.stats "cache.evict_clean";
               Page_id.Tbl.remove t.map page;
               Bess_util.Stats.incr t.stats "cache.evictions"
           | None -> ());
           s.page <- None;
-          s.dirty <- false;
+          clear_dirty t s;
           s.refcount <- 0;
           s)
 
@@ -149,7 +170,11 @@ let unpin _t s =
   if s.pins <= 0 then invalid_arg "Cache.unpin: slot not pinned";
   s.pins <- s.pins - 1
 
-let mark_dirty _t s = s.dirty <- true
+let mark_dirty t s =
+  if not s.dirty then begin
+    s.dirty <- true;
+    t.n_dirty <- t.n_dirty + 1
+  end
 
 (* Drop a clean or dirty page without writing it back (callback locking:
    the client discards its cached copy; aborts may also purge). *)
@@ -161,7 +186,7 @@ let discard t page =
       if s.pins > 0 then invalid_arg "Cache.discard: page is pinned";
       Page_id.Tbl.remove t.map page;
       s.page <- None;
-      s.dirty <- false;
+      clear_dirty t s;
       s.refcount <- 0;
       Bess_util.Stats.incr t.stats "cache.discards"
 
@@ -183,7 +208,7 @@ let flush_all t =
       match s.page with
       | Some page when s.dirty ->
           t.writeback page s.bytes;
-          s.dirty <- false;
+          clear_dirty t s;
           Bess_util.Stats.incr t.stats "cache.flush_writebacks"
       | _ -> ())
     t.slots

@@ -26,6 +26,13 @@ val set_writeback : t -> (Page_id.t -> Bytes.t -> unit) -> unit
 (** The policy: return an unpinned slot index to evict, or [None]. *)
 val set_victim_chooser : t -> (unit -> int option) -> unit
 
+(** Observer of every counted lookup, fired with the page and whether it
+    hit — the {!Memx} memory X-ray feeds the MRC/heat sketches from
+    here. [None] (the default) keeps the lookup path to a single match:
+    with no hook installed the cache behaves bit-identically to a build
+    without the hook. *)
+val set_access_hook : t -> (Page_id.t -> hit:bool -> unit) option -> unit
+
 (** Lookup counting hits/misses. *)
 val lookup : t -> Page_id.t -> slot option
 

@@ -8,4 +8,11 @@ val compare : t -> t -> int
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 
+(** Pack into / unpack from a single int ([area] in the high bits), for
+    key-typed consumers below the cache in the dependency order, e.g.
+    the {!Bess_obs.Mrc}/{!Bess_obs.Heat} sketches. *)
+val to_key : t -> int
+
+val of_key : int -> t
+
 module Tbl : Hashtbl.S with type key = t

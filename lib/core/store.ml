@@ -19,6 +19,7 @@ module Page_id = Bess_cache.Page_id
 type t = {
   areas : Bess_storage.Area_set.t;
   cache : Bess_cache.Cache.t;
+  clock : Bess_cache.Clock.t; (* second-chance policy; ref bits fed by with_page *)
   log : Bess_wal.Log.t;
   gc : Bess_wal.Group_commit.t; (* force scheduler for all commit sites *)
   page_lsn : int Page_id.Tbl.t;
@@ -44,6 +45,7 @@ let create ?log_path ?log ?group_commit ?(cache_slots = 256) areas =
     {
       areas;
       cache;
+      clock = Bess_cache.Clock.create cache;
       log = the_log;
       gc = Bess_wal.Group_commit.create ?policy:group_commit the_log;
       page_lsn = Page_id.Tbl.create 1024;
@@ -59,7 +61,17 @@ let create ?log_path ?log ?group_commit ?(cache_slots = 256) areas =
      shrink the log below the last checkpoint's high-water mark. *)
   Bess_obs.Registry.register_gauge "wal" "wal.bytes_since_checkpoint" (fun () ->
       Stdlib.max 0 (Bess_wal.Log.size_bytes t.log - t.ckpt_bytes));
-  ignore (Bess_cache.Clock.create cache);
+  (* Write amplification so far: durable bytes (WAL forces plus page
+     writebacks) per logical byte updated, x100 so the integer gauge
+     keeps two digits. Per-window ratios come from the Series deltas of
+     the same three counters. *)
+  Bess_obs.Registry.register_gauge "wal" "wal.write_amp_x100" (fun () ->
+      let logical = Bess_util.Stats.get t.stats "store.logical_bytes" in
+      let durable =
+        Bess_util.Stats.get (Bess_wal.Log.stats t.log) "log.forced_bytes"
+        + Bess_util.Stats.get t.stats "store.page_flush_bytes"
+      in
+      if logical = 0 then 0 else 100 * durable / logical);
   Bess_cache.Cache.set_writeback cache (fun page bytes ->
       (* WAL rule: force the log past this page's LSN first. A WAL-rule
          force advances the durable horizon for waiting committers too. *)
@@ -86,7 +98,8 @@ let create ?log_path ?log ?group_commit ?(cache_slots = 256) areas =
         end
         else Bess_storage.Area_set.write_page areas ~area_id:page.area page.page bytes
       in
-      put 1);
+      put 1;
+      Bess_util.Stats.add t.stats "store.page_flush_bytes" (Bytes.length bytes));
   t
 
 let cache t = t.cache
@@ -103,6 +116,10 @@ let with_page t (page : Page_id.t) f =
     Bess_cache.Cache.load t.cache page ~fill:(fun buf ->
         Bess_storage.Area_set.read_page_into t.areas ~area_id:page.area page.page buf)
   in
+  (* The reference bit the clock sweeps: without it the policy
+     degenerates to FIFO and the LRU-model miss-ratio curve has nothing
+     to predict. *)
+  Bess_cache.Clock.note_access t.clock slot.Bess_cache.Cache.index;
   Fun.protect
     ~finally:(fun () -> Bess_cache.Cache.unpin t.cache slot)
     (fun () -> f slot)
@@ -129,6 +146,9 @@ let apply_update t ~txn ~prev_lsn (page : Page_id.t) ~offset ~before ~after =
       Bess_cache.Cache.mark_dirty t.cache slot);
   set_page_lsn t page lsn;
   Bess_util.Stats.incr t.stats "store.updates";
+  (* The numerator's baseline: bytes the application asked to change,
+     before logging and flushing amplify them. *)
+  Bess_util.Stats.add t.stats "store.logical_bytes" (Bytes.length after);
   lsn
 
 (* Append COMMIT and register its durability ticket with the group-commit

@@ -41,6 +41,7 @@ let default = create ()
    Span.kinds for span kinds). Keep sorted. *)
 let metric_namespaces =
   [
+    "2pc";
     "area";
     "buddy";
     "cache";
@@ -49,9 +50,11 @@ let metric_namespaces =
     "event";
     "fault";
     "flat";
+    "heat";
     "lob";
     "lock";
     "log";
+    "mrc";
     "net";
     "node";
     "oid_store";

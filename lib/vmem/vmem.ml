@@ -49,8 +49,11 @@ type t = {
   mutable reserved_now : int; (* pages *)
   mutable reserved_peak : int;
   mutable mapped_now : int;
+  mutable protected_now : int; (* reserved pages short of read-write *)
   stats : Bess_util.Stats.t;
 }
+
+let counts_protected = function Prot_none | Prot_read -> true | Prot_read_write -> false
 
 let pp_access ppf = function
   | Read -> Fmt.string ppf "read"
@@ -78,21 +81,18 @@ let create ?(page_size = 4096) () =
       reserved_now = 0;
       reserved_peak = 0;
       mapped_now = 0;
+      protected_now = 0;
       stats;
     }
   in
   Bess_obs.Registry.register_gauge "vmem" "vmem.reserved_pages" (fun () -> t.reserved_now);
   Bess_obs.Registry.register_gauge "vmem" "vmem.mapped_pages" (fun () -> t.mapped_now);
-  (* Access-protected reserved pages (anything short of read-write):
-     counted by scan at sample time — protection flips are the hot path
-     the paper measures, so they stay free of gauge bookkeeping. *)
-  Bess_obs.Registry.register_gauge "vmem" "vmem.protected_pages" (fun () ->
-      Array.fold_left
-        (fun acc p ->
-          match p with
-          | Some { prot = Prot_none | Prot_read; _ } -> acc + 1
-          | _ -> acc)
-        0 t.pages);
+  (* Access-protected reserved pages (anything short of read-write). The
+     count is maintained incrementally at each protection transition: a
+     compare and an add on the mprotect path, versus a whole-page-table
+     scan on every gauge sample — the windowed sampler reads this once
+     per window, and `bessctl top` in a tight loop. *)
+  Bess_obs.Registry.register_gauge "vmem" "vmem.protected_pages" (fun () -> t.protected_now);
   t
 
 let page_size t = t.page_size
@@ -139,6 +139,7 @@ let reserve t npages =
   for i = first to first + npages - 1 do
     t.pages.(i) <- Some { prot = Prot_none; frame = None }
   done;
+  t.protected_now <- t.protected_now + npages;
   t.reserved_now <- t.reserved_now + npages;
   if t.reserved_now > t.reserved_peak then t.reserved_peak <- t.reserved_now;
   Bess_util.Stats.incr t.stats "vmem.reserve_calls";
@@ -153,7 +154,9 @@ let release t addr npages =
   let first = page_index t addr in
   for i = first to first + npages - 1 do
     (match t.pages.(i) with
-    | Some p -> if p.frame <> None then t.mapped_now <- t.mapped_now - 1
+    | Some p ->
+        if p.frame <> None then t.mapped_now <- t.mapped_now - 1;
+        if counts_protected p.prot then t.protected_now <- t.protected_now - 1
     | None -> invalid_arg "Vmem.release: page not reserved");
     t.pages.(i) <- None
   done;
@@ -179,7 +182,12 @@ let set_prot t addr npages prot =
   let first = page_index t addr in
   for i = first to first + npages - 1 do
     match t.pages.(i) with
-    | Some p -> p.prot <- prot
+    | Some p ->
+        (match (counts_protected p.prot, counts_protected prot) with
+        | true, false -> t.protected_now <- t.protected_now - 1
+        | false, true -> t.protected_now <- t.protected_now + 1
+        | _ -> ());
+        p.prot <- prot
     | None -> invalid_arg "Vmem.set_prot: page not reserved"
   done;
   t.tlb <- None;
@@ -209,6 +217,7 @@ let unmap t addr =
   | Some p ->
       if p.frame <> None then t.mapped_now <- t.mapped_now - 1;
       p.frame <- None;
+      if not (counts_protected p.prot) then t.protected_now <- t.protected_now + 1;
       p.prot <- Prot_none;
       t.tlb <- None;
       Bess_util.Stats.incr t.stats "vmem.unmap_calls"

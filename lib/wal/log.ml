@@ -133,12 +133,16 @@ let flush t ?lsn () =
             match partial with
             | Some upto when upto < t.used ->
                 write_backing t ~from:t.flushed ~upto;
+                (* Partial or not, bytes that reached the platter count
+                   toward write amplification. *)
+                Bess_util.Stats.add t.stats "log.forced_bytes" (upto - t.flushed);
                 t.flushed <- upto;
                 if n >= 3 then
                   raise (Bess_fault.Fault.Injected "wal.force: torn write, retries exhausted");
                 attempt (n + 1)
             | _ ->
                 write_backing t ~from:t.flushed ~upto:t.used;
+                Bess_util.Stats.add t.stats "log.forced_bytes" (t.used - t.flushed);
                 t.flushed <- t.used;
                 Bess_util.Stats.incr t.stats "log.forces"
           end

@@ -6,6 +6,7 @@ let () =
       ("obs", Test_obs.suite);
       ("span", Test_span.suite);
       ("series", Test_series.suite);
+      ("mrc", Test_mrc.suite);
       ("vmem", Test_vmem.suite);
       ("buddy", Test_buddy.suite);
       ("storage", Test_storage.suite);

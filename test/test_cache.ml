@@ -36,6 +36,31 @@ let test_eviction_and_writeback () =
   Alcotest.(check bool) "dirty page written back iff evicted" true
     (List.mem (pid 1) !written || Cache.find_slot c (pid 1) <> None)
 
+let test_evict_split_and_dirty_gauge () =
+  Bess_obs.Registry.with_fresh (fun () ->
+      let c = Cache.create ~nslots:2 ~page_size:64 in
+      Cache.set_writeback c (fun _ _ -> ());
+      let get k = Bess_util.Stats.get (Cache.stats c) k in
+      let gauge name =
+        List.assoc_opt name (Bess_obs.Registry.gauges (Bess_obs.Registry.snapshot ()))
+      in
+      let s1 = fill_with c 1 in
+      Cache.mark_dirty c s1;
+      Cache.mark_dirty c s1;
+      Alcotest.(check (option int)) "dirty_pages counts slots, not marks" (Some 1)
+        (gauge "cache.dirty_pages");
+      Cache.unpin c s1;
+      Cache.unpin c (fill_with c 2);
+      (* The default chooser sweeps from slot 0: page 1 (dirty) goes
+         first, then page 3 (clean) when page 4 arrives. *)
+      Cache.unpin c (fill_with c 3);
+      Alcotest.(check int) "dirty eviction attributed" 1 (get "cache.evict_dirty");
+      Alcotest.(check (option int)) "gauge drops with the eviction" (Some 0)
+        (gauge "cache.dirty_pages");
+      Cache.unpin c (fill_with c 4);
+      Alcotest.(check int) "clean eviction attributed" 1 (get "cache.evict_clean");
+      Alcotest.(check int) "evictions still the total" 2 (get "cache.evictions"))
+
 let test_pin_prevents_eviction () =
   let c = Cache.create ~nslots:2 ~page_size:64 in
   let s1 = fill_with c 1 (* stays pinned *) in
@@ -192,6 +217,7 @@ let suite =
   [
     Alcotest.test_case "load_hit_miss" `Quick test_load_hit_miss;
     Alcotest.test_case "eviction_writeback" `Quick test_eviction_and_writeback;
+    Alcotest.test_case "evict_split_dirty_gauge" `Quick test_evict_split_and_dirty_gauge;
     Alcotest.test_case "pin_prevents_eviction" `Quick test_pin_prevents_eviction;
     Alcotest.test_case "cache_full" `Quick test_cache_full_when_all_pinned;
     Alcotest.test_case "classic_clock" `Quick test_classic_clock_second_chance;

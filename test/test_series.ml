@@ -68,6 +68,87 @@ let test_large_jump_one_window () =
       | None -> Alcotest.fail "rate missing")
   | l -> Alcotest.fail (Printf.sprintf "expected 1 window, got %d" (List.length l))
 
+let test_quiet_window_between_active () =
+  (* A quiet window BETWEEN active ones must still appear, zeros kept —
+     the gap in a burst pattern is data, not absence of it. *)
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Registry.register_stats ~registry:reg "wal" st;
+  let series = Series.create ~window_ns:1000 ~registry:reg () in
+  with_series series (fun () ->
+      Stats.incr st "forces";
+      Span.advance_ns 1000;
+      Span.advance_ns 1000 (* nothing moved in here *);
+      Stats.add st "forces" 2;
+      Span.advance_ns 1000);
+  match Series.to_list series with
+  | [ w0; w1; w2 ] ->
+      Alcotest.(check (option int)) "burst before the gap" (Some 1)
+        (Series.sample_delta w0 "wal.forces");
+      Alcotest.(check (option int)) "quiet middle window records zero" (Some 0)
+        (Series.sample_delta w1 "wal.forces");
+      Alcotest.(check int) "quiet window has real width" 1000
+        (w1.Series.w_end_ns - w1.Series.w_start_ns);
+      Alcotest.(check (option int)) "burst after the gap" (Some 2)
+        (Series.sample_delta w2 "wal.forces")
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 windows, got %d" (List.length l))
+
+let test_uninstall_reinstall_midrun () =
+  (* Uninstalling mid-run stops sampling; reinstalling rebases both the
+     window clock and the counter baseline, so activity from the dark
+     period neither fabricates windows nor leaks into the next delta. *)
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Registry.register_stats ~registry:reg "wal" st;
+  let series = Series.create ~window_ns:1000 ~registry:reg () in
+  Series.install (Some series);
+  Fun.protect ~finally:(fun () -> Series.install None) (fun () ->
+      Stats.incr st "forces";
+      Span.advance_ns 1000;
+      Series.install None;
+      Stats.add st "forces" 5;
+      Span.advance_ns 10_000 (* unobserved: no series installed *);
+      Alcotest.(check int) "dark period recorded nothing" 1 (Series.windows series);
+      Series.install (Some series);
+      Stats.add st "forces" 2;
+      Span.advance_ns 1000);
+  match Series.to_list series with
+  | [ w0; w1 ] ->
+      Alcotest.(check (option int)) "pre-gap delta" (Some 1) (Series.sample_delta w0 "wal.forces");
+      Alcotest.(check int) "window numbering continues" 1 w1.Series.w_index;
+      Alcotest.(check (option int)) "dark-period counts rebased away, not replayed" (Some 2)
+        (Series.sample_delta w1 "wal.forces");
+      Alcotest.(check int) "reinstalled window spans only its own width" 1000
+        (w1.Series.w_end_ns - w1.Series.w_start_ns)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 windows, got %d" (List.length l))
+
+let test_gauge_starts_raising () =
+  (* A gauge whose substrate dies after registration (closure starts
+     raising) silently drops out of later windows instead of killing the
+     sampler. *)
+  let reg = Registry.create () in
+  let st = Stats.create () in
+  Registry.register_stats ~registry:reg "wal" st;
+  let alive = ref true in
+  Registry.register_gauge ~registry:reg "wal" "pending" (fun () ->
+      if !alive then 9 else failwith "substrate gone");
+  let series = Series.create ~window_ns:1000 ~registry:reg () in
+  with_series series (fun () ->
+      Stats.incr st "forces";
+      Span.advance_ns 1000;
+      alive := false;
+      Stats.incr st "forces";
+      Span.advance_ns 1000);
+  match Series.to_list series with
+  | [ w0; w1 ] ->
+      Alcotest.(check (option int)) "gauge sampled while healthy" (Some 9)
+        (Series.sample_gauge w0 "wal.pending");
+      Alcotest.(check (option int)) "raising gauge dropped from the window" None
+        (Series.sample_gauge w1 "wal.pending");
+      Alcotest.(check (option int)) "counters unaffected by the bad gauge" (Some 1)
+        (Series.sample_delta w1 "wal.forces")
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 windows, got %d" (List.length l))
+
 let test_ring_bound_and_flush () =
   let reg = Registry.create () in
   let st = Stats.create () in
@@ -236,6 +317,9 @@ let suite =
   [
     Alcotest.test_case "windowed_sampling" `Quick test_windowed_sampling;
     Alcotest.test_case "large_jump_one_window" `Quick test_large_jump_one_window;
+    Alcotest.test_case "quiet_window_between_active" `Quick test_quiet_window_between_active;
+    Alcotest.test_case "uninstall_reinstall_midrun" `Quick test_uninstall_reinstall_midrun;
+    Alcotest.test_case "gauge_starts_raising" `Quick test_gauge_starts_raising;
     Alcotest.test_case "ring_bound_and_flush" `Quick test_ring_bound_and_flush;
     Alcotest.test_case "uninstalled_is_inert" `Quick test_uninstalled_is_inert;
     Alcotest.test_case "series_json_roundtrip" `Quick test_series_json_roundtrip;
